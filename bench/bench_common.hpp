@@ -1,0 +1,161 @@
+// Shared helpers for the figure/table reproduction benchmarks.
+//
+// The kernel benchmarks (Figs. 4-7) run the warp-emulated kernels on a
+// size-representative sample of the batch (the instruction stream depends
+// only on the block size), extrapolate the counters to the full batch and
+// convert them to P100 wall time through simt::DeviceModel. The GFLOPS
+// reported use the same nominal flop counts as the paper (core/flops.hpp).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/flops.hpp"
+#include "core/gauss_huard.hpp"
+#include "core/getrf.hpp"
+#include "core/simt_kernels.hpp"
+#include "core/trsv.hpp"
+#include "simt/device_model.hpp"
+
+namespace vbatch::bench {
+
+/// The four batched implementations compared in Section IV.
+enum class Kernel { smallsize_lu, gauss_huard, gauss_huard_t, vendor };
+
+inline const char* kernel_name(Kernel k) {
+    switch (k) {
+    case Kernel::smallsize_lu: return "Small-Size LU";
+    case Kernel::gauss_huard: return "Gauss-Huard";
+    case Kernel::gauss_huard_t: return "Gauss-Huard-T";
+    case Kernel::vendor: return "cuBLAS-model LU";
+    }
+    return "?";
+}
+
+/// True when the harness should shrink sweeps (smoke-test mode).
+inline bool quick_mode() {
+    const char* q = std::getenv("VBATCH_QUICK");
+    return q != nullptr && q[0] != '0';
+}
+
+/// Problems emulated per configuration; counters are extrapolated.
+inline constexpr size_type emulation_sample = 16;
+
+/// Modeled GFLOPS of a batched factorization.
+template <typename T>
+double getrf_gflops(Kernel kernel, index_type m, size_type batch,
+                    const simt::DeviceModel& device) {
+    const double flops = core::getrf_flops(m) * static_cast<double>(batch);
+    if (kernel == Kernel::vendor) {
+        const simt::VendorModel vendor(device);
+        const double g = vendor.getrf_gflops(m, simt::precision_v<T>());
+        return flops / vendor.estimate_seconds(flops, g, batch) * 1e-9;
+    }
+    const auto sample = std::min<size_type>(emulation_sample, batch);
+    auto a = core::BatchedMatrices<T>::random_diagonally_dominant(
+        core::make_uniform_layout(sample, m), 0xf1f1);
+    core::BatchedPivots perm(a.layout_ptr());
+    core::SimtBatchResult result;
+    switch (kernel) {
+    case Kernel::smallsize_lu:
+        result = core::getrf_batch_simt(a, perm);
+        break;
+    case Kernel::gauss_huard:
+        result = core::gauss_huard_batch_simt(a, perm,
+                                              core::GhStorage::standard);
+        break;
+    case Kernel::gauss_huard_t:
+        result = core::gauss_huard_batch_simt(a, perm,
+                                              core::GhStorage::transposed);
+        break;
+    case Kernel::vendor:
+        break;  // handled above
+    }
+    result.total = batch;  // extrapolate the sample to the full batch
+    const auto stats = result.extrapolated();
+    const auto footprint = simt::register_kernel_footprint(
+        warp_size, simt::precision_v<T>());
+    const double t = device.estimate_seconds(stats, batch,
+                                             simt::precision_v<T>(),
+                                             footprint);
+    return flops / t * 1e-9;
+}
+
+/// Modeled GFLOPS of a batched solve (permute + triangular solves).
+template <typename T>
+double getrs_gflops(Kernel kernel, index_type m, size_type batch,
+                    const simt::DeviceModel& device) {
+    const double flops = core::getrs_flops(m) * static_cast<double>(batch);
+    if (kernel == Kernel::vendor) {
+        const simt::VendorModel vendor(device);
+        const double g = vendor.getrs_gflops(m, simt::precision_v<T>());
+        return flops / vendor.estimate_seconds(flops, g, batch) * 1e-9;
+    }
+    const auto sample = std::min<size_type>(emulation_sample, batch);
+    auto a = core::BatchedMatrices<T>::random_diagonally_dominant(
+        core::make_uniform_layout(sample, m), 0xf2f2);
+    core::BatchedPivots perm(a.layout_ptr());
+    auto b = core::BatchedVectors<T>::random(a.layout_ptr(), 0xf3f3);
+    core::SimtBatchResult result;
+    switch (kernel) {
+    case Kernel::smallsize_lu:
+        core::getrf_batch(a, perm);
+        result = core::getrs_batch_simt(a, perm, b);
+        break;
+    case Kernel::gauss_huard:
+        core::gauss_huard_batch(a, perm, core::GhStorage::standard);
+        result = core::gauss_huard_solve_batch_simt(
+            a, perm, b, core::GhStorage::standard);
+        break;
+    case Kernel::gauss_huard_t:
+        core::gauss_huard_batch(a, perm, core::GhStorage::transposed);
+        result = core::gauss_huard_solve_batch_simt(
+            a, perm, b, core::GhStorage::transposed);
+        break;
+    case Kernel::vendor:
+        break;
+    }
+    result.total = batch;
+    const auto stats = result.extrapolated();
+    // The solve streams the factors; only b lives in registers, so the
+    // footprint is small and occupancy high.
+    simt::WarpFootprint footprint;
+    footprint.registers_per_lane =
+        16 + 2 * static_cast<int>(sizeof(T) / 4);
+    const double t = device.estimate_seconds(stats, batch,
+                                             simt::precision_v<T>(),
+                                             footprint);
+    return flops / t * 1e-9;
+}
+
+// ---------------------------------------------------------------------
+// Output formatting
+// ---------------------------------------------------------------------
+
+inline void print_header(const std::string& title) {
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Print one table: rows indexed by `row_label` values, one column per
+/// kernel series.
+inline void print_series_table(const std::string& row_label,
+                               const std::vector<double>& rows,
+                               const std::vector<Kernel>& kernels,
+                               const std::vector<std::vector<double>>& data) {
+    std::printf("%12s", row_label.c_str());
+    for (const auto k : kernels) {
+        std::printf("  %16s", kernel_name(k));
+    }
+    std::printf("\n");
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        std::printf("%12.0f", rows[r]);
+        for (std::size_t c = 0; c < kernels.size(); ++c) {
+            std::printf("  %16.1f", data[c][r]);
+        }
+        std::printf("\n");
+    }
+}
+
+}  // namespace vbatch::bench

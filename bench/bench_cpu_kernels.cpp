@@ -1,0 +1,129 @@
+// Host-side throughput of the batched CPU backend (google-benchmark).
+// These are the kernels the block-Jacobi preconditioner actually runs in
+// this reproduction; they complement the modeled GPU numbers of the
+// figure benches with real measured wall time.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/gauss_jordan.hpp"
+#include "core/vendor.hpp"
+
+namespace vb = vbatch;
+
+namespace {
+
+constexpr vb::size_type batch = 2048;
+
+template <typename T>
+vb::core::BatchedMatrices<T> fresh_batch(vb::index_type m) {
+    return vb::core::BatchedMatrices<T>::random_diagonally_dominant(
+        vb::core::make_uniform_layout(batch, m), 77);
+}
+
+template <typename T>
+void bm_getrf(benchmark::State& state) {
+    const auto m = static_cast<vb::index_type>(state.range(0));
+    const auto source = fresh_batch<T>(m);
+    vb::core::BatchedPivots perm(source.layout_ptr());
+    vb::core::GetrfOptions opts;
+    opts.parallel = false;
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto a = source.clone();
+        state.ResumeTiming();
+        vb::core::getrf_batch(a, perm, opts);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.counters["GFLOPS"] = benchmark::Counter(
+        vb::core::getrf_flops(m) * batch * state.iterations(),
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+template <typename T>
+void bm_gauss_huard(benchmark::State& state) {
+    const auto m = static_cast<vb::index_type>(state.range(0));
+    const auto source = fresh_batch<T>(m);
+    vb::core::BatchedPivots perm(source.layout_ptr());
+    vb::core::GetrfOptions opts;
+    opts.parallel = false;
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto a = source.clone();
+        state.ResumeTiming();
+        vb::core::gauss_huard_batch(a, perm, vb::core::GhStorage::standard,
+                                    opts);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.counters["GFLOPS"] = benchmark::Counter(
+        vb::core::getrf_flops(m) * batch * state.iterations(),
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+template <typename T>
+void bm_gauss_jordan(benchmark::State& state) {
+    const auto m = static_cast<vb::index_type>(state.range(0));
+    const auto source = fresh_batch<T>(m);
+    vb::core::GetrfOptions opts;
+    opts.parallel = false;
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto a = source.clone();
+        state.ResumeTiming();
+        vb::core::gauss_jordan_batch(a, opts);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.counters["GFLOPS"] = benchmark::Counter(
+        vb::core::invert_flops(m) * batch * state.iterations(),
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+template <typename T>
+void bm_getrs(benchmark::State& state) {
+    const auto m = static_cast<vb::index_type>(state.range(0));
+    auto a = fresh_batch<T>(m);
+    vb::core::BatchedPivots perm(a.layout_ptr());
+    vb::core::getrf_batch(a, perm);
+    const auto b0 = vb::core::BatchedVectors<T>::random(a.layout_ptr(), 9);
+    vb::core::TrsvOptions opts;
+    opts.parallel = false;
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto b = b0.clone();
+        state.ResumeTiming();
+        vb::core::getrs_batch(a, perm, b, opts);
+        benchmark::DoNotOptimize(b.data());
+    }
+    state.counters["GFLOPS"] = benchmark::Counter(
+        vb::core::getrs_flops(m) * batch * state.iterations(),
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+template <typename T>
+void bm_vendor_getrf(benchmark::State& state) {
+    const auto m = static_cast<vb::index_type>(state.range(0));
+    const auto source = fresh_batch<T>(m);
+    vb::core::BatchedPivots ipiv(source.layout_ptr());
+    vb::core::GetrfOptions opts;
+    opts.parallel = false;
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto a = source.clone();
+        state.ResumeTiming();
+        vb::core::vendor_getrf_batched(a, ipiv, opts);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.counters["GFLOPS"] = benchmark::Counter(
+        vb::core::getrf_flops(m) * batch * state.iterations(),
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+BENCHMARK(bm_getrf<double>)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(bm_getrf<float>)->Arg(16)->Arg(32);
+BENCHMARK(bm_gauss_huard<double>)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(bm_gauss_jordan<double>)->Arg(16)->Arg(32);
+BENCHMARK(bm_getrs<double>)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(bm_vendor_getrf<double>)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Fig. 3 / Section III.C reproduction: cost of the diagonal-block
+// extraction strategies. The warp-cooperative shared-memory strategy
+// trades a few extra issues on balanced matrices for coalesced access and
+// bounded load imbalance on unbalanced (circuit-like) ones.
+#include <cstdio>
+
+#include "blocking/extraction.hpp"
+#include "blocking/supervariable.hpp"
+#include "bench_common.hpp"
+#include "sparse/generators.hpp"
+
+namespace vb = vbatch;
+
+namespace {
+
+void report(const char* name, const vb::sparse::Csr<double>& a) {
+    vb::blocking::BlockingOptions opts;
+    opts.max_block_size = 16;
+    opts.detect_supervariables = false;
+    const auto layout = vb::blocking::supervariable_layout(a, opts);
+
+    const auto row = vb::blocking::extract_blocks_simt_row(a, layout);
+    const auto shared = vb::blocking::extract_blocks_simt_shared(a, layout);
+    const auto device = vb::simt::DeviceModel::p100();
+    vb::simt::WarpFootprint fp;
+    fp.registers_per_lane = 40;
+    fp.shared_bytes = 16 * 16 * 8;
+    const double t_row = device.estimate_seconds(
+        row.stats, layout->count(), vb::simt::Precision::dp, fp);
+    const double t_shared = device.estimate_seconds(
+        shared.stats, layout->count(), vb::simt::Precision::dp, fp);
+
+    std::printf("\n--- %s: n=%d nnz=%lld blocks=%lld ---\n", name,
+                a.num_rows(), static_cast<long long>(a.nnz()),
+                static_cast<long long>(layout->count()));
+    std::printf("%-24s %16s %16s %14s %12s\n", "strategy", "load requests",
+                "load transact.", "shared ops", "model time");
+    std::printf("%-24s %16lld %16lld %14lld %10.1fus\n", "thread-per-row",
+                static_cast<long long>(row.stats.load_requests),
+                static_cast<long long>(row.stats.load_transactions),
+                static_cast<long long>(row.stats.shared_accesses),
+                t_row * 1e6);
+    std::printf("%-24s %16lld %16lld %14lld %10.1fus\n",
+                "shared-memory (paper)",
+                static_cast<long long>(shared.stats.load_requests),
+                static_cast<long long>(shared.stats.load_transactions),
+                static_cast<long long>(shared.stats.shared_accesses),
+                t_shared * 1e6);
+    std::printf("row/shared model-time ratio: %.2fx\n", t_row / t_shared);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Reproduction of the Fig. 3 extraction study: "
+                "thread-per-row vs warp-cooperative shared-memory "
+                "extraction of the block-Jacobi diagonal blocks.\n");
+    const vb::index_type scale = vb::bench::quick_mode() ? 1 : 4;
+    report("balanced band (bw 4)",
+           vb::sparse::random_banded<double>(4096 * scale, 4, 1.0, 3));
+    report("balanced stencil (dof 4)",
+           vb::sparse::laplacian_2d<double>(32 * scale, 32, 4, 5));
+    report("unbalanced circuit",
+           vb::sparse::circuit_like<double>(8000 * scale, 3, 12, 800, 7));
+    report("extreme hubs",
+           vb::sparse::circuit_like<double>(4000 * scale, 2, 6, 2500, 9));
+    std::printf(
+        "\nPaper's argument: assigning warp lanes to rows is defeated by "
+        "unbalanced nonzero distributions; the cooperative strategy keeps "
+        "accesses coalesced and bounds the imbalance to one warp.\n");
+    return 0;
+}

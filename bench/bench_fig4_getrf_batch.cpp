@@ -1,0 +1,50 @@
+// Fig. 4 reproduction: performance of batched factorization routines as a
+// function of the batch size, for block sizes 16 and 32, in single and
+// double precision. GFLOPS are modeled on the emulated P100 (DESIGN.md §5).
+#include "bench_common.hpp"
+
+namespace vb = vbatch;
+using vb::bench::Kernel;
+
+namespace {
+
+template <typename T>
+void run_precision(const vb::simt::DeviceModel& device) {
+    const std::vector<Kernel> kernels = {
+        Kernel::smallsize_lu, Kernel::gauss_huard, Kernel::gauss_huard_t,
+        Kernel::vendor};
+    std::vector<vb::size_type> batches;
+    if (vb::bench::quick_mode()) {
+        batches = {2000, 10000, 40000};
+    } else {
+        batches = {1000, 2000, 5000, 10000, 15000, 20000,
+                   25000, 30000, 35000, 40000};
+    }
+    for (const vb::index_type m : {16, 32}) {
+        vb::bench::print_header(
+            "Fig. 4 GETRF | block size " + std::to_string(m) + " | " +
+            vb::precision_name<T>() + " precision | GFLOPS vs batch size");
+        std::vector<double> rows;
+        std::vector<std::vector<double>> data(kernels.size());
+        for (const auto batch : batches) {
+            rows.push_back(static_cast<double>(batch));
+            for (std::size_t k = 0; k < kernels.size(); ++k) {
+                data[k].push_back(vb::bench::getrf_gflops<T>(
+                    kernels[k], m, batch, device));
+            }
+        }
+        vb::bench::print_series_table("batch", rows, kernels, data);
+    }
+}
+
+}  // namespace
+
+int main() {
+    const auto device = vb::simt::DeviceModel::p100();
+    std::printf("Reproduction of Fig. 4 (batched GETRF vs batch size) on "
+                "the %s cost model.\n",
+                device.name().c_str());
+    run_precision<float>(device);
+    run_precision<double>(device);
+    return 0;
+}

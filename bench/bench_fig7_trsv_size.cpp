@@ -1,0 +1,44 @@
+// Fig. 7 reproduction: performance of the batched triangular-solve
+// routines as a function of the matrix size at a fixed batch of 40,000.
+#include "bench_common.hpp"
+
+namespace vb = vbatch;
+using vb::bench::Kernel;
+
+namespace {
+
+template <typename T>
+void run_precision(const vb::simt::DeviceModel& device,
+                   vb::size_type batch) {
+    const std::vector<Kernel> kernels = {
+        Kernel::smallsize_lu, Kernel::gauss_huard, Kernel::gauss_huard_t,
+        Kernel::vendor};
+    vb::bench::print_header("Fig. 7 TRSV | batch " + std::to_string(batch) +
+                            " | " + vb::precision_name<T>() +
+                            " precision | GFLOPS vs matrix size");
+    std::vector<double> rows;
+    std::vector<std::vector<double>> data(kernels.size());
+    const vb::index_type step = vb::bench::quick_mode() ? 7 : 1;
+    for (vb::index_type m = 4; m <= 32; m += step) {
+        rows.push_back(m);
+        for (std::size_t k = 0; k < kernels.size(); ++k) {
+            data[k].push_back(
+                vb::bench::getrs_gflops<T>(kernels[k], m, batch, device));
+        }
+    }
+    vb::bench::print_series_table("size", rows, kernels, data);
+}
+
+}  // namespace
+
+int main() {
+    const auto device = vb::simt::DeviceModel::p100();
+    const vb::size_type batch = 40000;
+    std::printf("Reproduction of Fig. 7 (batched triangular solves vs "
+                "matrix size, batch fixed to 40,000) on the %s cost "
+                "model.\n",
+                device.name().c_str());
+    run_precision<float>(device, batch);
+    run_precision<double>(device, batch);
+    return 0;
+}

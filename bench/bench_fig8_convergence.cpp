@@ -1,0 +1,61 @@
+// Fig. 8 reproduction: convergence comparison of IDR(4) with block-Jacobi
+// preconditioning based on LU vs Gauss-Huard factorization. Both methods
+// are numerically stable but round differently; the histogram shows the
+// per-problem iteration overhead of whichever method lost, for every
+// block-size bound in {8, 12, 16, 24, 32}.
+#include <algorithm>
+
+#include "base/statistics.hpp"
+#include "solver_study.hpp"
+
+namespace vb = vbatch;
+
+int main() {
+    std::printf(
+        "Reproduction of Fig. 8: IDR(4) iteration overhead, LU-based vs "
+        "GH-based block-Jacobi.\n"
+        "Negative bins: LU gave the better preconditioner (GH needed more "
+        "iterations); positive bins: GH was better.\n");
+    const auto cases = vb::bench::study_cases();
+
+    vb::size_type lu_better = 0, gh_better = 0, tied = 0;
+    for (const vb::index_type bound : {8, 12, 16, 24, 32}) {
+        // Bin width 20%, with one bin centered on zero so the "identical
+        // iteration count" mass is its own bar like the paper's figure.
+        vb::Histogram hist(-110.0, 110.0, 11);
+        for (const auto* c : cases) {
+            const auto a = vb::sparse::build_suite_matrix(*c);
+            const auto lu = vb::bench::run_block_jacobi(
+                a, vb::precond::BlockJacobiBackend::lu, bound);
+            const auto gh = vb::bench::run_block_jacobi(
+                a, vb::precond::BlockJacobiBackend::gauss_huard, bound);
+            if (!lu || !gh || !lu->converged || !gh->converged) {
+                continue;  // the paper drops non-converging cases too
+            }
+            const double il = lu->iterations;
+            const double ig = gh->iterations;
+            // Signed overhead of the losing method relative to the winner:
+            // negative = LU won (paper's left-of-center), positive = GH.
+            const double overhead = (il - ig) / std::min(il, ig) * 100.0;
+            hist.add(overhead);
+            if (il < ig) {
+                ++lu_better;
+            } else if (ig < il) {
+                ++gh_better;
+            } else {
+                ++tied;
+            }
+        }
+        std::printf("\n--- block size bound %d ---\n", bound);
+        std::printf("%s", hist.render().c_str());
+    }
+    std::printf(
+        "\nTotals over all bounds: LU better %lld | tied %lld | GH better "
+        "%lld\n",
+        static_cast<long long>(lu_better), static_cast<long long>(tied),
+        static_cast<long long>(gh_better));
+    std::printf("Paper's observation: the histogram is concentrated at the "
+                "center and roughly symmetric -- neither factorization is "
+                "generally superior.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 9 reproduction: total execution time (preconditioner setup +
+// iterative solve) of IDR(4) with block-Jacobi preconditioning based on
+// LU, GH or GH-T factorization, supervariable blocking bound 32, over the
+// 48-matrix suite. Matrices are printed sorted by total LU time, like the
+// paper's x-axis ordering.
+#include <algorithm>
+
+#include "solver_study.hpp"
+
+namespace vb = vbatch;
+
+int main() {
+    std::printf(
+        "Reproduction of Fig. 9: total time (setup + solve) of IDR(4) "
+        "with LU / GH / GH-T block-Jacobi, block bound 32.\n");
+    const auto cases = vb::bench::study_cases();
+
+    struct Row {
+        const vb::sparse::SuiteCase* c;
+        std::optional<vb::bench::StudyResult> lu, gh, ght;
+        double sort_key;
+    };
+    std::vector<Row> rows;
+    for (const auto* c : cases) {
+        const auto a = vb::sparse::build_suite_matrix(*c);
+        Row row{c, {}, {}, {}, 0.0};
+        row.lu = vb::bench::run_block_jacobi(
+            a, vb::precond::BlockJacobiBackend::lu, 32);
+        row.gh = vb::bench::run_block_jacobi(
+            a, vb::precond::BlockJacobiBackend::gauss_huard, 32);
+        row.ght = vb::bench::run_block_jacobi(
+            a, vb::precond::BlockJacobiBackend::gauss_huard_t, 32);
+        row.sort_key = row.lu && row.lu->converged
+                           ? row.lu->total_seconds()
+                           : 1e30;
+        rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) {
+                  return a.sort_key < b.sort_key;
+              });
+
+    std::printf("%4s %-22s %-18s %-18s %-18s\n", "ID", "matrix",
+                "LU  iters (time)", "GH  iters (time)", "GH-T iters (time)");
+    vb::size_type skipped = 0;
+    for (const auto& row : rows) {
+        const bool any =
+            (row.lu && row.lu->converged) || (row.gh && row.gh->converged) ||
+            (row.ght && row.ght->converged);
+        if (!any) {
+            ++skipped;
+            continue;  // the paper omits non-converging matrices here
+        }
+        std::printf("%4d %-22s %s %s %s\n", row.c->id, row.c->name.c_str(),
+                    vb::bench::study_cell(row.lu).c_str(),
+                    vb::bench::study_cell(row.gh).c_str(),
+                    vb::bench::study_cell(row.ght).c_str());
+    }
+    std::printf("\n%lld matrices omitted (no configuration converged, as "
+                "in the paper's four missing cases).\n",
+                static_cast<long long>(skipped));
+    std::printf("Paper's observation: the three backends mostly coincide; "
+                "differences stem from rounding-driven iteration-count "
+                "deltas.\n");
+    return 0;
+}

@@ -1,0 +1,38 @@
+// Table I reproduction: iterations and total execution time of IDR(4)
+// enhanced with scalar Jacobi and with LU-based block-Jacobi
+// preconditioning for block-size bounds {8, 12, 16, 24, 32}, over the
+// 48-matrix synthetic suite.
+#include "solver_study.hpp"
+
+namespace vb = vbatch;
+
+int main() {
+    std::printf(
+        "Reproduction of Table I: IDR(4) iterations and runtime (setup + "
+        "solve seconds) with scalar Jacobi and block-Jacobi(8/12/16/24/32), "
+        "small-size LU backend.\n\n");
+    const auto cases = vb::bench::study_cases();
+
+    std::printf("%-22s %9s %10s | %-17s %-17s %-17s %-17s %-17s %-17s\n",
+                "matrix", "size", "nnz", "Jacobi", "BJ(8)", "BJ(12)",
+                "BJ(16)", "BJ(24)", "BJ(32)");
+    for (const auto* c : cases) {
+        const auto a = vb::sparse::build_suite_matrix(*c);
+        const auto jac = vb::bench::run_scalar_jacobi(a);
+        std::printf("%-22s %9d %10lld |", c->name.c_str(), a.num_rows(),
+                    static_cast<long long>(a.nnz()));
+        std::printf(" %s", vb::bench::study_cell(jac).c_str());
+        for (const vb::index_type bound : {8, 12, 16, 24, 32}) {
+            const auto r = vb::bench::run_block_jacobi(
+                a, vb::precond::BlockJacobiBackend::lu, bound);
+            std::printf(" %s", vb::bench::study_cell(r).c_str());
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    std::printf(
+        "\nPaper's observation: larger block-size bounds typically improve "
+        "both iteration count and time-to-solution; a few hard problems do "
+        "not converge within the iteration budget ('-').\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+// Shared driver for the block-Jacobi solver study (Fig. 8, Fig. 9,
+// Table I): IDR(4) on the 48-matrix synthetic suite, preconditioned by
+// scalar Jacobi or block-Jacobi with a selectable factorization backend,
+// right-hand side of all ones, zero initial guess, relative residual
+// reduction of 1e-6, at most 10,000 iterations -- the exact protocol of
+// Section IV.D.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "precond/block_jacobi.hpp"
+#include "precond/scalar_jacobi.hpp"
+#include "solvers/idr.hpp"
+#include "sparse/suite.hpp"
+
+namespace vbatch::bench {
+
+struct StudyResult {
+    bool converged = false;
+    index_type iterations = 0;
+    double setup_seconds = 0.0;
+    double solve_seconds = 0.0;
+
+    double total_seconds() const { return setup_seconds + solve_seconds; }
+};
+
+inline solvers::IdrOptions study_solver_options() {
+    solvers::IdrOptions opts;
+    opts.s = 4;
+    opts.rel_tol = 1e-6;
+    opts.max_iters = quick_mode() ? 2000 : 10000;
+    return opts;
+}
+
+/// IDR(4) with a prepared preconditioner.
+inline StudyResult run_idr(const sparse::Csr<double>& a,
+                           const precond::Preconditioner<double>& prec,
+                           double setup_seconds) {
+    std::vector<double> b(static_cast<std::size_t>(a.num_rows()), 1.0);
+    std::vector<double> x(b.size(), 0.0);
+    const auto result = solvers::idr(a, std::span<const double>(b),
+                                     std::span<double>(x), prec,
+                                     study_solver_options());
+    StudyResult out;
+    out.converged = result.converged;
+    out.iterations = result.iterations;
+    out.setup_seconds = setup_seconds;
+    out.solve_seconds = result.solve_seconds;
+    return out;
+}
+
+/// IDR(4) + block-Jacobi(backend, bound). nullopt if the setup broke down.
+inline std::optional<StudyResult> run_block_jacobi(
+    const sparse::Csr<double>& a, precond::BlockJacobiBackend backend,
+    index_type bound) {
+    try {
+        precond::BlockJacobiOptions opts;
+        opts.backend = backend;
+        opts.max_block_size = bound;
+        const precond::BlockJacobi<double> prec(a, opts);
+        return run_idr(a, prec, prec.setup_seconds());
+    } catch (const SingularMatrix&) {
+        return std::nullopt;
+    }
+}
+
+/// IDR(4) + scalar Jacobi. nullopt on a zero diagonal.
+inline std::optional<StudyResult> run_scalar_jacobi(
+    const sparse::Csr<double>& a) {
+    try {
+        const precond::ScalarJacobi<double> prec(a);
+        return run_idr(a, prec, prec.setup_seconds());
+    } catch (const Error&) {
+        return std::nullopt;
+    }
+}
+
+/// The suite subset to run: everything, or every fourth case in quick mode.
+inline std::vector<const sparse::SuiteCase*> study_cases() {
+    std::vector<const sparse::SuiteCase*> cases;
+    const auto& all = sparse::suite_cases();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (!quick_mode() || i % 4 == 0) {
+            cases.push_back(&all[i]);
+        }
+    }
+    return cases;
+}
+
+/// "iters (time s)" or "-" for a failed/non-converged run.
+inline std::string study_cell(const std::optional<StudyResult>& r) {
+    if (!r || !r->converged) {
+        return "      -          ";
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%6d (%8.3fs)", r->iterations,
+                  r->total_seconds());
+    return buf;
+}
+
+}  // namespace vbatch::bench

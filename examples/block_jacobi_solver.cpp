@@ -1,0 +1,93 @@
+// End-to-end example: solve a sparse linear system from a multi-physics
+// style discretization with IDR(4), comparing no preconditioner, scalar
+// Jacobi, and the paper's block-Jacobi with every factorization backend.
+//
+//   $ ./examples/block_jacobi_solver [nx] [dofs] [peclet]
+//
+// Defaults reproduce a medium nonsymmetric convection-diffusion problem
+// with 4 coupled unknowns per grid node, the sweet spot of supervariable
+// blocking.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "precond/block_jacobi.hpp"
+#include "precond/scalar_jacobi.hpp"
+#include "solvers/idr.hpp"
+#include "sparse/generators.hpp"
+
+namespace vb = vbatch;
+
+namespace {
+
+void report(const char* name, const vb::solvers::SolveResult& result,
+            double setup_seconds) {
+    if (result.converged) {
+        std::printf(
+            "%-26s %6d iterations   setup %7.2f ms   solve %8.2f ms   "
+            "total %8.2f ms\n",
+            name, result.iterations, setup_seconds * 1e3,
+            result.solve_seconds * 1e3,
+            (setup_seconds + result.solve_seconds) * 1e3);
+    } else {
+        std::printf("%-26s did not converge in %d iterations%s\n", name,
+                    result.iterations,
+                    result.breakdown ? " (breakdown)" : "");
+    }
+}
+
+vb::solvers::SolveResult solve_with(
+    const vb::sparse::Csr<double>& a,
+    const vb::precond::Preconditioner<double>& prec) {
+    std::vector<double> b(static_cast<std::size_t>(a.num_rows()), 1.0);
+    std::vector<double> x(b.size(), 0.0);
+    vb::solvers::IdrOptions opts;
+    opts.s = 4;
+    return vb::solvers::idr(a, std::span<const double>(b),
+                            std::span<double>(x), prec, opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const vb::index_type nx = argc > 1 ? std::atoi(argv[1]) : 48;
+    const vb::index_type dofs = argc > 2 ? std::atoi(argv[2]) : 4;
+    const double peclet = argc > 3 ? std::atof(argv[3]) : 20.0;
+
+    const auto a = vb::sparse::convection_diffusion_2d<double>(
+        nx, nx, dofs, peclet, /*seed=*/1);
+    std::printf(
+        "convection-diffusion: %d x %d grid, %d dofs/node, peclet %.1f -> "
+        "n = %d, nnz = %lld\n\n",
+        nx, nx, dofs, peclet, a.num_rows(),
+        static_cast<long long>(a.nnz()));
+
+    {
+        const vb::precond::IdentityPreconditioner<double> prec;
+        report("unpreconditioned", solve_with(a, prec), 0.0);
+    }
+    {
+        const vb::precond::ScalarJacobi<double> prec(a);
+        report("scalar Jacobi", solve_with(a, prec),
+               prec.setup_seconds());
+    }
+    for (const auto backend : {vb::precond::BlockJacobiBackend::lu,
+                               vb::precond::BlockJacobiBackend::gauss_huard,
+                               vb::precond::BlockJacobiBackend::gauss_huard_t,
+                               vb::precond::BlockJacobiBackend::gje_inversion}) {
+        vb::precond::BlockJacobiOptions opts;
+        opts.backend = backend;
+        opts.max_block_size = 32;
+        const vb::precond::BlockJacobi<double> prec(a, opts);
+        const auto name = prec.name();
+        report(name.c_str(), solve_with(a, prec), prec.setup_seconds());
+    }
+
+    std::printf(
+        "\nThe block-Jacobi variants should need far fewer iterations than "
+        "scalar Jacobi: supervariable blocking recovers the %d-dof node "
+        "blocks and the batched factorizations absorb the intra-node "
+        "coupling.\n",
+        dofs);
+    return 0;
+}

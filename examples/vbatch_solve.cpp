@@ -1,0 +1,199 @@
+// Command-line solver: the "downstream user" entry point.
+//
+//   vbatch_solve [options]
+//     --matrix <file.mtx>     Matrix Market input (default: a built-in
+//                             convection-diffusion test problem)
+//     --suite <case-name>     use a case from the 48-matrix suite instead
+//     --solver idr|bicgstab|gmres|cg          (default idr)
+//     --precond none|jacobi|lu|gh|gh-t|gje|cholesky   (default lu)
+//     --block-size <1..32>    supervariable bound     (default 32)
+//     --rcm                   reverse Cuthill-McKee pre-ordering
+//     --tol <rel. residual>   stopping tolerance      (default 1e-6)
+//     --max-iters <n>         iteration budget        (default 10000)
+//     --idr-s <s>             IDR shadow dimension    (default 4)
+//
+// Prints a MAGMA-sparse-style convergence report.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "blocking/rcm.hpp"
+#include "precond/block_jacobi.hpp"
+#include "precond/scalar_jacobi.hpp"
+#include "solvers/bicgstab.hpp"
+#include "solvers/cg.hpp"
+#include "solvers/gmres.hpp"
+#include "solvers/idr.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/suite.hpp"
+
+namespace vb = vbatch;
+
+namespace {
+
+struct Options {
+    std::string matrix_file;
+    std::string suite_case;
+    std::string solver = "idr";
+    std::string precond = "lu";
+    vb::index_type block_size = 32;
+    bool rcm = false;
+    double tol = 1e-6;
+    vb::index_type max_iters = 10000;
+    vb::index_type idr_s = 4;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+    std::printf(
+        "usage: %s [--matrix f.mtx | --suite case] [--solver "
+        "idr|bicgstab|gmres|cg] [--precond "
+        "none|jacobi|lu|gh|gh-t|gje|cholesky] [--block-size n] [--rcm] "
+        "[--tol t] [--max-iters n] [--idr-s s]\n",
+        argv0);
+    std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (arg == "--matrix") {
+            o.matrix_file = next();
+        } else if (arg == "--suite") {
+            o.suite_case = next();
+        } else if (arg == "--solver") {
+            o.solver = next();
+        } else if (arg == "--precond") {
+            o.precond = next();
+        } else if (arg == "--block-size") {
+            o.block_size = std::atoi(next());
+        } else if (arg == "--rcm") {
+            o.rcm = true;
+        } else if (arg == "--tol") {
+            o.tol = std::atof(next());
+        } else if (arg == "--max-iters") {
+            o.max_iters = std::atoi(next());
+        } else if (arg == "--idr-s") {
+            o.idr_s = std::atoi(next());
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto opts = parse(argc, argv);
+    try {
+        // --- load / build the matrix ---
+        vb::sparse::Csr<double> a = [&] {
+            if (!opts.matrix_file.empty()) {
+                std::printf("reading %s\n", opts.matrix_file.c_str());
+                return vb::sparse::read_matrix_market_file<double>(
+                    opts.matrix_file);
+            }
+            if (!opts.suite_case.empty()) {
+                return vb::sparse::build_suite_matrix(
+                    vb::sparse::suite_case_by_name(opts.suite_case));
+            }
+            return vb::sparse::convection_diffusion_2d<double>(64, 64, 4,
+                                                               20.0, 1);
+        }();
+        std::printf("matrix: n = %d, nnz = %lld\n", a.num_rows(),
+                    static_cast<long long>(a.nnz()));
+
+        std::vector<vb::index_type> perm;
+        if (opts.rcm) {
+            perm = vb::blocking::reverse_cuthill_mckee(a);
+            const auto before = vb::blocking::bandwidth(a);
+            a = vb::blocking::permute_symmetric(
+                a, std::span<const vb::index_type>(perm));
+            std::printf("RCM: bandwidth %d -> %d\n", before,
+                        vb::blocking::bandwidth(a));
+        }
+
+        // --- preconditioner ---
+        std::unique_ptr<vb::precond::Preconditioner<double>> prec;
+        if (opts.precond == "none") {
+            prec = std::make_unique<
+                vb::precond::IdentityPreconditioner<double>>();
+        } else if (opts.precond == "jacobi") {
+            prec = std::make_unique<vb::precond::ScalarJacobi<double>>(a);
+        } else {
+            vb::precond::BlockJacobiOptions bj;
+            bj.max_block_size = opts.block_size;
+            if (opts.precond == "lu") {
+                bj.backend = vb::precond::BlockJacobiBackend::lu;
+            } else if (opts.precond == "gh") {
+                bj.backend = vb::precond::BlockJacobiBackend::gauss_huard;
+            } else if (opts.precond == "gh-t") {
+                bj.backend = vb::precond::BlockJacobiBackend::gauss_huard_t;
+            } else if (opts.precond == "gje") {
+                bj.backend = vb::precond::BlockJacobiBackend::gje_inversion;
+            } else if (opts.precond == "cholesky") {
+                bj.backend = vb::precond::BlockJacobiBackend::cholesky;
+            } else {
+                usage(argv[0]);
+            }
+            prec = std::make_unique<vb::precond::BlockJacobi<double>>(a, bj);
+        }
+        std::printf("preconditioner: %s (setup %.3f ms, %lld blocks)\n",
+                    prec->name().c_str(), prec->setup_seconds() * 1e3,
+                    static_cast<long long>(prec->num_blocks()));
+
+        // --- solve ---
+        std::vector<double> b(static_cast<std::size_t>(a.num_rows()), 1.0);
+        std::vector<double> x(b.size(), 0.0);
+        vb::solvers::SolveResult result;
+        if (opts.solver == "idr") {
+            vb::solvers::IdrOptions so;
+            so.rel_tol = opts.tol;
+            so.max_iters = opts.max_iters;
+            so.s = opts.idr_s;
+            result = vb::solvers::idr(a, std::span<const double>(b),
+                                      std::span<double>(x), *prec, so);
+        } else if (opts.solver == "bicgstab") {
+            vb::solvers::SolverOptions so;
+            so.rel_tol = opts.tol;
+            so.max_iters = opts.max_iters;
+            result = vb::solvers::bicgstab(a, std::span<const double>(b),
+                                           std::span<double>(x), *prec, so);
+        } else if (opts.solver == "gmres") {
+            vb::solvers::GmresOptions so;
+            so.rel_tol = opts.tol;
+            so.max_iters = opts.max_iters;
+            result = vb::solvers::gmres(a, std::span<const double>(b),
+                                        std::span<double>(x), *prec, so);
+        } else if (opts.solver == "cg") {
+            vb::solvers::SolverOptions so;
+            so.rel_tol = opts.tol;
+            so.max_iters = opts.max_iters;
+            result = vb::solvers::cg(a, std::span<const double>(b),
+                                     std::span<double>(x), *prec, so);
+        } else {
+            usage(argv[0]);
+        }
+
+        std::printf("%s: %s after %d iterations, ||r||/||r0|| = %.3e, "
+                    "solve %.3f ms, total %.3f ms\n",
+                    opts.solver.c_str(),
+                    result.converged ? "converged" : "NOT converged",
+                    result.iterations, result.relative_residual(),
+                    result.solve_seconds * 1e3,
+                    (result.solve_seconds + prec->setup_seconds()) * 1e3);
+        return result.converged ? 0 : 1;
+    } catch (const vb::Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

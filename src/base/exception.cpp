@@ -1,0 +1,23 @@
+#include "base/macros.hpp"
+
+#include <sstream>
+
+namespace vbatch::detail {
+
+void throw_bad_parameter(const char* file, int line, const char* cond,
+                         const std::string& msg) {
+    std::ostringstream os;
+    os << file << ":" << line << ": precondition violated: " << cond;
+    if (!msg.empty()) {
+        os << " (" << msg << ")";
+    }
+    throw BadParameter(os.str());
+}
+
+void throw_dimension_mismatch(const char* file, int line, const char* cond) {
+    std::ostringstream os;
+    os << file << ":" << line << ": dimension mismatch: " << cond;
+    throw DimensionMismatch(os.str());
+}
+
+}  // namespace vbatch::detail

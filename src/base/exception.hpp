@@ -1,0 +1,59 @@
+// Exception hierarchy for the vbatch library.
+//
+// All failures that can reach a user of the public API derive from
+// vbatch::Error (itself a std::runtime_error), so a caller can either catch
+// the fine-grained type or the whole family.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vbatch {
+
+/// Root of the vbatch exception hierarchy.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A public API precondition on a parameter value was violated.
+class BadParameter : public Error {
+public:
+    explicit BadParameter(const std::string& what) : Error(what) {}
+};
+
+/// Operand dimensions are inconsistent (e.g. A is m x n but b has k rows).
+class DimensionMismatch : public Error {
+public:
+    explicit DimensionMismatch(const std::string& what) : Error(what) {}
+};
+
+/// A matrix that must be invertible turned out to be (numerically) singular.
+/// Carries the batch entry and elimination step at which breakdown occurred.
+class SingularMatrix : public Error {
+public:
+    SingularMatrix(const std::string& what, long batch_index, int step)
+        : Error(what), batch_index_(batch_index), step_(step) {}
+
+    long batch_index() const noexcept { return batch_index_; }
+    int step() const noexcept { return step_; }
+
+private:
+    long batch_index_;
+    int step_;
+};
+
+/// The requested combination of options is not implemented by this backend
+/// (mirrors e.g. cuBLAS' lack of variable-size batched kernels).
+class NotSupported : public Error {
+public:
+    explicit NotSupported(const std::string& what) : Error(what) {}
+};
+
+/// File or stream I/O failure (Matrix Market reader/writer, result dumps).
+class IoError : public Error {
+public:
+    explicit IoError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace vbatch

@@ -1,0 +1,48 @@
+// Contract and error-reporting macros used across all vbatch subsystems.
+//
+// Two tiers:
+//   VBATCH_ASSERT(cond)  - internal invariant; compiled out in NDEBUG builds.
+//   VBATCH_ENSURE(cond, msg) - precondition on public API input; always
+//                              checked, throws vbatch::BadParameter.
+//
+// Following the C++ Core Guidelines (I.6/I.8, E.12), broken preconditions on
+// public entry points are reported via exceptions so a caller can recover;
+// broken internal invariants abort in debug builds.
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <string>
+
+#include "base/exception.hpp"
+
+#define VBATCH_ASSERT(cond) assert(cond)
+
+#define VBATCH_ENSURE(cond, msg)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::vbatch::detail::throw_bad_parameter(__FILE__, __LINE__,     \
+                                                  #cond, (msg));          \
+        }                                                                 \
+    } while (false)
+
+#define VBATCH_ENSURE_DIMS(cond)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::vbatch::detail::throw_dimension_mismatch(__FILE__,          \
+                                                       __LINE__, #cond);  \
+        }                                                                 \
+    } while (false)
+
+#define VBATCH_THROW_NOT_SUPPORTED(what)                                  \
+    throw ::vbatch::NotSupported(std::string(__func__) + ": " + (what))
+
+namespace vbatch::detail {
+
+[[noreturn]] void throw_bad_parameter(const char* file, int line,
+                                      const char* cond,
+                                      const std::string& msg);
+[[noreturn]] void throw_dimension_mismatch(const char* file, int line,
+                                           const char* cond);
+
+}  // namespace vbatch::detail

@@ -1,0 +1,113 @@
+// Non-owning 2-D views over column-major storage.
+//
+// MatrixView / ConstMatrixView are the library's equivalent of a (pointer,
+// leading-dimension) pair in classic BLAS interfaces, with bounds checking
+// in debug builds. They are trivially copyable value types (C.67 does not
+// apply: no polymorphism) and never own memory.
+#pragma once
+
+#include <cstddef>
+
+#include "base/macros.hpp"
+#include "base/types.hpp"
+
+namespace vbatch {
+
+/// Mutable view of an m x n column-major matrix with leading dimension ld.
+template <typename T>
+class MatrixView {
+public:
+    MatrixView() noexcept : data_(nullptr), rows_(0), cols_(0), ld_(0) {}
+
+    MatrixView(T* data, index_type rows, index_type cols,
+               index_type ld) noexcept
+        : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+        VBATCH_ASSERT(ld >= rows);
+    }
+
+    /// Contiguous view (ld == rows).
+    MatrixView(T* data, index_type rows, index_type cols) noexcept
+        : MatrixView(data, rows, cols, rows) {}
+
+    T& operator()(index_type i, index_type j) const noexcept {
+        VBATCH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+        return data_[static_cast<std::size_t>(j) * ld_ + i];
+    }
+
+    T* data() const noexcept { return data_; }
+    index_type rows() const noexcept { return rows_; }
+    index_type cols() const noexcept { return cols_; }
+    index_type ld() const noexcept { return ld_; }
+    bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+    /// Pointer to the top of column j.
+    T* col(index_type j) const noexcept {
+        VBATCH_ASSERT(j >= 0 && j < cols_);
+        return data_ + static_cast<std::size_t>(j) * ld_;
+    }
+
+    /// Sub-view of rows [r0, r0+nr) x cols [c0, c0+nc).
+    MatrixView submatrix(index_type r0, index_type c0, index_type nr,
+                         index_type nc) const noexcept {
+        VBATCH_ASSERT(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ &&
+                      c0 + nc <= cols_);
+        return {data_ + static_cast<std::size_t>(c0) * ld_ + r0, nr, nc, ld_};
+    }
+
+private:
+    T* data_;
+    index_type rows_;
+    index_type cols_;
+    index_type ld_;
+};
+
+/// Read-only counterpart of MatrixView.
+template <typename T>
+class ConstMatrixView {
+public:
+    ConstMatrixView() noexcept : data_(nullptr), rows_(0), cols_(0), ld_(0) {}
+
+    ConstMatrixView(const T* data, index_type rows, index_type cols,
+                    index_type ld) noexcept
+        : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+        VBATCH_ASSERT(ld >= rows);
+    }
+
+    ConstMatrixView(const T* data, index_type rows, index_type cols) noexcept
+        : ConstMatrixView(data, rows, cols, rows) {}
+
+    /// Implicit conversion from the mutable view.
+    ConstMatrixView(MatrixView<T> v) noexcept
+        : data_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+    const T& operator()(index_type i, index_type j) const noexcept {
+        VBATCH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+        return data_[static_cast<std::size_t>(j) * ld_ + i];
+    }
+
+    const T* data() const noexcept { return data_; }
+    index_type rows() const noexcept { return rows_; }
+    index_type cols() const noexcept { return cols_; }
+    index_type ld() const noexcept { return ld_; }
+    bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+    const T* col(index_type j) const noexcept {
+        VBATCH_ASSERT(j >= 0 && j < cols_);
+        return data_ + static_cast<std::size_t>(j) * ld_;
+    }
+
+    ConstMatrixView submatrix(index_type r0, index_type c0, index_type nr,
+                              index_type nc) const noexcept {
+        VBATCH_ASSERT(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ &&
+                      c0 + nc <= cols_);
+        return {data_ + static_cast<std::size_t>(c0) * ld_ + r0, nr, nc, ld_};
+    }
+
+private:
+    const T* data_;
+    index_type rows_;
+    index_type cols_;
+    index_type ld_;
+};
+
+}  // namespace vbatch

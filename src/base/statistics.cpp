@@ -1,0 +1,99 @@
+#include "base/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/macros.hpp"
+
+namespace vbatch {
+
+Summary summarize(std::vector<double> values) {
+    Summary s;
+    s.count = static_cast<size_type>(values.size());
+    if (values.empty()) {
+        return s;
+    }
+    std::sort(values.begin(), values.end());
+    s.min = values.front();
+    s.max = values.back();
+    const auto n = values.size();
+    double sum = 0.0;
+    for (const double v : values) {
+        sum += v;
+    }
+    s.mean = sum / static_cast<double>(n);
+    s.median = (n % 2 == 1) ? values[n / 2]
+                            : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+    double ss = 0.0;
+    for (const double v : values) {
+        ss += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = (n > 1) ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+    return s;
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / bins), counts_(bins, 0) {
+    VBATCH_ENSURE(hi > lo, "histogram range must be non-empty");
+    VBATCH_ENSURE(bins > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double value) {
+    ++total_;
+    if (value < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (value >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto b = static_cast<std::size_t>((value - lo_) / bucket_width_);
+    b = std::min(b, counts_.size() - 1);
+    ++counts_[b];
+}
+
+size_type Histogram::count(int b) const {
+    VBATCH_ENSURE(b >= 0 && b < bins(), "bucket out of range");
+    return counts_[static_cast<std::size_t>(b)];
+}
+
+double Histogram::edge(int b) const {
+    VBATCH_ENSURE(b >= 0 && b <= bins(), "edge out of range");
+    return lo_ + b * bucket_width_;
+}
+
+double Histogram::center(int b) const {
+    return edge(b) + 0.5 * bucket_width_;
+}
+
+std::string Histogram::render(int width) const {
+    size_type peak = std::max<size_type>(1, std::max(underflow_, overflow_));
+    for (const auto c : counts_) {
+        peak = std::max(peak, c);
+    }
+    std::ostringstream os;
+    auto bar = [&](size_type c) {
+        const int len = static_cast<int>((c * width) / peak);
+        return std::string(static_cast<std::size_t>(len), '#');
+    };
+    if (underflow_ > 0) {
+        os << "  <" << lo_ << "  | " << bar(underflow_) << " " << underflow_
+           << "\n";
+    }
+    for (int b = 0; b < bins(); ++b) {
+        os.setf(std::ios::fixed);
+        os.precision(1);
+        os << "  " << edge(b) << " .. " << edge(b + 1) << " | "
+           << bar(counts_[static_cast<std::size_t>(b)]) << " "
+           << counts_[static_cast<std::size_t>(b)] << "\n";
+    }
+    if (overflow_ > 0) {
+        os << "  >=" << hi_ << " | " << bar(overflow_) << " " << overflow_
+           << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace vbatch

@@ -1,0 +1,59 @@
+// Small descriptive-statistics helpers for the benchmark harness and the
+// convergence study (Fig. 8 histogram).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace vbatch {
+
+/// Summary of a sample of real values.
+struct Summary {
+    size_type count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double median = 0.0;
+    double stddev = 0.0;
+};
+
+/// Compute a five-number-ish summary; empty input yields a zero Summary.
+Summary summarize(std::vector<double> values);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets plus two
+/// overflow buckets. Used for the Fig. 8 iteration-overhead histogram.
+class Histogram {
+public:
+    Histogram(double lo, double hi, int bins);
+
+    void add(double value);
+
+    int bins() const noexcept { return static_cast<int>(counts_.size()); }
+    /// Count in bucket b (0 = underflow, bins()+1... no: buckets are
+    /// [0, bins) interior; use underflow()/overflow() for the tails).
+    size_type count(int b) const;
+    size_type underflow() const noexcept { return underflow_; }
+    size_type overflow() const noexcept { return overflow_; }
+    size_type total() const noexcept { return total_; }
+
+    /// Center of bucket b.
+    double center(int b) const;
+    /// Lower edge of bucket b.
+    double edge(int b) const;
+
+    /// Render a left/right bar chart as ASCII art (used by bench_fig8).
+    std::string render(int width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    double bucket_width_;
+    std::vector<size_type> counts_;
+    size_type underflow_ = 0;
+    size_type overflow_ = 0;
+    size_type total_ = 0;
+};
+
+}  // namespace vbatch

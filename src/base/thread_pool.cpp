@@ -1,0 +1,123 @@
+#include "base/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "base/macros.hpp"
+
+namespace vbatch {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+    if (num_threads == 0) {
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    // The calling thread always participates, so spawn one fewer worker.
+    workers_.reserve(num_threads - 1);
+    for (unsigned i = 0; i + 1 < num_threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool;
+    return pool;
+}
+
+void ThreadPool::drain(ParallelJob& job) {
+    const size_type grain = job.grain;
+    for (;;) {
+        const size_type i = job.next.fetch_add(grain,
+                                               std::memory_order_relaxed);
+        if (i >= job.end) {
+            break;
+        }
+        const size_type hi = std::min(i + grain, job.end);
+        for (size_type k = i; k < hi; ++k) {
+            (*job.body)(k);
+        }
+    }
+}
+
+void ThreadPool::worker_loop() {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        ParallelJob* job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] {
+                return shutdown_ || (job_ != nullptr &&
+                                     job_epoch_ != seen_epoch);
+            });
+            if (shutdown_) {
+                return;
+            }
+            job = job_;
+            seen_epoch = job_epoch_;
+        }
+        drain(*job);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job->active_workers.fetch_sub(1, std::memory_order_relaxed);
+        }
+        done_cv_.notify_all();
+    }
+}
+
+void ThreadPool::parallel_for(size_type begin, size_type end,
+                              const std::function<void(size_type)>& body,
+                              size_type grain) {
+    VBATCH_ENSURE(begin <= end, "empty or reversed range");
+    const size_type n = end - begin;
+    if (n == 0) {
+        return;
+    }
+    if (grain <= 0) {
+        // Aim for ~8 chunks per participant to balance load without
+        // excessive atomic traffic.
+        grain = std::max<size_type>(1, n / (8 * size()));
+    }
+    if (workers_.empty() || n <= grain) {
+        for (size_type i = begin; i < end; ++i) {
+            body(i);
+        }
+        return;
+    }
+
+    // Shift the job to operate on [0, n) internally and offset in the body.
+    const std::function<void(size_type)> shifted = [&](size_type i) {
+        body(begin + i);
+    };
+    ParallelJob job;
+    job.body = &shifted;
+    job.end = n;
+    job.grain = grain;
+    job.active_workers.store(static_cast<int>(workers_.size()),
+                             std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &job;
+        ++job_epoch_;
+    }
+    cv_.notify_all();
+    drain(job);
+    // Wait for workers still inside drain() before the job leaves scope.
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] {
+            return job.active_workers.load(std::memory_order_relaxed) == 0;
+        });
+        job_ = nullptr;
+    }
+}
+
+}  // namespace vbatch

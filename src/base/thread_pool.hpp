@@ -1,0 +1,68 @@
+// Minimal work-sharing thread pool used to dispatch independent batch
+// entries across host cores.
+//
+// Design notes (CP.4, CP.3): users submit *tasks* via parallel_for; the
+// pool never exposes raw threads. Tasks must not share writable state --
+// the batched kernels satisfy this by construction because every batch
+// entry owns a disjoint slice of the storage.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace vbatch {
+
+class ThreadPool {
+public:
+    /// Create a pool with `num_threads` workers; 0 means
+    /// hardware_concurrency() (at least 1).
+    explicit ThreadPool(unsigned num_threads = 0);
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool();
+
+    unsigned size() const noexcept {
+        return static_cast<unsigned>(workers_.size()) + 1;  // + caller
+    }
+
+    /// Run body(i) for every i in [begin, end). Blocks until all iterations
+    /// are done. Iterations are distributed in contiguous chunks of
+    /// `grain` (0 = choose automatically). The calling thread participates.
+    /// body must be safe to invoke concurrently for distinct i.
+    void parallel_for(size_type begin, size_type end,
+                      const std::function<void(size_type)>& body,
+                      size_type grain = 0);
+
+    /// The process-wide default pool (sized to the hardware).
+    static ThreadPool& global();
+
+private:
+    struct ParallelJob {
+        const std::function<void(size_type)>* body = nullptr;
+        std::atomic<size_type> next{0};
+        size_type end = 0;
+        size_type grain = 1;
+        std::atomic<int> active_workers{0};
+    };
+
+    void worker_loop();
+    static void drain(ParallelJob& job);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    ParallelJob* job_ = nullptr;     // guarded by mutex_
+    std::uint64_t job_epoch_ = 0;    // guarded by mutex_
+    bool shutdown_ = false;          // guarded by mutex_
+    std::condition_variable done_cv_;
+};
+
+}  // namespace vbatch

@@ -1,0 +1,43 @@
+// Wall-clock timing utilities for benchmarks and the solver harness.
+#pragma once
+
+#include <chrono>
+
+namespace vbatch {
+
+/// Monotonic wall-clock stopwatch. Construction starts the clock.
+class Timer {
+public:
+    Timer() noexcept : start_(clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() noexcept { start_ = clock::now(); }
+
+    /// Elapsed seconds since construction / last reset().
+    double seconds() const noexcept {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    double milliseconds() const noexcept { return seconds() * 1e3; }
+    double microseconds() const noexcept { return seconds() * 1e6; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Adds the scope's elapsed wall time to an accumulator on destruction.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(double& accumulator) noexcept
+        : accumulator_(accumulator) {}
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer() { accumulator_ += timer_.seconds(); }
+
+private:
+    double& accumulator_;
+    Timer timer_;
+};
+
+}  // namespace vbatch

@@ -1,0 +1,57 @@
+// Fundamental scalar/index types and compile-time constants shared across
+// the library.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace vbatch {
+
+/// Index type for matrix dimensions and sparse structures. 32-bit signed,
+/// matching the convention of MAGMA/cuSPARSE batched interfaces.
+using index_type = std::int32_t;
+
+/// Index type for global element counts (nnz of large sparse matrices,
+/// flop counters) that can exceed 2^31.
+using size_type = std::int64_t;
+
+/// The warp width of the emulated device; also the maximum supported block
+/// size of the small-size batched kernels (the paper targets 4x4 .. 32x32,
+/// one matrix row per warp lane).
+inline constexpr index_type warp_size = 32;
+
+/// Upper bound on diagonal block size accepted by the batched kernels.
+inline constexpr index_type max_block_size = warp_size;
+
+/// True for the scalar types the batched kernels are instantiated for.
+template <typename T>
+inline constexpr bool is_supported_scalar_v =
+    std::is_same_v<T, float> || std::is_same_v<T, double>;
+
+/// Human-readable precision tag used in benchmark output.
+template <typename T>
+std::string precision_name() {
+    if constexpr (std::is_same_v<T, float>) {
+        return "single";
+    } else if constexpr (std::is_same_v<T, double>) {
+        return "double";
+    } else {
+        return "unknown";
+    }
+}
+
+/// remove_complex<T> maps std::complex<U> -> U and T -> T otherwise.
+template <typename T>
+struct remove_complex {
+    using type = T;
+};
+template <typename U>
+struct remove_complex<std::complex<U>> {
+    using type = U;
+};
+template <typename T>
+using remove_complex_t = typename remove_complex<T>::type;
+
+}  // namespace vbatch

@@ -1,0 +1,98 @@
+// Level-1 BLAS over contiguous vectors (std::span-style raw ranges).
+//
+// These back the Krylov solvers and the reference factorizations; the
+// batched kernels have their own fused register-level implementations.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "base/macros.hpp"
+#include "base/types.hpp"
+
+namespace vbatch::blas {
+
+/// y := alpha * x + y
+template <typename T>
+void axpy(T alpha, std::span<const T> x, std::span<T> y) {
+    VBATCH_ENSURE_DIMS(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// y := x + beta * y
+template <typename T>
+void xpby(std::span<const T> x, T beta, std::span<T> y) {
+    VBATCH_ENSURE_DIMS(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] = x[i] + beta * y[i];
+    }
+}
+
+/// x := alpha * x
+template <typename T>
+void scal(T alpha, std::span<T> x) {
+    for (auto& v : x) {
+        v *= alpha;
+    }
+}
+
+template <typename T>
+void copy(std::span<const T> x, std::span<T> y) {
+    VBATCH_ENSURE_DIMS(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] = x[i];
+    }
+}
+
+template <typename T>
+void fill(std::span<T> x, T value) {
+    for (auto& v : x) {
+        v = value;
+    }
+}
+
+template <typename T>
+T dot(std::span<const T> x, std::span<const T> y) {
+    VBATCH_ENSURE_DIMS(x.size() == y.size());
+    T acc{};
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        acc += x[i] * y[i];
+    }
+    return acc;
+}
+
+template <typename T>
+T nrm2(std::span<const T> x) {
+    // Two-pass scaled norm would be overkill for the well-scaled residual
+    // vectors here; plain sum of squares with sqrt is what MAGMA-sparse
+    // uses as well.
+    return std::sqrt(dot(x, x));
+}
+
+template <typename T>
+T asum(std::span<const T> x) {
+    T acc{};
+    for (const auto& v : x) {
+        acc += std::abs(v);
+    }
+    return acc;
+}
+
+/// Index of the entry with largest magnitude (first on ties); -1 if empty.
+template <typename T>
+index_type iamax(std::span<const T> x) {
+    index_type best = -1;
+    T best_val{};
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const T a = std::abs(x[i]);
+        if (best < 0 || a > best_val) {
+            best = static_cast<index_type>(i);
+            best_val = a;
+        }
+    }
+    return best;
+}
+
+}  // namespace vbatch::blas

@@ -1,0 +1,101 @@
+// Level-2 BLAS on column-major matrix views.
+#pragma once
+
+#include <span>
+#include <type_traits>
+
+#include "base/macros.hpp"
+#include "base/span2d.hpp"
+#include "base/types.hpp"
+
+namespace vbatch::blas {
+
+/// y := alpha * A * x + beta * y
+template <typename T>
+void gemv(T alpha, std::type_identity_t<ConstMatrixView<T>> a, std::span<const T> x, T beta,
+          std::span<T> y) {
+    VBATCH_ENSURE_DIMS(a.cols() == static_cast<index_type>(x.size()));
+    VBATCH_ENSURE_DIMS(a.rows() == static_cast<index_type>(y.size()));
+    for (index_type i = 0; i < a.rows(); ++i) {
+        y[i] *= beta;
+    }
+    // Column-major: iterate columns outer for stride-1 inner access.
+    for (index_type j = 0; j < a.cols(); ++j) {
+        const T xj = alpha * x[j];
+        const T* col = a.col(j);
+        for (index_type i = 0; i < a.rows(); ++i) {
+            y[i] += col[i] * xj;
+        }
+    }
+}
+
+/// y := alpha * A^T * x + beta * y
+template <typename T>
+void gemv_t(T alpha, std::type_identity_t<ConstMatrixView<T>> a, std::span<const T> x, T beta,
+            std::span<T> y) {
+    VBATCH_ENSURE_DIMS(a.rows() == static_cast<index_type>(x.size()));
+    VBATCH_ENSURE_DIMS(a.cols() == static_cast<index_type>(y.size()));
+    for (index_type j = 0; j < a.cols(); ++j) {
+        const T* col = a.col(j);
+        T acc{};
+        for (index_type i = 0; i < a.rows(); ++i) {
+            acc += col[i] * x[i];
+        }
+        y[j] = alpha * acc + beta * y[j];
+    }
+}
+
+/// A := A + alpha * x * y^T (rank-1 update)
+template <typename T>
+void ger(T alpha, std::span<const T> x, std::span<const T> y,
+         MatrixView<T> a) {
+    VBATCH_ENSURE_DIMS(a.rows() == static_cast<index_type>(x.size()));
+    VBATCH_ENSURE_DIMS(a.cols() == static_cast<index_type>(y.size()));
+    for (index_type j = 0; j < a.cols(); ++j) {
+        const T yj = alpha * y[j];
+        T* col = a.col(j);
+        for (index_type i = 0; i < a.rows(); ++i) {
+            col[i] += x[i] * yj;
+        }
+    }
+}
+
+enum class Uplo { lower, upper };
+enum class Diag { unit, non_unit };
+
+/// In-place dense triangular solve: x := op(T)^-1 x with op = identity.
+/// This is the reference (non-batched) TRSV used to validate the batched
+/// kernels and inside the reference getrs.
+template <typename T>
+void trsv(Uplo uplo, Diag diag, std::type_identity_t<ConstMatrixView<T>> a, std::span<T> x) {
+    VBATCH_ENSURE_DIMS(a.rows() == a.cols());
+    VBATCH_ENSURE_DIMS(a.rows() == static_cast<index_type>(x.size()));
+    const index_type n = a.rows();
+    if (uplo == Uplo::lower) {
+        // Eager (column-oriented) forward substitution.
+        for (index_type k = 0; k < n; ++k) {
+            if (diag == Diag::non_unit) {
+                x[k] /= a(k, k);
+            }
+            const T xk = x[k];
+            const T* col = a.col(k);
+            for (index_type i = k + 1; i < n; ++i) {
+                x[i] -= col[i] * xk;
+            }
+        }
+    } else {
+        // Eager backward substitution.
+        for (index_type k = n - 1; k >= 0; --k) {
+            if (diag == Diag::non_unit) {
+                x[k] /= a(k, k);
+            }
+            const T xk = x[k];
+            const T* col = a.col(k);
+            for (index_type i = 0; i < k; ++i) {
+                x[i] -= col[i] * xk;
+            }
+        }
+    }
+}
+
+}  // namespace vbatch::blas

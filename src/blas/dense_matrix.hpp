@@ -1,0 +1,130 @@
+// Owning column-major dense matrix.
+//
+// This is the substrate type used for reference factorizations, the dense
+// working sets of the Krylov solvers (IDR's shadow space), and test
+// fixtures. Hot batched storage does NOT use one DenseMatrix per block --
+// batches use a single packed allocation (core/batch_layout.hpp).
+#pragma once
+
+#include <initializer_list>
+#include <utility>
+
+#include "base/macros.hpp"
+#include "base/memory.hpp"
+#include "base/random.hpp"
+#include "base/span2d.hpp"
+#include "base/types.hpp"
+
+namespace vbatch {
+
+template <typename T>
+class DenseMatrix {
+public:
+    DenseMatrix() : rows_(0), cols_(0) {}
+
+    /// Uninitialized m x n matrix.
+    DenseMatrix(index_type rows, index_type cols)
+        : rows_(rows), cols_(cols),
+          data_(static_cast<size_type>(rows) * cols) {
+        VBATCH_ENSURE(rows >= 0 && cols >= 0, "negative dimension");
+    }
+
+    /// Row-major initializer list (written the way the math reads).
+    DenseMatrix(std::initializer_list<std::initializer_list<T>> rows)
+        : DenseMatrix(static_cast<index_type>(rows.size()),
+                      rows.size() == 0
+                          ? 0
+                          : static_cast<index_type>(rows.begin()->size())) {
+        index_type i = 0;
+        for (const auto& r : rows) {
+            VBATCH_ENSURE(static_cast<index_type>(r.size()) == cols_,
+                          "ragged initializer");
+            index_type j = 0;
+            for (const auto& v : r) {
+                (*this)(i, j) = v;
+                ++j;
+            }
+            ++i;
+        }
+    }
+
+    static DenseMatrix zeros(index_type rows, index_type cols) {
+        DenseMatrix m(rows, cols);
+        for (auto& v : m.data_) {
+            v = T{};
+        }
+        return m;
+    }
+
+    static DenseMatrix identity(index_type n) {
+        auto m = zeros(n, n);
+        for (index_type i = 0; i < n; ++i) {
+            m(i, i) = T{1};
+        }
+        return m;
+    }
+
+    /// Random matrix with entries in [-1, 1], deterministic in (seed).
+    static DenseMatrix random(index_type rows, index_type cols,
+                              std::uint64_t seed) {
+        DenseMatrix m(rows, cols);
+        auto eng = make_engine(seed);
+        for (auto& v : m.data_) {
+            v = uniform<T>(eng, T{-1}, T{1});
+        }
+        return m;
+    }
+
+    /// Random diagonally-dominant matrix: always non-singular, the standard
+    /// well-conditioned test block for the batched kernels.
+    static DenseMatrix random_diagonally_dominant(index_type n,
+                                                  std::uint64_t seed) {
+        auto m = random(n, n, seed);
+        for (index_type i = 0; i < n; ++i) {
+            T row_sum = T{};
+            for (index_type j = 0; j < n; ++j) {
+                row_sum += std::abs(m(i, j));
+            }
+            m(i, i) = row_sum + T{1};
+        }
+        return m;
+    }
+
+    index_type rows() const noexcept { return rows_; }
+    index_type cols() const noexcept { return cols_; }
+    size_type size() const noexcept { return data_.size(); }
+
+    T& operator()(index_type i, index_type j) noexcept {
+        VBATCH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+        return data_[static_cast<size_type>(j) * rows_ + i];
+    }
+    const T& operator()(index_type i, index_type j) const noexcept {
+        VBATCH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+        return data_[static_cast<size_type>(j) * rows_ + i];
+    }
+
+    T* data() noexcept { return data_.data(); }
+    const T* data() const noexcept { return data_.data(); }
+
+    MatrixView<T> view() noexcept { return {data(), rows_, cols_, rows_}; }
+    ConstMatrixView<T> view() const noexcept {
+        return {data(), rows_, cols_, rows_};
+    }
+    operator MatrixView<T>() noexcept { return view(); }
+    operator ConstMatrixView<T>() const noexcept { return view(); }
+
+    DenseMatrix clone() const {
+        DenseMatrix m(rows_, cols_);
+        for (size_type i = 0; i < data_.size(); ++i) {
+            m.data_[i] = data_[i];
+        }
+        return m;
+    }
+
+private:
+    index_type rows_;
+    index_type cols_;
+    AlignedBuffer<T> data_;
+};
+
+}  // namespace vbatch

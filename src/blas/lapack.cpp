@@ -1,0 +1,218 @@
+#include "blas/lapack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "base/macros.hpp"
+#include "blas/blas2.hpp"
+#include "blas/dense_matrix.hpp"
+
+namespace vbatch::lapack {
+
+template <typename T>
+index_type getrf(MatrixView<T> a, std::span<index_type> ipiv) {
+    VBATCH_ENSURE_DIMS(a.rows() == a.cols());
+    VBATCH_ENSURE_DIMS(static_cast<index_type>(ipiv.size()) >= a.rows());
+    const index_type n = a.rows();
+    index_type info = 0;
+    for (index_type k = 0; k < n; ++k) {
+        // Pivot search in column k, rows k..n-1.
+        index_type piv = k;
+        T piv_val = std::abs(a(k, k));
+        for (index_type i = k + 1; i < n; ++i) {
+            const T v = std::abs(a(i, k));
+            if (v > piv_val) {
+                piv_val = v;
+                piv = i;
+            }
+        }
+        ipiv[k] = piv;
+        if (piv_val == T{}) {
+            if (info == 0) {
+                info = k + 1;
+            }
+            continue;  // LAPACK keeps going; the factor is singular.
+        }
+        if (piv != k) {
+            for (index_type j = 0; j < n; ++j) {
+                std::swap(a(k, j), a(piv, j));
+            }
+        }
+        // SCAL + GER (right-looking update).
+        const T d = a(k, k);
+        for (index_type i = k + 1; i < n; ++i) {
+            a(i, k) /= d;
+        }
+        for (index_type j = k + 1; j < n; ++j) {
+            const T akj = a(k, j);
+            T* col = a.col(j);
+            for (index_type i = k + 1; i < n; ++i) {
+                col[i] -= a(i, k) * akj;
+            }
+        }
+    }
+    return info;
+}
+
+template <typename T>
+void laswp(std::span<const index_type> ipiv, std::span<T> b) {
+    for (std::size_t k = 0; k < ipiv.size(); ++k) {
+        const auto p = static_cast<std::size_t>(ipiv[k]);
+        if (p != k) {
+            std::swap(b[k], b[p]);
+        }
+    }
+}
+
+template <typename T>
+void getrs(ConstMatrixView<T> lu, std::span<const index_type> ipiv,
+           std::span<T> b) {
+    VBATCH_ENSURE_DIMS(lu.rows() == lu.cols());
+    VBATCH_ENSURE_DIMS(lu.rows() == static_cast<index_type>(b.size()));
+    laswp(ipiv, b);
+    blas::trsv(blas::Uplo::lower, blas::Diag::unit, lu, b);
+    blas::trsv(blas::Uplo::upper, blas::Diag::non_unit, lu, b);
+}
+
+template <typename T>
+index_type gesv(ConstMatrixView<T> a, std::span<T> b) {
+    const index_type n = a.rows();
+    DenseMatrix<T> lu(n, n);
+    for (index_type j = 0; j < n; ++j) {
+        for (index_type i = 0; i < n; ++i) {
+            lu(i, j) = a(i, j);
+        }
+    }
+    std::vector<index_type> ipiv(static_cast<std::size_t>(n));
+    const index_type info = getrf<T>(lu.view(), ipiv);
+    if (info == 0) {
+        getrs<T>(lu.view(), ipiv, b);
+    }
+    return info;
+}
+
+template <typename T>
+index_type invert(ConstMatrixView<T> a, MatrixView<T> inv) {
+    VBATCH_ENSURE_DIMS(a.rows() == a.cols());
+    VBATCH_ENSURE_DIMS(inv.rows() == a.rows() && inv.cols() == a.cols());
+    const index_type n = a.rows();
+    DenseMatrix<T> lu(n, n);
+    for (index_type j = 0; j < n; ++j) {
+        for (index_type i = 0; i < n; ++i) {
+            lu(i, j) = a(i, j);
+        }
+    }
+    std::vector<index_type> ipiv(static_cast<std::size_t>(n));
+    const index_type info = getrf<T>(lu.view(), ipiv);
+    if (info != 0) {
+        return info;
+    }
+    std::vector<T> e(static_cast<std::size_t>(n));
+    for (index_type j = 0; j < n; ++j) {
+        for (auto& v : e) {
+            v = T{};
+        }
+        e[static_cast<std::size_t>(j)] = T{1};
+        getrs<T>(lu.view(), ipiv, e);
+        for (index_type i = 0; i < n; ++i) {
+            inv(i, j) = e[static_cast<std::size_t>(i)];
+        }
+    }
+    return 0;
+}
+
+template <typename T>
+T norm_inf(ConstMatrixView<T> a) {
+    T best{};
+    for (index_type i = 0; i < a.rows(); ++i) {
+        T row{};
+        for (index_type j = 0; j < a.cols(); ++j) {
+            row += std::abs(a(i, j));
+        }
+        best = std::max(best, row);
+    }
+    return best;
+}
+
+template <typename T>
+T factorization_residual(ConstMatrixView<T> a, ConstMatrixView<T> lu,
+                         std::span<const index_type> ipiv) {
+    VBATCH_ENSURE_DIMS(a.rows() == a.cols());
+    VBATCH_ENSURE_DIMS(lu.rows() == a.rows() && lu.cols() == a.cols());
+    const index_type n = a.rows();
+    // Build PA by applying the recorded swaps to a copy of A's rows.
+    DenseMatrix<T> pa(n, n);
+    std::vector<index_type> perm(static_cast<std::size_t>(n));
+    for (index_type i = 0; i < n; ++i) {
+        perm[static_cast<std::size_t>(i)] = i;
+    }
+    for (std::size_t k = 0; k < ipiv.size() && k < perm.size(); ++k) {
+        std::swap(perm[k], perm[static_cast<std::size_t>(ipiv[k])]);
+    }
+    for (index_type i = 0; i < n; ++i) {
+        for (index_type j = 0; j < n; ++j) {
+            pa(i, j) = a(perm[static_cast<std::size_t>(i)], j);
+        }
+    }
+    // R = PA - L*U.
+    T err{};
+    for (index_type i = 0; i < n; ++i) {
+        T row_err{};
+        for (index_type j = 0; j < n; ++j) {
+            T acc{};
+            const index_type kmax = std::min(i, j);
+            for (index_type k = 0; k <= kmax; ++k) {
+                const T lik = (k == i) ? T{1} : lu(i, k);
+                acc += lik * lu(k, j);
+            }
+            row_err += std::abs(pa(i, j) - acc);
+        }
+        err = std::max(err, row_err);
+    }
+    const T na = norm_inf(a);
+    return na > T{} ? err / na : err;
+}
+
+template <typename T>
+T condition_number_1(ConstMatrixView<T> a) {
+    const index_type n = a.rows();
+    DenseMatrix<T> inv(n, n);
+    if (invert(a, inv.view()) != 0) {
+        return std::numeric_limits<T>::infinity();
+    }
+    auto norm1 = [](ConstMatrixView<T> m) {
+        T best{};
+        for (index_type j = 0; j < m.cols(); ++j) {
+            T col{};
+            for (index_type i = 0; i < m.rows(); ++i) {
+                col += std::abs(m(i, j));
+            }
+            best = std::max(best, col);
+        }
+        return best;
+    };
+    return norm1(a) * norm1(inv.view());
+}
+
+// Explicit instantiations for the supported scalar types.
+#define VBATCH_INSTANTIATE_LAPACK(T)                                        \
+    template index_type getrf<T>(MatrixView<T>, std::span<index_type>);     \
+    template void laswp<T>(std::span<const index_type>, std::span<T>);      \
+    template void getrs<T>(ConstMatrixView<T>, std::span<const index_type>, \
+                           std::span<T>);                                   \
+    template index_type gesv<T>(ConstMatrixView<T>, std::span<T>);          \
+    template index_type invert<T>(ConstMatrixView<T>, MatrixView<T>);       \
+    template T norm_inf<T>(ConstMatrixView<T>);                             \
+    template T factorization_residual<T>(ConstMatrixView<T>,                \
+                                         ConstMatrixView<T>,                \
+                                         std::span<const index_type>);      \
+    template T condition_number_1<T>(ConstMatrixView<T>)
+
+VBATCH_INSTANTIATE_LAPACK(float);
+VBATCH_INSTANTIATE_LAPACK(double);
+
+#undef VBATCH_INSTANTIATE_LAPACK
+
+}  // namespace vbatch::lapack

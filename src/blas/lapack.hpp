@@ -1,0 +1,59 @@
+// Reference LAPACK-style routines on dense views.
+//
+// These are the ground truth the batched kernels are validated against
+// (tests/) and the dense fallback used by the solvers for their small
+// internal systems. They follow the textbook algorithms of Golub & Van
+// Loan cited by the paper (Section II.B): right-looking LU with partial
+// pivoting, explicit row swaps, and forward/backward substitution.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/span2d.hpp"
+#include "base/types.hpp"
+
+namespace vbatch::lapack {
+
+/// In-place LU factorization with partial pivoting: PA = LU.
+/// On exit `a` holds L (unit diagonal, below) and U (on/above diagonal);
+/// `ipiv[k]` is the row swapped with row k at step k (LAPACK convention).
+/// Returns the first step at which a zero pivot was met + 1, or 0 on
+/// success (LAPACK "info" convention).
+template <typename T>
+index_type getrf(MatrixView<T> a, std::span<index_type> ipiv);
+
+/// Apply the row interchanges recorded by getrf to a vector: b := Pb.
+template <typename T>
+void laswp(std::span<const index_type> ipiv, std::span<T> b);
+
+/// Solve A x = b using factors from getrf; b is overwritten with x.
+template <typename T>
+void getrs(ConstMatrixView<T> lu, std::span<const index_type> ipiv,
+           std::span<T> b);
+
+/// Convenience: factorize a copy of `a` and solve; returns info.
+template <typename T>
+index_type gesv(ConstMatrixView<T> a, std::span<T> b);
+
+/// Explicit inverse via LU (used by the inversion-based block-Jacobi
+/// baseline and by condition-number estimation in tests). Returns info.
+template <typename T>
+index_type invert(ConstMatrixView<T> a, MatrixView<T> inv);
+
+/// Max-norm of A; used by tests for relative residuals.
+template <typename T>
+T norm_inf(ConstMatrixView<T> a);
+
+/// ||PA - LU||_inf / ||A||_inf: factorization residual, the correctness
+/// metric of every factorization test.
+template <typename T>
+T factorization_residual(ConstMatrixView<T> a, ConstMatrixView<T> lu,
+                         std::span<const index_type> ipiv);
+
+/// 1-norm condition estimate kappa_1(A) = ||A||_1 * ||A^-1||_1 computed
+/// via explicit inversion (fine for the <= 32 x 32 blocks in scope).
+template <typename T>
+T condition_number_1(ConstMatrixView<T> a);
+
+}  // namespace vbatch::lapack

@@ -1,0 +1,168 @@
+#include "blocking/rcm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "base/macros.hpp"
+
+namespace vbatch::blocking {
+
+template <typename T>
+std::vector<index_type> reverse_cuthill_mckee(const sparse::Csr<T>& a) {
+    VBATCH_ENSURE(a.num_rows() == a.num_cols(),
+                  "RCM needs a square matrix");
+    const index_type n = a.num_rows();
+    // Symmetrize the pattern: adjacency = pattern(A) | pattern(A^T).
+    const auto at = a.transpose();
+    std::vector<std::vector<index_type>> adj(static_cast<std::size_t>(n));
+    const auto add_edges = [&](const sparse::Csr<T>& m) {
+        for (index_type i = 0; i < n; ++i) {
+            for (auto p = m.row_ptrs()[static_cast<std::size_t>(i)];
+                 p < m.row_ptrs()[static_cast<std::size_t>(i) + 1]; ++p) {
+                const auto j = m.col_idxs()[static_cast<std::size_t>(p)];
+                if (j != i) {
+                    adj[static_cast<std::size_t>(i)].push_back(j);
+                }
+            }
+        }
+    };
+    add_edges(a);
+    add_edges(at);
+    std::vector<index_type> degree(static_cast<std::size_t>(n));
+    for (index_type i = 0; i < n; ++i) {
+        auto& nb = adj[static_cast<std::size_t>(i)];
+        std::sort(nb.begin(), nb.end());
+        nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+        degree[static_cast<std::size_t>(i)] =
+            static_cast<index_type>(nb.size());
+    }
+
+    // Cuthill-McKee BFS with degree-sorted neighbor visits.
+    std::vector<index_type> order;
+    order.reserve(static_cast<std::size_t>(n));
+    std::vector<bool> visited(static_cast<std::size_t>(n), false);
+    // Process vertices grouped by component; seeds in increasing degree.
+    std::vector<index_type> seeds(static_cast<std::size_t>(n));
+    for (index_type i = 0; i < n; ++i) {
+        seeds[static_cast<std::size_t>(i)] = i;
+    }
+    std::sort(seeds.begin(), seeds.end(),
+              [&](index_type x, index_type y) {
+                  const auto dx = degree[static_cast<std::size_t>(x)];
+                  const auto dy = degree[static_cast<std::size_t>(y)];
+                  return dx != dy ? dx < dy : x < y;
+              });
+    std::vector<index_type> scratch;
+    for (const auto seed : seeds) {
+        if (visited[static_cast<std::size_t>(seed)]) {
+            continue;
+        }
+        std::queue<index_type> queue;
+        queue.push(seed);
+        visited[static_cast<std::size_t>(seed)] = true;
+        while (!queue.empty()) {
+            const auto v = queue.front();
+            queue.pop();
+            order.push_back(v);
+            scratch.clear();
+            for (const auto w : adj[static_cast<std::size_t>(v)]) {
+                if (!visited[static_cast<std::size_t>(w)]) {
+                    visited[static_cast<std::size_t>(w)] = true;
+                    scratch.push_back(w);
+                }
+            }
+            std::sort(scratch.begin(), scratch.end(),
+                      [&](index_type x, index_type y) {
+                          const auto dx =
+                              degree[static_cast<std::size_t>(x)];
+                          const auto dy =
+                              degree[static_cast<std::size_t>(y)];
+                          return dx != dy ? dx < dy : x < y;
+                      });
+            for (const auto w : scratch) {
+                queue.push(w);
+            }
+        }
+    }
+    // Reverse for RCM.
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+template <typename T>
+sparse::Csr<T> permute_symmetric(const sparse::Csr<T>& a,
+                                 std::span<const index_type> perm) {
+    VBATCH_ENSURE(a.num_rows() == a.num_cols(),
+                  "symmetric permutation needs a square matrix");
+    VBATCH_ENSURE_DIMS(static_cast<index_type>(perm.size()) == a.num_rows());
+    const index_type n = a.num_rows();
+    // inverse permutation: iperm[old] = new
+    std::vector<index_type> iperm(static_cast<std::size_t>(n));
+    for (index_type k = 0; k < n; ++k) {
+        const auto old = perm[static_cast<std::size_t>(k)];
+        VBATCH_ENSURE(old >= 0 && old < n, "invalid permutation entry");
+        iperm[static_cast<std::size_t>(old)] = k;
+    }
+    std::vector<sparse::Triplet<T>> triplets;
+    triplets.reserve(static_cast<std::size_t>(a.nnz()));
+    for (index_type i = 0; i < n; ++i) {
+        for (auto p = a.row_ptrs()[static_cast<std::size_t>(i)];
+             p < a.row_ptrs()[static_cast<std::size_t>(i) + 1]; ++p) {
+            triplets.push_back(
+                {iperm[static_cast<std::size_t>(i)],
+                 iperm[static_cast<std::size_t>(
+                     a.col_idxs()[static_cast<std::size_t>(p)])],
+                 a.values()[static_cast<std::size_t>(p)]});
+        }
+    }
+    return sparse::Csr<T>::from_triplets(n, n, std::move(triplets));
+}
+
+template <typename T>
+void permute_vector(std::span<const index_type> perm, std::span<const T> in,
+                    std::span<T> out) {
+    VBATCH_ENSURE_DIMS(perm.size() == in.size() && in.size() == out.size());
+    for (std::size_t k = 0; k < perm.size(); ++k) {
+        out[k] = in[static_cast<std::size_t>(perm[k])];
+    }
+}
+
+template <typename T>
+void unpermute_vector(std::span<const index_type> perm,
+                      std::span<const T> in, std::span<T> out) {
+    VBATCH_ENSURE_DIMS(perm.size() == in.size() && in.size() == out.size());
+    for (std::size_t k = 0; k < perm.size(); ++k) {
+        out[static_cast<std::size_t>(perm[k])] = in[k];
+    }
+}
+
+template <typename T>
+index_type bandwidth(const sparse::Csr<T>& a) {
+    index_type bw = 0;
+    for (index_type i = 0; i < a.num_rows(); ++i) {
+        for (auto p = a.row_ptrs()[static_cast<std::size_t>(i)];
+             p < a.row_ptrs()[static_cast<std::size_t>(i) + 1]; ++p) {
+            bw = std::max(bw, std::abs(
+                a.col_idxs()[static_cast<std::size_t>(p)] - i));
+        }
+    }
+    return bw;
+}
+
+#define VBATCH_INSTANTIATE_RCM(T)                                           \
+    template std::vector<index_type> reverse_cuthill_mckee<T>(              \
+        const sparse::Csr<T>&);                                             \
+    template sparse::Csr<T> permute_symmetric<T>(                           \
+        const sparse::Csr<T>&, std::span<const index_type>);                \
+    template void permute_vector<T>(std::span<const index_type>,            \
+                                    std::span<const T>, std::span<T>);      \
+    template void unpermute_vector<T>(std::span<const index_type>,          \
+                                      std::span<const T>, std::span<T>);    \
+    template index_type bandwidth<T>(const sparse::Csr<T>&)
+
+VBATCH_INSTANTIATE_RCM(float);
+VBATCH_INSTANTIATE_RCM(double);
+
+#undef VBATCH_INSTANTIATE_RCM
+
+}  // namespace vbatch::blocking

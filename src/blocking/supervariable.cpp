@@ -1,0 +1,115 @@
+#include "blocking/supervariable.hpp"
+
+#include <algorithm>
+
+#include "base/macros.hpp"
+
+namespace vbatch::blocking {
+
+namespace {
+
+/// True if rows i and i+1 of `a` have the same column pattern.
+template <typename T>
+bool same_pattern(const sparse::Csr<T>& a, index_type i) {
+    const auto row_ptrs = a.row_ptrs();
+    const auto col_idxs = a.col_idxs();
+    const auto b0 = row_ptrs[static_cast<std::size_t>(i)];
+    const auto e0 = row_ptrs[static_cast<std::size_t>(i) + 1];
+    const auto b1 = row_ptrs[static_cast<std::size_t>(i) + 1];
+    const auto e1 = row_ptrs[static_cast<std::size_t>(i) + 2];
+    if (e0 - b0 != e1 - b1) {
+        return false;
+    }
+    for (size_type k = 0; k < e0 - b0; ++k) {
+        if (col_idxs[static_cast<std::size_t>(b0 + k)] !=
+            col_idxs[static_cast<std::size_t>(b1 + k)]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<index_type> find_supervariables(const sparse::Csr<T>& a) {
+    VBATCH_ENSURE(a.num_rows() == a.num_cols(),
+                  "blocking needs a square matrix");
+    std::vector<index_type> sizes;
+    const index_type n = a.num_rows();
+    index_type run = n > 0 ? 1 : 0;
+    for (index_type i = 0; i + 1 < n; ++i) {
+        if (same_pattern(a, i)) {
+            ++run;
+        } else {
+            sizes.push_back(run);
+            run = 1;
+        }
+    }
+    if (run > 0) {
+        sizes.push_back(run);
+    }
+    return sizes;
+}
+
+template <typename T>
+std::vector<index_type> supervariable_blocking(const sparse::Csr<T>& a,
+                                               const BlockingOptions& opts) {
+    VBATCH_ENSURE(opts.max_block_size >= 1 &&
+                      opts.max_block_size <= max_block_size,
+                  "block bound out of [1, 32]");
+    VBATCH_ENSURE(a.num_rows() == a.num_cols(),
+                  "blocking needs a square matrix");
+    const index_type bound = opts.max_block_size;
+    const index_type n = a.num_rows();
+
+    std::vector<index_type> supervars;
+    if (opts.detect_supervariables) {
+        supervars = find_supervariables(a);
+    } else {
+        supervars.assign(static_cast<std::size_t>(n), 1);
+    }
+
+    // Agglomerate adjacent supervariables into blocks up to the bound;
+    // supervariables exceeding the bound are split into bound-sized chunks
+    // (clustering "multiple supervariables adjacent in the coefficient
+    // matrix ... within the same diagonal block", Section II.A).
+    std::vector<index_type> blocks;
+    index_type current = 0;
+    for (index_type sv : supervars) {
+        while (sv > bound) {
+            if (current > 0) {
+                blocks.push_back(current);
+                current = 0;
+            }
+            blocks.push_back(bound);
+            sv -= bound;
+        }
+        if (sv == 0) {
+            continue;
+        }
+        if (current + sv <= bound) {
+            current += sv;
+        } else {
+            blocks.push_back(current);
+            current = sv;
+        }
+    }
+    if (current > 0) {
+        blocks.push_back(current);
+    }
+    return blocks;
+}
+
+#define VBATCH_INSTANTIATE_SV(T)                                            \
+    template std::vector<index_type> find_supervariables<T>(                \
+        const sparse::Csr<T>&);                                             \
+    template std::vector<index_type> supervariable_blocking<T>(             \
+        const sparse::Csr<T>&, const BlockingOptions&)
+
+VBATCH_INSTANTIATE_SV(float);
+VBATCH_INSTANTIATE_SV(double);
+
+#undef VBATCH_INSTANTIATE_SV
+
+}  // namespace vbatch::blocking

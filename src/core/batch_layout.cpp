@@ -1,0 +1,47 @@
+#include "core/batch_layout.hpp"
+
+#include <algorithm>
+
+#include "base/macros.hpp"
+
+namespace vbatch::core {
+
+BatchLayout BatchLayout::uniform(size_type count, index_type m) {
+    VBATCH_ENSURE(count >= 0, "negative batch count");
+    VBATCH_ENSURE(m >= 0 && m <= max_block_size,
+                  "block size out of [0, 32]");
+    BatchLayout layout;
+    layout.sizes_.assign(static_cast<std::size_t>(count), m);
+    layout.build_offsets();
+    return layout;
+}
+
+BatchLayout::BatchLayout(std::vector<index_type> sizes)
+    : sizes_(std::move(sizes)) {
+    for (const auto m : sizes_) {
+        VBATCH_ENSURE(m >= 0 && m <= max_block_size,
+                      "block size out of [0, 32]");
+    }
+    build_offsets();
+}
+
+void BatchLayout::build_offsets() {
+    value_offsets_.resize(sizes_.size() + 1);
+    row_offsets_.resize(sizes_.size() + 1);
+    value_offsets_[0] = 0;
+    row_offsets_[0] = 0;
+    max_size_ = 0;
+    uniform_ = true;
+    for (std::size_t i = 0; i < sizes_.size(); ++i) {
+        const auto m = sizes_[i];
+        value_offsets_[i + 1] =
+            value_offsets_[i] + static_cast<size_type>(m) * m;
+        row_offsets_[i + 1] = row_offsets_[i] + m;
+        max_size_ = std::max(max_size_, m);
+        if (m != sizes_[0]) {
+            uniform_ = false;
+        }
+    }
+}
+
+}  // namespace vbatch::core

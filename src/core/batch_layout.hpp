@@ -1,0 +1,84 @@
+// Variable-size batch descriptor.
+//
+// A batch is a collection of independent square problems D_0 .. D_{nb-1}
+// of (possibly distinct) orders m_i <= 32. The layout maps problem i to
+// its slice of one packed allocation:
+//
+//   values : column-major m_i x m_i blocks at value_offset(i)
+//   rows   : per-problem vectors (rhs, pivots) at row_offset(i)
+//
+// Fixed-size batches (the only thing cuBLAS supports) are the special case
+// where all sizes agree; `is_uniform()` lets the vendor baseline reject
+// everything else, mirroring the limitation discussed in Section IV of the
+// paper.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace vbatch::core {
+
+class BatchLayout {
+public:
+    /// Batch of `count` problems, all of order m.
+    static BatchLayout uniform(size_type count, index_type m);
+
+    /// Batch with the given per-problem orders (each in [0, 32]).
+    explicit BatchLayout(std::vector<index_type> sizes);
+
+    BatchLayout() = default;
+
+    size_type count() const noexcept {
+        return static_cast<size_type>(sizes_.size());
+    }
+    index_type size(size_type i) const noexcept {
+        return sizes_[static_cast<std::size_t>(i)];
+    }
+    const std::vector<index_type>& sizes() const noexcept { return sizes_; }
+
+    /// Offset of problem i's matrix block in the packed values array.
+    size_type value_offset(size_type i) const noexcept {
+        return value_offsets_[static_cast<std::size_t>(i)];
+    }
+    /// Offset of problem i's row vector in a packed per-row array.
+    size_type row_offset(size_type i) const noexcept {
+        return row_offsets_[static_cast<std::size_t>(i)];
+    }
+
+    size_type total_values() const noexcept {
+        return value_offsets_.empty() ? 0 : value_offsets_.back();
+    }
+    size_type total_rows() const noexcept {
+        return row_offsets_.empty() ? 0 : row_offsets_.back();
+    }
+
+    index_type max_size() const noexcept { return max_size_; }
+    bool is_uniform() const noexcept { return uniform_; }
+
+    bool operator==(const BatchLayout& other) const noexcept {
+        return sizes_ == other.sizes_;
+    }
+
+private:
+    std::vector<index_type> sizes_;
+    std::vector<size_type> value_offsets_;  // count()+1 entries
+    std::vector<size_type> row_offsets_;    // count()+1 entries
+    index_type max_size_ = 0;
+    bool uniform_ = true;
+
+    void build_offsets();
+};
+
+using BatchLayoutPtr = std::shared_ptr<const BatchLayout>;
+
+inline BatchLayoutPtr make_layout(std::vector<index_type> sizes) {
+    return std::make_shared<const BatchLayout>(std::move(sizes));
+}
+
+inline BatchLayoutPtr make_uniform_layout(size_type count, index_type m) {
+    return std::make_shared<const BatchLayout>(BatchLayout::uniform(count, m));
+}
+
+}  // namespace vbatch::core

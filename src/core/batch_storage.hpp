@@ -1,0 +1,191 @@
+// Owning storage for batches of small matrices / vectors / pivot vectors.
+//
+// One cache-aligned allocation per batch (Per.14/Per.16): problem i's data
+// lives at the offsets dictated by the shared BatchLayout. Views are cheap
+// and kernels address their slice directly, so batch entries can be
+// processed concurrently without sharing writable state.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <utility>
+
+#include "base/macros.hpp"
+#include "base/memory.hpp"
+#include "base/random.hpp"
+#include "base/span2d.hpp"
+#include "base/types.hpp"
+#include "core/batch_layout.hpp"
+
+namespace vbatch::core {
+
+/// Batch of square column-major matrices, packed back to back.
+template <typename T>
+class BatchedMatrices {
+public:
+    BatchedMatrices() = default;
+
+    explicit BatchedMatrices(BatchLayoutPtr layout)
+        : layout_(std::move(layout)),
+          values_(AlignedBuffer<T>::zeros(layout_->total_values())) {}
+
+    /// Batch of random diagonally-dominant blocks (the standard
+    /// well-conditioned workload of the kernel benchmarks). Entry i's data
+    /// depends only on (seed, i), not on the dispatch order.
+    static BatchedMatrices random_diagonally_dominant(BatchLayoutPtr layout,
+                                                      std::uint64_t seed) {
+        BatchedMatrices batch(std::move(layout));
+        for (size_type b = 0; b < batch.count(); ++b) {
+            auto eng = make_engine(seed, static_cast<std::uint64_t>(b));
+            auto v = batch.view(b);
+            const index_type m = v.rows();
+            for (index_type j = 0; j < m; ++j) {
+                for (index_type i = 0; i < m; ++i) {
+                    v(i, j) = uniform<T>(eng, T{-1}, T{1});
+                }
+            }
+            for (index_type i = 0; i < m; ++i) {
+                T row_sum{};
+                for (index_type j = 0; j < m; ++j) {
+                    row_sum += std::abs(v(i, j));
+                }
+                v(i, i) = (v(i, i) >= T{} ? T{1} : T{-1}) * (row_sum + T{1});
+            }
+        }
+        return batch;
+    }
+
+    /// Batch of random general (non-dominant) blocks; these exercise the
+    /// pivoting logic, since without pivoting most of them would blow up.
+    static BatchedMatrices random_general(BatchLayoutPtr layout,
+                                          std::uint64_t seed) {
+        BatchedMatrices batch(std::move(layout));
+        for (size_type b = 0; b < batch.count(); ++b) {
+            auto eng = make_engine(seed, static_cast<std::uint64_t>(b));
+            auto v = batch.view(b);
+            for (index_type j = 0; j < v.cols(); ++j) {
+                for (index_type i = 0; i < v.rows(); ++i) {
+                    v(i, j) = uniform<T>(eng, T{-1}, T{1});
+                }
+            }
+        }
+        return batch;
+    }
+
+    const BatchLayout& layout() const noexcept { return *layout_; }
+    BatchLayoutPtr layout_ptr() const noexcept { return layout_; }
+    size_type count() const noexcept { return layout_->count(); }
+    index_type size(size_type i) const noexcept { return layout_->size(i); }
+
+    MatrixView<T> view(size_type i) noexcept {
+        const auto m = layout_->size(i);
+        return {values_.data() + layout_->value_offset(i), m, m, m};
+    }
+    ConstMatrixView<T> view(size_type i) const noexcept {
+        const auto m = layout_->size(i);
+        return {values_.data() + layout_->value_offset(i), m, m, m};
+    }
+
+    T* data() noexcept { return values_.data(); }
+    const T* data() const noexcept { return values_.data(); }
+
+    BatchedMatrices clone() const {
+        BatchedMatrices copy(layout_);
+        for (size_type i = 0; i < values_.size(); ++i) {
+            copy.values_[i] = values_[i];
+        }
+        return copy;
+    }
+
+private:
+    BatchLayoutPtr layout_;
+    AlignedBuffer<T> values_;
+};
+
+/// Batch of per-problem vectors (right-hand sides / solutions), packed.
+template <typename T>
+class BatchedVectors {
+public:
+    BatchedVectors() = default;
+
+    explicit BatchedVectors(BatchLayoutPtr layout)
+        : layout_(std::move(layout)),
+          values_(AlignedBuffer<T>::zeros(layout_->total_rows())) {}
+
+    static BatchedVectors random(BatchLayoutPtr layout, std::uint64_t seed) {
+        BatchedVectors batch(std::move(layout));
+        for (size_type b = 0; b < batch.count(); ++b) {
+            auto eng = make_engine(seed ^ 0x5eedbeefULL,
+                                   static_cast<std::uint64_t>(b));
+            auto s = batch.span(b);
+            for (auto& v : s) {
+                v = uniform<T>(eng, T{-1}, T{1});
+            }
+        }
+        return batch;
+    }
+
+    static BatchedVectors ones(BatchLayoutPtr layout) {
+        BatchedVectors batch(std::move(layout));
+        for (size_type i = 0; i < batch.values_.size(); ++i) {
+            batch.values_[i] = T{1};
+        }
+        return batch;
+    }
+
+    const BatchLayout& layout() const noexcept { return *layout_; }
+    BatchLayoutPtr layout_ptr() const noexcept { return layout_; }
+    size_type count() const noexcept { return layout_->count(); }
+
+    std::span<T> span(size_type i) noexcept {
+        return {values_.data() + layout_->row_offset(i),
+                static_cast<std::size_t>(layout_->size(i))};
+    }
+    std::span<const T> span(size_type i) const noexcept {
+        return {values_.data() + layout_->row_offset(i),
+                static_cast<std::size_t>(layout_->size(i))};
+    }
+
+    T* data() noexcept { return values_.data(); }
+    const T* data() const noexcept { return values_.data(); }
+
+    BatchedVectors clone() const {
+        BatchedVectors copy(layout_);
+        for (size_type i = 0; i < values_.size(); ++i) {
+            copy.values_[i] = values_[i];
+        }
+        return copy;
+    }
+
+private:
+    BatchLayoutPtr layout_;
+    AlignedBuffer<T> values_;
+};
+
+/// Batch of per-problem pivot/permutation vectors.
+class BatchedPivots {
+public:
+    BatchedPivots() = default;
+
+    explicit BatchedPivots(BatchLayoutPtr layout)
+        : layout_(std::move(layout)),
+          values_(AlignedBuffer<index_type>::zeros(layout_->total_rows())) {}
+
+    const BatchLayout& layout() const noexcept { return *layout_; }
+    size_type count() const noexcept { return layout_->count(); }
+
+    std::span<index_type> span(size_type i) noexcept {
+        return {values_.data() + layout_->row_offset(i),
+                static_cast<std::size_t>(layout_->size(i))};
+    }
+    std::span<const index_type> span(size_type i) const noexcept {
+        return {values_.data() + layout_->row_offset(i),
+                static_cast<std::size_t>(layout_->size(i))};
+    }
+
+private:
+    BatchLayoutPtr layout_;
+    AlignedBuffer<index_type> values_;
+};
+
+}  // namespace vbatch::core

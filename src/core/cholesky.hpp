@@ -1,0 +1,65 @@
+// Variable-size batched Cholesky factorization -- the paper's announced
+// future work ("a Cholesky-based variant for symmetric positive definite
+// problems", Section V), implemented in the same register-resident,
+// one-warp-per-problem style as the LU kernel.
+//
+// For an SPD block D_i = L L^T no pivoting is required, which removes the
+// pivot reduction and the permutation writeback entirely and halves the
+// factorization flops (m^3/3). The solve is the usual pair of triangular
+// solves with L and L^T.
+#pragma once
+
+#include "core/batch_storage.hpp"
+#include "core/getrf.hpp"
+#include "core/simt_kernels.hpp"
+#include "core/trsv.hpp"
+
+namespace vbatch::core {
+
+/// Single-problem in-place Cholesky: the lower triangle of `a` is
+/// overwritten with L; the strict upper triangle is left untouched.
+/// Returns 0 on success or the 1-based step at which the matrix was found
+/// to be not positive definite.
+template <typename T>
+index_type potrf_single(MatrixView<T> a);
+
+/// Single-problem solve L L^T x = b from potrf_single factors; b is
+/// overwritten with x.
+template <typename T>
+void potrs_single(ConstMatrixView<T> l, std::span<T> b,
+                  TrsvVariant variant = TrsvVariant::eager);
+
+/// Batched Cholesky; failures follow the same policy as getrf_batch.
+template <typename T>
+FactorizeStatus potrf_batch(BatchedMatrices<T>& a,
+                            const GetrfOptions& opts = {});
+
+/// Batched solve from potrf_batch factors.
+template <typename T>
+void potrs_batch(const BatchedMatrices<T>& l, BatchedVectors<T>& b,
+                 const TrsvOptions& opts = {});
+
+/// Warp-emulated Cholesky (one warp per problem, one row per lane).
+template <typename T>
+index_type potrf_warp(simt::Warp& warp, MatrixView<T> a);
+
+/// Warp-emulated solve.
+template <typename T>
+void potrs_warp(simt::Warp& warp, ConstMatrixView<T> l, std::span<T> b);
+
+/// Instrumented batch drivers (figure-bench style).
+template <typename T>
+SimtBatchResult potrf_batch_simt(BatchedMatrices<T>& a,
+                                 const SimtBatchOptions& opts = {});
+template <typename T>
+SimtBatchResult potrs_batch_simt(const BatchedMatrices<T>& l,
+                                 BatchedVectors<T>& b,
+                                 const SimtBatchOptions& opts = {});
+
+/// Nominal flops of one m x m Cholesky factorization.
+inline double potrf_flops(index_type m) {
+    const double d = m;
+    return d * d * d / 3.0;
+}
+
+}  // namespace vbatch::core

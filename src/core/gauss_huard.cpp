@@ -1,0 +1,241 @@
+#include "core/gauss_huard.hpp"
+
+#include <array>
+#include <atomic>
+#include <cmath>
+
+#include "base/macros.hpp"
+#include "base/thread_pool.hpp"
+
+namespace vbatch::core {
+
+namespace {
+
+/// Gather columns into pivot order (and optionally transpose) -- the
+/// "combined column swap" fused into the factor writeback.
+template <typename T>
+void apply_column_gather(MatrixView<T> a, std::span<const index_type> cperm,
+                         GhStorage storage) {
+    const index_type m = a.rows();
+    std::array<T, static_cast<std::size_t>(max_block_size) * max_block_size>
+        tmp;
+    for (index_type j = 0; j < m; ++j) {
+        for (index_type i = 0; i < m; ++i) {
+            tmp[static_cast<std::size_t>(j) * m + i] = a(i, j);
+        }
+    }
+    for (index_type k = 0; k < m; ++k) {
+        const auto src = static_cast<std::size_t>(cperm[k]) * m;
+        for (index_type i = 0; i < m; ++i) {
+            if (storage == GhStorage::standard) {
+                // Row-major layout: factor element (i, k) lands at view
+                // position (k, i). On the GPU this is the coalesced write
+                // path out of the lane-per-column register layout.
+                a(k, i) = tmp[src + i];
+            } else {
+                // GH-T: column-major ("transpose access-friendly") layout,
+                // paid for with non-coalesced writes.
+                a(i, k) = tmp[src + i];
+            }
+        }
+    }
+}
+
+void complete_column_permutation(std::span<index_type> cperm,
+                                 std::span<const index_type> cstate,
+                                 index_type from_step) {
+    index_type next = from_step;
+    for (index_type j = 0; j < static_cast<index_type>(cstate.size()); ++j) {
+        if (cstate[j] < 0) {
+            cperm[next++] = j;
+        }
+    }
+}
+
+}  // namespace
+
+template <typename T>
+index_type gauss_huard_factorize(MatrixView<T> a,
+                                 std::span<index_type> cperm,
+                                 GhStorage storage) {
+    VBATCH_ENSURE_DIMS(a.rows() == a.cols());
+    VBATCH_ENSURE_DIMS(static_cast<index_type>(cperm.size()) >= a.rows());
+    const index_type m = a.rows();
+    std::array<index_type, max_block_size> cstate;
+    cstate.fill(-1);
+
+    for (index_type k = 0; k < m; ++k) {
+        // Lazy update of row k on the not-yet-pivoted columns, using the
+        // previously computed factor rows: a(k,j) -= sum_i a(k,p_i)*a(i,j).
+        // Applied as one AXPY per previous pivot (the order the warp kernel
+        // executes, so both backends round identically). The multiplier
+        // a(k, p_i) sits in an already-pivoted column and is never touched
+        // by these updates.
+        for (index_type i = 0; i < k; ++i) {
+            const T mult = a(k, cperm[i]);
+            for (index_type j = 0; j < m; ++j) {
+                if (cstate[j] < 0) {
+                    a(k, j) -= mult * a(i, j);
+                }
+            }
+        }
+        // Implicit column pivot: max |a(k, j)| over unpivoted columns.
+        index_type piv = -1;
+        T best{};
+        for (index_type j = 0; j < m; ++j) {
+            if (cstate[j] >= 0) {
+                continue;
+            }
+            const T v = std::abs(a(k, j));
+            if (piv < 0 || v > best) {
+                best = v;
+                piv = j;
+            }
+        }
+        if (best == T{}) {
+            complete_column_permutation(
+                cperm, {cstate.data(), static_cast<std::size_t>(m)}, k);
+            return k + 1;
+        }
+        cperm[k] = piv;
+        cstate[piv] = k;
+
+        // Scale the remainder of row k by the pivot.
+        const T d = a(k, piv);
+        for (index_type j = 0; j < m; ++j) {
+            if (cstate[j] < 0) {
+                a(k, j) /= d;
+            }
+        }
+        // Eliminate the pivot column above the diagonal.
+        for (index_type i = 0; i < k; ++i) {
+            const T mult = a(i, piv);
+            for (index_type j = 0; j < m; ++j) {
+                if (cstate[j] < 0) {
+                    a(i, j) -= mult * a(k, j);
+                }
+            }
+        }
+    }
+    apply_column_gather(a, cperm.subspan(0, static_cast<std::size_t>(m)),
+                        storage);
+    return 0;
+}
+
+template <typename T>
+void gauss_huard_solve(ConstMatrixView<T> f,
+                       std::span<const index_type> cperm, std::span<T> b,
+                       GhStorage storage) {
+    const index_type m = f.rows();
+    VBATCH_ENSURE_DIMS(m == static_cast<index_type>(b.size()));
+    // Factor element (i, j) in pivot-ordered coordinates: GH stores the
+    // factors row-major, GH-T column-major (solve friendly).
+    const auto fa = [&](index_type i, index_type j) {
+        return storage == GhStorage::standard ? f(j, i) : f(i, j);
+    };
+    // The GH application processes b exactly like the factorization
+    // processes a matrix column (Gauss-Jordan on the augmented column):
+    //   1. forward: b_k -= sum_{i<k} fa(k,i) * b_i  using the *current*
+    //      (Jordan-updated) values b_i -- NOT the eager LU-style y_i;
+    //   2. divide by the pivot;
+    //   3. Jordan: eliminate the new entry from the leading positions.
+    // Per step this reads the left part of factor row k and the upper part
+    // of factor column k; the storage orientation decides which of the two
+    // is coalesced on the GPU (see simt_kernels.cpp).
+    for (index_type k = 0; k < m; ++k) {
+        T acc{};
+        for (index_type i = 0; i < k; ++i) {
+            acc += fa(k, i) * b[i];
+        }
+        b[k] = (b[k] - acc) / fa(k, k);
+        const T yk = b[k];
+        for (index_type i = 0; i < k; ++i) {
+            b[i] -= fa(i, k) * yk;
+        }
+    }
+    // Column pivoting permuted the unknowns: scatter back.
+    std::array<T, max_block_size> x;
+    for (index_type k = 0; k < m; ++k) {
+        x[static_cast<std::size_t>(cperm[k])] = b[k];
+    }
+    for (index_type k = 0; k < m; ++k) {
+        b[k] = x[static_cast<std::size_t>(k)];
+    }
+}
+
+template <typename T>
+FactorizeStatus gauss_huard_batch(BatchedMatrices<T>& a, BatchedPivots& cperm,
+                                  GhStorage storage,
+                                  const GetrfOptions& opts) {
+    VBATCH_ENSURE(a.layout() == cperm.layout(),
+                  "matrix and pivot batch layouts differ");
+    std::atomic<size_type> failures{0};
+    std::atomic<size_type> first_failure{-1};
+    std::atomic<index_type> first_step{0};
+    const auto body = [&](size_type i) {
+        const index_type info =
+            gauss_huard_factorize(a.view(i), cperm.span(i), storage);
+        if (info != 0) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            size_type expected = -1;
+            if (first_failure.compare_exchange_strong(expected, i)) {
+                first_step.store(info, std::memory_order_relaxed);
+            }
+        }
+    };
+    if (opts.parallel) {
+        ThreadPool::global().parallel_for(0, a.count(), body);
+    } else {
+        for (size_type i = 0; i < a.count(); ++i) {
+            body(i);
+        }
+    }
+    FactorizeStatus status;
+    status.failures = failures.load();
+    status.first_failure = first_failure.load();
+    if (!status.ok() &&
+        opts.on_singular == SingularPolicy::throw_on_breakdown) {
+        throw SingularMatrix("batched Gauss-Huard breakdown",
+                             status.first_failure, first_step.load());
+    }
+    return status;
+}
+
+template <typename T>
+void gauss_huard_solve_batch(const BatchedMatrices<T>& f,
+                             const BatchedPivots& cperm, BatchedVectors<T>& b,
+                             GhStorage storage, bool parallel) {
+    VBATCH_ENSURE(f.layout() == cperm.layout() && f.layout() == b.layout(),
+                  "batch layouts differ");
+    const auto body = [&](size_type i) {
+        gauss_huard_solve(f.view(i), cperm.span(i), b.span(i), storage);
+    };
+    if (parallel) {
+        ThreadPool::global().parallel_for(0, f.count(), body);
+    } else {
+        for (size_type i = 0; i < f.count(); ++i) {
+            body(i);
+        }
+    }
+}
+
+#define VBATCH_INSTANTIATE_GH(T)                                             \
+    template index_type gauss_huard_factorize<T>(                            \
+        MatrixView<T>, std::span<index_type>, GhStorage);                    \
+    template void gauss_huard_solve<T>(ConstMatrixView<T>,                   \
+                                       std::span<const index_type>,          \
+                                       std::span<T>, GhStorage);             \
+    template FactorizeStatus gauss_huard_batch<T>(                           \
+        BatchedMatrices<T>&, BatchedPivots&, GhStorage,                      \
+        const GetrfOptions&);                                                \
+    template void gauss_huard_solve_batch<T>(const BatchedMatrices<T>&,      \
+                                             const BatchedPivots&,           \
+                                             BatchedVectors<T>&, GhStorage,  \
+                                             bool)
+
+VBATCH_INSTANTIATE_GH(float);
+VBATCH_INSTANTIATE_GH(double);
+
+#undef VBATCH_INSTANTIATE_GH
+
+}  // namespace vbatch::core

@@ -1,0 +1,59 @@
+// Batched Gauss-Huard factorization and solve -- the paper's primary
+// open-source baseline (Sections II.C and IV, citing [7]).
+//
+// Gauss-Huard (GH) solves D x = b at the same 2/3 m^3 cost as LU, but
+// with a different data flow: at step k it (lazily) updates only row k
+// from the previously computed rows, picks a *column* pivot in that row,
+// scales the row, and eliminates the entries of pivot column k **above**
+// the diagonal. The application to a right-hand side costs 2 m^2 flops,
+// like the LU triangular solves.
+//
+// Like the LU kernel, pivoting is implicit: columns are never swapped;
+// cstate[] records which step each column was pivot of, cperm[] lists the
+// pivot columns in order (the per-thread pivot list the paper mentions GH
+// needs, unlike LU), and the accumulated column permutation is fused into
+// the writeback. Column pivoting permutes the *unknowns*, so the solve
+// finishes with the scatter x[cperm[k]] = y[k].
+//
+// The GH-T variant stores the factors transposed: the factorization pays
+// extra (non-coalesced writes on the GPU) so that the solve's row accesses
+// become column accesses. This is the storage trade-off Fig. 5/7 of the
+// paper explores.
+#pragma once
+
+#include "core/batch_storage.hpp"
+#include "core/getrf.hpp"
+
+namespace vbatch::core {
+
+/// Storage orientation of the GH factors.
+enum class GhStorage { standard, transposed };
+
+/// Single-problem GH factorization with implicit column pivoting.
+/// On exit `a` holds the factors with columns gathered into pivot order
+/// (transposed if requested) and cperm[k] = original column index of
+/// pivot k. Returns 0 or the 1-based breakdown step.
+template <typename T>
+index_type gauss_huard_factorize(MatrixView<T> a, std::span<index_type> cperm,
+                                 GhStorage storage = GhStorage::standard);
+
+/// Single-problem GH application: solves D x = b from the factors;
+/// b is overwritten with x (including the unknown re-ordering).
+template <typename T>
+void gauss_huard_solve(ConstMatrixView<T> f, std::span<const index_type> cperm,
+                       std::span<T> b, GhStorage storage = GhStorage::standard);
+
+/// Batched GH factorization.
+template <typename T>
+FactorizeStatus gauss_huard_batch(BatchedMatrices<T>& a, BatchedPivots& cperm,
+                                  GhStorage storage = GhStorage::standard,
+                                  const GetrfOptions& opts = {});
+
+/// Batched GH application.
+template <typename T>
+void gauss_huard_solve_batch(const BatchedMatrices<T>& f,
+                             const BatchedPivots& cperm, BatchedVectors<T>& b,
+                             GhStorage storage = GhStorage::standard,
+                             bool parallel = true);
+
+}  // namespace vbatch::core

@@ -1,0 +1,159 @@
+#include "core/gje_simt.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "base/macros.hpp"
+
+namespace vbatch::core {
+
+using simt::first_lanes;
+using simt::full_mask;
+using simt::lane_mask;
+using simt::Reg;
+using simt::Warp;
+
+template <typename T>
+index_type gauss_jordan_warp(Warp& warp, MatrixView<T> a) {
+    VBATCH_ENSURE_DIMS(a.rows() == a.cols());
+    const index_type m = a.rows();
+    const lane_mask rows_m = first_lanes(m);
+
+    std::array<Reg<T>, warp_size> A{};
+    for (index_type j = 0; j < m; ++j) {
+        A[j] = warp.load_global_strided(rows_m, a.col(j));
+    }
+
+    std::array<index_type, max_block_size> perm{};
+    lane_mask unpivoted = rows_m;  // pivot *selection* pool (real rows)
+    for (index_type k = 0; k < m; ++k) {
+        const auto [best, piv] = warp.reduce_absmax(unpivoted, A[k]);
+        if (best == T{}) {
+            return k + 1;
+        }
+        perm[k] = piv;
+        unpivoted &= ~(1u << piv);
+
+        const T d = warp.shfl(A[k], piv);
+        const T dinv = T{1} / d;
+        ++warp.stats().div_instructions;
+        // Scale the pivot row: one single-lane issue per column -- the
+        // 31-idle-lane cost that makes GJE's setup expensive on a warp.
+        const lane_mask piv_lane = 1u << piv;
+        for (index_type j = 0; j < m; ++j) {
+            if (j != k) {
+                A[j] = warp.mul_scalar(piv_lane, A[j], dinv,
+                                       piv_lane & rows_m);
+            }
+        }
+        // Jordan update of every other row (previously pivoted included).
+        const lane_mask others = rows_m & ~piv_lane;
+        for (index_type j = 0; j < m; ++j) {
+            if (j == k) {
+                continue;
+            }
+            const T pj = warp.shfl(A[j], piv);
+            A[j] = warp.fnma_scalar(others, A[k], pj, A[j],
+                                    others);
+        }
+        // Column k: pivot slot 1/d, other rows -e/d.
+        auto colk = warp.mul_scalar(others, A[k], -dinv, others);
+        colk[piv] = dinv;
+        ++warp.stats().misc_instructions;  // select
+        A[k] = colk;
+    }
+
+    // Fused permutation writeback: out(r, perm[c]) = work(perm[r], c).
+    Reg<index_type> gather{};
+    for (index_type r = 0; r < m; ++r) {
+        gather[r] = perm[r];
+    }
+    for (index_type c = 0; c < m; ++c) {
+        const auto permuted = warp.shfl_indexed(rows_m, A[c], gather);
+        warp.store_global_strided(rows_m, a.col(perm[c]), permuted);
+    }
+    return 0;
+}
+
+template <typename T>
+void apply_inverse_warp(Warp& warp, ConstMatrixView<T> inv,
+                        std::span<T> b) {
+    const index_type m = inv.rows();
+    VBATCH_ENSURE_DIMS(m == static_cast<index_type>(b.size()));
+    const lane_mask rows_m = first_lanes(m);
+    const auto x = warp.load_global_strided(rows_m, b.data());
+    auto y = Warp::broadcast_value(T{});
+    // y_i = sum_j inv(i, j) * x_j: one coalesced column per step, a
+    // broadcast, and an FMA -- no division, no dependence between steps.
+    for (index_type j = 0; j < m; ++j) {
+        const auto col = warp.load_global_strided(rows_m, inv.col(j));
+        const T xj = warp.shfl(x, j);
+        // y += col * xj  ==  y - col * (-xj)
+        y = warp.fnma_scalar(rows_m, col, -xj, y, rows_m);
+    }
+    warp.store_global_strided(rows_m, b.data(), y);
+}
+
+namespace {
+
+template <typename Body>
+SimtBatchResult drive_simt(size_type total, const SimtBatchOptions& opts,
+                           Body&& body) {
+    SimtBatchResult result;
+    result.total = total;
+    const size_type limit =
+        (opts.sample_limit > 0 && opts.sample_limit < total)
+            ? opts.sample_limit
+            : total;
+    Warp warp;
+    for (size_type i = 0; i < limit; ++i) {
+        const index_type info = body(warp, i);
+        if (info != 0) {
+            ++result.status.failures;
+            if (result.status.first_failure < 0) {
+                result.status.first_failure = i;
+            }
+        }
+    }
+    result.emulated = limit;
+    result.stats = warp.stats();
+    return result;
+}
+
+}  // namespace
+
+template <typename T>
+SimtBatchResult gauss_jordan_batch_simt(BatchedMatrices<T>& a,
+                                        const SimtBatchOptions& opts) {
+    return drive_simt(a.count(), opts, [&](Warp& w, size_type i) {
+        return gauss_jordan_warp(w, a.view(i));
+    });
+}
+
+template <typename T>
+SimtBatchResult apply_inverse_batch_simt(const BatchedMatrices<T>& inv,
+                                         BatchedVectors<T>& b,
+                                         const SimtBatchOptions& opts) {
+    VBATCH_ENSURE(inv.layout() == b.layout(), "batch layouts differ");
+    return drive_simt(inv.count(), opts, [&](Warp& w, size_type i) {
+        apply_inverse_warp(w, inv.view(i), b.span(i));
+        return index_type{0};
+    });
+}
+
+#define VBATCH_INSTANTIATE_GJE_SIMT(T)                                      \
+    template index_type gauss_jordan_warp<T>(Warp&, MatrixView<T>);         \
+    template void apply_inverse_warp<T>(Warp&, ConstMatrixView<T>,          \
+                                        std::span<T>);                      \
+    template SimtBatchResult gauss_jordan_batch_simt<T>(                    \
+        BatchedMatrices<T>&, const SimtBatchOptions&);                      \
+    template SimtBatchResult apply_inverse_batch_simt<T>(                   \
+        const BatchedMatrices<T>&, BatchedVectors<T>&,                      \
+        const SimtBatchOptions&)
+
+VBATCH_INSTANTIATE_GJE_SIMT(float);
+VBATCH_INSTANTIATE_GJE_SIMT(double);
+
+#undef VBATCH_INSTANTIATE_GJE_SIMT
+
+}  // namespace vbatch::core

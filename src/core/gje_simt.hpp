@@ -1,0 +1,39 @@
+// Warp-emulated Gauss-Jordan inversion and inverse application.
+//
+// Section II.C of the paper weighs two block-Jacobi strategies: the
+// factorization-based one (LU setup at 2/3 m^3, TRSV application at 2 m^2
+// with dependent steps) against the inversion-based one of [4] (GJE setup
+// at 2 m^3, GEMV application at 2 m^2 but "a much faster execution than a
+// triangular block solve" -- no dependency chain, no divisions). These
+// kernels make that trade-off measurable on the emulator; bench_tradeoff
+// locates the crossover in the number of preconditioner applications.
+#pragma once
+
+#include "core/gauss_jordan.hpp"
+#include "core/simt_kernels.hpp"
+
+namespace vbatch::core {
+
+/// In-place GJE inversion of one block, register resident, implicit
+/// pivoting fused into the writeback (bit-identical to
+/// gauss_jordan_invert). Returns 0 or the 1-based breakdown step.
+template <typename T>
+index_type gauss_jordan_warp(simt::Warp& warp, MatrixView<T> a);
+
+/// b := inv * b as a register GEMV (the inversion-based preconditioner
+/// application): one coalesced column of the inverse per step, no
+/// divisions, no dependent chain between steps.
+template <typename T>
+void apply_inverse_warp(simt::Warp& warp, ConstMatrixView<T> inv,
+                        std::span<T> b);
+
+/// Instrumented batch drivers.
+template <typename T>
+SimtBatchResult gauss_jordan_batch_simt(BatchedMatrices<T>& a,
+                                        const SimtBatchOptions& opts = {});
+template <typename T>
+SimtBatchResult apply_inverse_batch_simt(const BatchedMatrices<T>& inv,
+                                         BatchedVectors<T>& b,
+                                         const SimtBatchOptions& opts = {});
+
+}  // namespace vbatch::core

@@ -1,0 +1,270 @@
+#include "core/packed_kernels.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "base/macros.hpp"
+
+namespace vbatch::core {
+
+using simt::first_lanes;
+using simt::lane_mask;
+using simt::Reg;
+using simt::Warp;
+
+namespace {
+
+constexpr index_type half = warp_size / 2;
+
+/// Mask with the rows of both problems: lanes [0, m) and [16, 16 + m).
+constexpr lane_mask both_halves(index_type m) {
+    return first_lanes(m) | (first_lanes(m) << half);
+}
+
+}  // namespace
+
+template <typename T>
+index_type getrf_warp_packed2(Warp& warp, MatrixView<T> a0, MatrixView<T> a1,
+                              std::span<index_type> perm0,
+                              std::span<index_type> perm1) {
+    VBATCH_ENSURE_DIMS(a0.rows() == a0.cols() && a1.rows() == a1.cols());
+    VBATCH_ENSURE(a0.rows() == a1.rows(), "packed problems must match");
+    const index_type m = a0.rows();
+    VBATCH_ENSURE(m <= half, "packed kernel handles m <= 16");
+    const lane_mask rows2 = both_halves(m);
+
+    // One coalesced load per column serves both problems.
+    std::array<Reg<T>, half> A{};
+    for (index_type j = 0; j < m; ++j) {
+        Reg<const T*> addr{};
+        Warp::for_each_lane(rows2, [&](int l) {
+            addr[l] = l < half ? a0.col(j) + l : a1.col(j) + (l - half);
+        });
+        A[j] = warp.load_global(rows2, addr);
+    }
+
+    // Padding only to the half-warp width: lanes [m, 16) and [16+m, 32)
+    // idle entirely instead of joining every update.
+    lane_mask unpivoted = both_halves(half);
+    index_type info = 0;
+    for (index_type k = 0; k < m; ++k) {
+        const auto piv = warp.reduce_absmax_halves(unpivoted & rows2, A[k]);
+        if (piv[0].first == T{} || piv[1].first == T{}) {
+            info = piv[0].first == T{} ? (k + 1) : -(k + 1);
+            break;
+        }
+        perm0[k] = piv[0].second;
+        perm1[k] = piv[1].second - half;
+        unpivoted &= ~((1u << piv[0].second) | (1u << piv[1].second));
+
+        // Broadcast each half's pivot row elements with one indexed
+        // shuffle per column.
+        Reg<index_type> src{};
+        for (int l = 0; l < warp_size; ++l) {
+            src[l] = l < half ? piv[0].second : piv[1].second;
+        }
+        const auto d = warp.shfl_indexed(simt::full_mask, A[k], src);
+        A[k] = warp.div(unpivoted, A[k], d, unpivoted & rows2);
+        for (index_type j = k + 1; j < half; ++j) {
+            const auto akj = warp.shfl_indexed(simt::full_mask, A[j], src);
+            const lane_mask useful = j < m ? (unpivoted & rows2) : 0u;
+            A[j] = warp.fnma(unpivoted, A[k], akj, A[j], useful);
+        }
+    }
+    if (info != 0) {
+        // Leave the unfinished factors; callers treat the pair as failed.
+        return info;
+    }
+
+    // Fused permutation writeback, both problems per store.
+    Reg<index_type> gather{};
+    for (index_type l = 0; l < m; ++l) {
+        gather[l] = perm0[l];
+        gather[l + half] = perm1[l] + half;
+    }
+    for (index_type j = 0; j < m; ++j) {
+        const auto permuted = warp.shfl_indexed(rows2, A[j], gather);
+        Reg<T*> addr{};
+        Warp::for_each_lane(rows2, [&](int l) {
+            addr[l] = l < half ? a0.col(j) + l : a1.col(j) + (l - half);
+        });
+        warp.store_global(rows2, addr, permuted);
+    }
+    Reg<index_type> permreg{};
+    Reg<index_type*> paddr{};
+    for (index_type l = 0; l < m; ++l) {
+        permreg[l] = perm0[l];
+        permreg[l + half] = perm1[l];
+        paddr[l] = perm0.data() + l;
+        paddr[l + half] = perm1.data() + l;
+    }
+    warp.store_global(rows2, paddr, permreg);
+    return 0;
+}
+
+template <typename T>
+void getrs_warp_packed2(Warp& warp, ConstMatrixView<T> lu0,
+                        ConstMatrixView<T> lu1,
+                        std::span<const index_type> perm0,
+                        std::span<const index_type> perm1, std::span<T> b0,
+                        std::span<T> b1) {
+    const index_type m = lu0.rows();
+    VBATCH_ENSURE(m == lu1.rows() && m <= half,
+                  "packed solve handles equal sizes m <= 16");
+    const lane_mask rows2 = both_halves(m);
+
+    // Load the pivots and b with the permutation fused, both halves at
+    // once.
+    Reg<const index_type*> pa{};
+    Warp::for_each_lane(rows2, [&](int l) {
+        pa[l] = l < half ? perm0.data() + l : perm1.data() + (l - half);
+    });
+    const auto gather = warp.load_global(rows2, pa);
+    Reg<const T*> ba{};
+    Warp::for_each_lane(rows2, [&](int l) {
+        ba[l] = l < half ? b0.data() + gather[l]
+                         : b1.data() + gather[l];
+    });
+    auto x = warp.load_global(rows2, ba);
+
+    const auto bcast = [&](const Reg<T>& v, index_type k) {
+        Reg<index_type> src{};
+        for (int l = 0; l < warp_size; ++l) {
+            src[l] = l < half ? k : k + half;
+        }
+        return warp.shfl_indexed(simt::full_mask, v, src);
+    };
+
+    // Unit lower solve, one packed column load per step.
+    for (index_type k = 0; k + 1 < m; ++k) {
+        const lane_mask active = both_halves(m) &
+                                 ~both_halves(k + 1);
+        Reg<const T*> la{};
+        Warp::for_each_lane(active, [&](int l) {
+            la[l] = l < half ? lu0.col(k) + l : lu1.col(k) + (l - half);
+        });
+        const auto lcol = warp.load_global(active, la);
+        const auto bk = bcast(x, k);
+        x = warp.fnma(active, lcol, bk, x, active);
+    }
+    // Upper solve.
+    for (index_type k = m - 1; k >= 0; --k) {
+        const lane_mask upto = both_halves(k + 1);
+        Reg<const T*> ua{};
+        Warp::for_each_lane(upto, [&](int l) {
+            ua[l] = l < half ? lu0.col(k) + l : lu1.col(k) + (l - half);
+        });
+        const auto ucol = warp.load_global(upto, ua);
+        const auto ukk = bcast(ucol, k);
+        const lane_mask diag = (1u << k) | (1u << (k + half));
+        x = warp.div(diag & rows2, x, ukk, diag & rows2);
+        const auto bk = bcast(x, k);
+        const lane_mask above = both_halves(k);
+        x = warp.fnma(above, ucol, bk, x, above);
+    }
+
+    Reg<T*> out{};
+    Warp::for_each_lane(rows2, [&](int l) {
+        out[l] = l < half ? b0.data() + l : b1.data() + (l - half);
+    });
+    warp.store_global(rows2, out, x);
+}
+
+namespace {
+
+template <typename Body>
+SimtBatchResult drive_pairs(size_type total, const SimtBatchOptions& opts,
+                            Body&& body) {
+    SimtBatchResult result;
+    result.total = total;
+    size_type limit = (opts.sample_limit > 0 && opts.sample_limit < total)
+                          ? opts.sample_limit
+                          : total;
+    limit -= limit % 2;  // sample whole pairs
+    Warp warp;
+    for (size_type i = 0; i + 1 < limit; i += 2) {
+        const index_type info = body(warp, i);
+        if (info != 0) {
+            ++result.status.failures;
+            if (result.status.first_failure < 0) {
+                result.status.first_failure = info > 0 ? i : i + 1;
+            }
+        }
+    }
+    result.emulated = limit;
+    result.stats = warp.stats();
+    return result;
+}
+
+}  // namespace
+
+template <typename T>
+SimtBatchResult getrf_batch_simt_packed(BatchedMatrices<T>& a,
+                                        BatchedPivots& perm,
+                                        const SimtBatchOptions& opts) {
+    VBATCH_ENSURE(a.layout() == perm.layout(), "batch layouts differ");
+    VBATCH_ENSURE(a.layout().is_uniform() && a.layout().max_size() <= half,
+                  "packed kernels need a uniform batch with m <= 16");
+    auto result = drive_pairs(a.count(), opts, [&](Warp& w, size_type i) {
+        return getrf_warp_packed2(w, a.view(i), a.view(i + 1),
+                                  perm.span(i), perm.span(i + 1));
+    });
+    // Odd tail (and functional completeness when sampling is off): run the
+    // remaining problems through the full-warp kernel.
+    if (opts.sample_limit == 0 && a.count() % 2 == 1) {
+        Warp w;
+        const auto last = a.count() - 1;
+        if (getrf_warp(w, a.view(last), perm.span(last)) != 0) {
+            ++result.status.failures;
+        }
+        result.stats += w.stats();
+        result.emulated = a.count();
+    }
+    return result;
+}
+
+template <typename T>
+SimtBatchResult getrs_batch_simt_packed(const BatchedMatrices<T>& lu,
+                                        const BatchedPivots& perm,
+                                        BatchedVectors<T>& b,
+                                        const SimtBatchOptions& opts) {
+    VBATCH_ENSURE(lu.layout() == perm.layout() && lu.layout() == b.layout(),
+                  "batch layouts differ");
+    VBATCH_ENSURE(lu.layout().is_uniform() &&
+                      lu.layout().max_size() <= half,
+                  "packed kernels need a uniform batch with m <= 16");
+    auto result = drive_pairs(lu.count(), opts, [&](Warp& w, size_type i) {
+        getrs_warp_packed2(w, lu.view(i), lu.view(i + 1), perm.span(i),
+                           perm.span(i + 1), b.span(i), b.span(i + 1));
+        return index_type{0};
+    });
+    if (opts.sample_limit == 0 && lu.count() % 2 == 1) {
+        Warp w;
+        const auto last = lu.count() - 1;
+        getrs_warp(w, lu.view(last), perm.span(last), b.span(last));
+        result.stats += w.stats();
+        result.emulated = lu.count();
+    }
+    return result;
+}
+
+#define VBATCH_INSTANTIATE_PACKED(T)                                        \
+    template index_type getrf_warp_packed2<T>(                              \
+        Warp&, MatrixView<T>, MatrixView<T>, std::span<index_type>,         \
+        std::span<index_type>);                                             \
+    template void getrs_warp_packed2<T>(                                    \
+        Warp&, ConstMatrixView<T>, ConstMatrixView<T>,                      \
+        std::span<const index_type>, std::span<const index_type>,           \
+        std::span<T>, std::span<T>);                                        \
+    template SimtBatchResult getrf_batch_simt_packed<T>(                    \
+        BatchedMatrices<T>&, BatchedPivots&, const SimtBatchOptions&);      \
+    template SimtBatchResult getrs_batch_simt_packed<T>(                    \
+        const BatchedMatrices<T>&, const BatchedPivots&,                    \
+        BatchedVectors<T>&, const SimtBatchOptions&)
+
+VBATCH_INSTANTIATE_PACKED(float);
+VBATCH_INSTANTIATE_PACKED(double);
+
+#undef VBATCH_INSTANTIATE_PACKED
+
+}  // namespace vbatch::core

@@ -1,0 +1,109 @@
+// Warp-emulated (SIMT) versions of the batched kernels.
+//
+// These are the paper's CUDA kernels transcribed onto the simt::Warp
+// emulation layer: one warp per problem, one matrix row (LU/TRSV) or one
+// matrix column (GH) per lane, everything register-resident, warp shuffles
+// for communication, and the implicit-pivoting permutations fused into the
+// global-memory load/store. Executing them yields
+//   (a) bit-identical numerical results to the plain CPU backend (the
+//       test suite asserts this), and
+//   (b) exact instruction/transaction counts, which device_model.hpp
+//       converts into the P100 GFLOPS curves of Figs. 4-7.
+//
+// Padding semantics follow the paper (Section IV.B): a problem of size
+// k < 32 still occupies a full warp; the eager right-looking LU update
+// sweeps the full padded trailing block, executing more instructions than
+// useful flops -- the effect responsible for the LU/GH crossover.
+#pragma once
+
+#include "core/batch_storage.hpp"
+#include "core/gauss_huard.hpp"
+#include "core/getrf.hpp"
+#include "core/trsv.hpp"
+#include "simt/warp.hpp"
+
+namespace vbatch::core {
+
+// ---------------------------------------------------------------------
+// Single-warp kernels
+// ---------------------------------------------------------------------
+
+/// Small-size LU, implicit partial pivoting, register resident.
+/// `padded_update` selects the paper's production kernel (trailing update
+/// swept to the full warp width); false gives the "optimize for smaller
+/// block sizes" variant the paper leaves as future work -- the ablation
+/// bench_ablation_padding quantifies the difference.
+template <typename T>
+index_type getrf_warp(simt::Warp& warp, MatrixView<T> a,
+                      std::span<index_type> perm, bool padded_update = true);
+
+/// LU solve: permutation fused into the load of b, then unit-lower and
+/// upper triangular solves in the chosen variant.
+template <typename T>
+void getrs_warp(simt::Warp& warp, ConstMatrixView<T> lu,
+                std::span<const index_type> perm, std::span<T> b,
+                TrsvVariant variant = TrsvVariant::eager);
+
+/// Gauss-Huard factorization (lane per column, implicit column pivoting).
+template <typename T>
+index_type gauss_huard_warp(simt::Warp& warp, MatrixView<T> a,
+                            std::span<index_type> cperm,
+                            GhStorage storage = GhStorage::standard);
+
+/// Gauss-Huard application (eager, one factor column per step).
+template <typename T>
+void gauss_huard_solve_warp(simt::Warp& warp, ConstMatrixView<T> f,
+                            std::span<const index_type> cperm, std::span<T> b,
+                            GhStorage storage = GhStorage::standard);
+
+// ---------------------------------------------------------------------
+// Batch drivers (instrumentation harness for the figure benchmarks)
+// ---------------------------------------------------------------------
+
+struct SimtBatchOptions {
+    /// Emulate only the first `sample_limit` problems and extrapolate the
+    /// counters to the full batch (0 = emulate everything). Valid because
+    /// the instruction stream of these kernels depends on the problem
+    /// *size* only, not on the matrix values; benchmarks use uniform-size
+    /// batches. Sampled runs leave the tail of the batch unfactorized, so
+    /// functional consumers must keep the default.
+    size_type sample_limit = 0;
+    /// Padded trailing updates in the LU kernel (see getrf_warp).
+    bool padded_update = true;
+};
+
+struct SimtBatchResult {
+    simt::KernelStats stats;    ///< counters summed over emulated warps
+    size_type emulated = 0;     ///< number of warps actually emulated
+    size_type total = 0;        ///< batch size the launch represents
+    FactorizeStatus status;
+
+    /// Counters linearly extrapolated from the emulated sample to the
+    /// full batch (exact when emulated == total).
+    simt::KernelStats extrapolated() const;
+};
+
+template <typename T>
+SimtBatchResult getrf_batch_simt(BatchedMatrices<T>& a, BatchedPivots& perm,
+                                 const SimtBatchOptions& opts = {});
+
+template <typename T>
+SimtBatchResult getrs_batch_simt(const BatchedMatrices<T>& lu,
+                                 const BatchedPivots& perm,
+                                 BatchedVectors<T>& b,
+                                 TrsvVariant variant = TrsvVariant::eager,
+                                 const SimtBatchOptions& opts = {});
+
+template <typename T>
+SimtBatchResult gauss_huard_batch_simt(BatchedMatrices<T>& a,
+                                       BatchedPivots& cperm,
+                                       GhStorage storage = GhStorage::standard,
+                                       const SimtBatchOptions& opts = {});
+
+template <typename T>
+SimtBatchResult gauss_huard_solve_batch_simt(
+    const BatchedMatrices<T>& f, const BatchedPivots& cperm,
+    BatchedVectors<T>& b, GhStorage storage = GhStorage::standard,
+    const SimtBatchOptions& opts = {});
+
+}  // namespace vbatch::core

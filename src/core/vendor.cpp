@@ -1,0 +1,87 @@
+#include "core/vendor.hpp"
+
+#include <atomic>
+
+#include "base/macros.hpp"
+#include "base/thread_pool.hpp"
+#include "blas/lapack.hpp"
+
+namespace vbatch::core {
+
+template <typename T>
+FactorizeStatus vendor_getrf_batched(BatchedMatrices<T>& a,
+                                     BatchedPivots& ipiv,
+                                     const GetrfOptions& opts) {
+    if (!a.layout().is_uniform()) {
+        VBATCH_THROW_NOT_SUPPORTED(
+            "vendor batched LU supports fixed block size only");
+    }
+    VBATCH_ENSURE(a.layout() == ipiv.layout(),
+                  "matrix and pivot batch layouts differ");
+    std::atomic<size_type> failures{0};
+    std::atomic<size_type> first_failure{-1};
+    std::atomic<index_type> first_step{0};
+    const auto body = [&](size_type i) {
+        const index_type info = lapack::getrf<T>(a.view(i), ipiv.span(i));
+        if (info != 0) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            size_type expected = -1;
+            if (first_failure.compare_exchange_strong(expected, i)) {
+                first_step.store(info, std::memory_order_relaxed);
+            }
+        }
+    };
+    if (opts.parallel) {
+        ThreadPool::global().parallel_for(0, a.count(), body);
+    } else {
+        for (size_type i = 0; i < a.count(); ++i) {
+            body(i);
+        }
+    }
+    FactorizeStatus status;
+    status.failures = failures.load();
+    status.first_failure = first_failure.load();
+    if (!status.ok() &&
+        opts.on_singular == SingularPolicy::throw_on_breakdown) {
+        throw SingularMatrix("vendor batched LU breakdown",
+                             status.first_failure, first_step.load());
+    }
+    return status;
+}
+
+template <typename T>
+void vendor_getrs_batched(const BatchedMatrices<T>& lu,
+                          const BatchedPivots& ipiv, BatchedVectors<T>& b,
+                          bool parallel) {
+    if (!lu.layout().is_uniform()) {
+        VBATCH_THROW_NOT_SUPPORTED(
+            "vendor batched solve supports fixed block size only");
+    }
+    VBATCH_ENSURE(lu.layout() == ipiv.layout() && lu.layout() == b.layout(),
+                  "batch layouts differ");
+    const auto body = [&](size_type i) {
+        lapack::getrs<T>(lu.view(i), ipiv.span(i), b.span(i));
+    };
+    if (parallel) {
+        ThreadPool::global().parallel_for(0, lu.count(), body);
+    } else {
+        for (size_type i = 0; i < lu.count(); ++i) {
+            body(i);
+        }
+    }
+}
+
+#define VBATCH_INSTANTIATE_VENDOR(T)                                        \
+    template FactorizeStatus vendor_getrf_batched<T>(BatchedMatrices<T>&,   \
+                                                     BatchedPivots&,        \
+                                                     const GetrfOptions&);  \
+    template void vendor_getrs_batched<T>(const BatchedMatrices<T>&,        \
+                                          const BatchedPivots&,             \
+                                          BatchedVectors<T>&, bool)
+
+VBATCH_INSTANTIATE_VENDOR(float);
+VBATCH_INSTANTIATE_VENDOR(double);
+
+#undef VBATCH_INSTANTIATE_VENDOR
+
+}  // namespace vbatch::core

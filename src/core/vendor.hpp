@@ -1,0 +1,37 @@
+// Vendor-style fixed-size batched LU baseline.
+//
+// Substitutes for NVIDIA cuBLAS' getrfBatched / getrsBatched (closed
+// source; see DESIGN.md). The interface reproduces the two properties the
+// paper's comparison hinges on:
+//
+//  1. fixed block size only -- calling it with a variable-size batch
+//     throws vbatch::NotSupported, which is why the block-Jacobi solver
+//     study (Figs. 8/9, Table I) cannot include it;
+//  2. classic explicit partial pivoting with LAPACK-convention ipiv
+//     (row swaps materialized in memory at every elimination step).
+//
+// Performance curves for the figures come from simt::VendorModel, not from
+// timing this host code.
+#pragma once
+
+#include "core/batch_storage.hpp"
+#include "core/getrf.hpp"
+#include "core/trsv.hpp"
+
+namespace vbatch::core {
+
+/// Batched LU, explicit pivoting, LAPACK ipiv convention
+/// (ipiv[k] = row swapped with k). Requires a uniform layout.
+template <typename T>
+FactorizeStatus vendor_getrf_batched(BatchedMatrices<T>& a,
+                                     BatchedPivots& ipiv,
+                                     const GetrfOptions& opts = {});
+
+/// Batched solve from vendor_getrf_batched factors (laswp + 2 TRSV).
+/// Requires a uniform layout.
+template <typename T>
+void vendor_getrs_batched(const BatchedMatrices<T>& lu,
+                          const BatchedPivots& ipiv, BatchedVectors<T>& b,
+                          bool parallel = true);
+
+}  // namespace vbatch::core

@@ -1,0 +1,44 @@
+// Preconditioner interface for the Krylov solvers.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "base/types.hpp"
+
+namespace vbatch::precond {
+
+/// Left preconditioner M^{-1}: the solver calls apply(r, z) for z = M^{-1}r.
+template <typename T>
+class Preconditioner {
+public:
+    virtual ~Preconditioner() = default;
+
+    /// z := M^{-1} r. r and z must not alias.
+    virtual void apply(std::span<const T> r, std::span<T> z) const = 0;
+
+    virtual std::string name() const = 0;
+
+    /// Wall time spent in the setup (generation) phase, seconds.
+    virtual double setup_seconds() const = 0;
+
+    /// Number of diagonal blocks (1 for scalar/identity preconditioners).
+    virtual size_type num_blocks() const = 0;
+};
+
+/// No preconditioning: z := r.
+template <typename T>
+class IdentityPreconditioner final : public Preconditioner<T> {
+public:
+    void apply(std::span<const T> r, std::span<T> z) const override {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            z[i] = r[i];
+        }
+    }
+    std::string name() const override { return "identity"; }
+    double setup_seconds() const override { return 0.0; }
+    size_type num_blocks() const override { return 1; }
+};
+
+}  // namespace vbatch::precond

@@ -1,0 +1,49 @@
+// Scalar Jacobi preconditioner: M = diag(A) -- the "Jacobi" column of the
+// paper's Table I.
+#pragma once
+
+#include <vector>
+
+#include "base/macros.hpp"
+#include "base/timer.hpp"
+#include "precond/preconditioner.hpp"
+#include "sparse/csr.hpp"
+
+namespace vbatch::precond {
+
+template <typename T>
+class ScalarJacobi final : public Preconditioner<T> {
+public:
+    explicit ScalarJacobi(const sparse::Csr<T>& a) {
+        VBATCH_ENSURE(a.num_rows() == a.num_cols(),
+                      "Jacobi needs a square matrix");
+        Timer timer;
+        inv_diag_.resize(static_cast<std::size_t>(a.num_rows()));
+        for (index_type i = 0; i < a.num_rows(); ++i) {
+            const T d = a.at(i, i);
+            VBATCH_ENSURE(d != T{}, "zero diagonal entry");
+            inv_diag_[static_cast<std::size_t>(i)] = T{1} / d;
+        }
+        setup_seconds_ = timer.seconds();
+    }
+
+    void apply(std::span<const T> r, std::span<T> z) const override {
+        VBATCH_ENSURE_DIMS(r.size() == inv_diag_.size() &&
+                           z.size() == inv_diag_.size());
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            z[i] = inv_diag_[i] * r[i];
+        }
+    }
+
+    std::string name() const override { return "jacobi"; }
+    double setup_seconds() const override { return setup_seconds_; }
+    size_type num_blocks() const override {
+        return static_cast<size_type>(inv_diag_.size());
+    }
+
+private:
+    std::vector<T> inv_diag_;
+    double setup_seconds_ = 0.0;
+};
+
+}  // namespace vbatch::precond

@@ -1,0 +1,165 @@
+#include "simt/device_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/macros.hpp"
+
+namespace vbatch::simt {
+
+WarpFootprint register_kernel_footprint(index_type /*block_size*/,
+                                        Precision prec, int extra_regs) {
+    // The padded kernels hold a full warp-width row regardless of the
+    // block size, so the footprint depends on the precision only.
+    WarpFootprint fp;
+    const int words = prec == Precision::dp ? 2 : 1;
+    // One padded row of `warp_size` values per lane, plus bookkeeping
+    // (pivot flags, pointers, loop counters).
+    fp.registers_per_lane = warp_size * words + extra_regs;
+    fp.shared_bytes = 0;
+    return fp;
+}
+
+DeviceModel DeviceModel::p100() { return DeviceModel{}; }
+
+size_type DeviceModel::resident_warps(const WarpFootprint& fp) const {
+    const int regs_per_warp = fp.registers_per_lane * warp_size;
+    int warps_by_regs = registers_per_sm / std::max(1, regs_per_warp);
+    int warps_by_smem = fp.shared_bytes > 0
+                            ? shared_bytes_per_sm / fp.shared_bytes
+                            : max_warps_per_sm;
+    const int per_sm = std::clamp(std::min(warps_by_regs, warps_by_smem), 1,
+                                  max_warps_per_sm);
+    return static_cast<size_type>(per_sm) * num_sms;
+}
+
+double DeviceModel::estimate_seconds(const KernelStats& totals,
+                                     size_type num_warps, Precision prec,
+                                     const WarpFootprint& fp) const {
+    VBATCH_ENSURE(num_warps > 0, "empty launch");
+    const double fp_rate =
+        (prec == Precision::dp ? fp64_issue_per_sm : fp32_issue_per_sm);
+    // A 64-bit shuffle moves its value as two 32-bit shuffle operations.
+    const double shuffle_words = prec == Precision::dp ? 2.0 : 1.0;
+
+    // Issue-cycle budget across the whole device (cycles summed per SM).
+    const double issue_cycles =
+        static_cast<double>(totals.fp_instructions) / fp_rate +
+        static_cast<double>(totals.div_instructions) / div_issue_per_sm +
+        static_cast<double>(totals.shuffle_instructions) * shuffle_words /
+            shuffle_issue_per_sm +
+        static_cast<double>(totals.misc_instructions) / misc_issue_per_sm +
+        static_cast<double>(totals.shared_accesses +
+                            totals.shared_bank_conflicts) /
+            shared_issue_per_sm +
+        static_cast<double>(totals.load_requests + totals.store_requests +
+                            totals.load_replays + totals.store_replays) /
+            lsu_issue_per_sm;
+    const double t_compute = issue_cycles / (num_sms * clock_hz);
+
+    const double bytes = static_cast<double>(totals.load_bytes() +
+                                             totals.store_bytes());
+    // Memory-level parallelism ramp: a launch with few warps cannot keep
+    // the HBM pipeline full. Smooth saturation w / (w + w_half), with
+    // w_half chosen so the knee sits near 5-10k problems like Fig. 4/6.
+    const double w = static_cast<double>(num_warps);
+    const double w_half = bw_saturation_warps * 0.3;
+    const double bw_utilization = w / (w + w_half);
+    const double t_memory = bytes / (effective_bandwidth * bw_utilization);
+
+    // Latency bound: each wave of resident warps cannot finish faster than
+    // one warp's dependent critical path. Low register-limited occupancy
+    // makes this bound bite, which is what keeps these register-heavy
+    // kernels below peak bandwidth.
+    const size_type resident = resident_warps(fp);
+    const double waves =
+        std::ceil(static_cast<double>(num_warps) /
+                  static_cast<double>(resident));
+    const double per_warp_issues =
+        static_cast<double>(totals.fp_instructions +
+                            totals.div_instructions +
+                            totals.shuffle_instructions +
+                            totals.misc_instructions +
+                            totals.load_requests + totals.store_requests +
+                            totals.load_replays + totals.store_replays) /
+        static_cast<double>(num_warps);
+    const double t_crit = per_warp_issues * latency_cycles / clock_hz;
+    const double t_latency = waves * t_crit;
+
+    return launch_overhead_s_ + std::max({t_compute, t_memory, t_latency});
+}
+
+namespace {
+
+/// Linear interpolation in a (size -> GFLOPS) table with entries for every
+/// size in 4..32. Tables are transcribed from the curves in the paper's
+/// Fig. 5 (GETRF) and Fig. 7 (GETRS): a slowly rising envelope with tuned
+/// kernels at specific sizes producing local peaks.
+double table_lookup(const double* table, index_type m) {
+    const index_type mm = std::clamp<index_type>(m, 4, 32);
+    return table[mm - 4];
+}
+
+// cuBLAS getrfBatched, single precision: local peaks at m = 8, 16, 29.
+constexpr double vendor_getrf_sp[29] = {
+    //  4      5      6      7      8      9     10     11     12
+    8.0,  11.0,  15.0,  20.0,  42.0,  26.0,  30.0,  34.0,  40.0,
+    // 13     14     15     16     17     18     19     20     21
+    46.0,  54.0,  70.0, 110.0,  62.0,  66.0,  72.0,  80.0,  84.0,
+    // 22     23     24     25     26     27     28     29     30
+    88.0,  92.0, 100.0, 104.0, 110.0, 118.0, 128.0, 150.0, 120.0,
+    // 31     32
+    130.0, 170.0};
+
+// cuBLAS getrfBatched, double precision: local peaks at m = 8, 20.
+constexpr double vendor_getrf_dp[29] = {
+    6.0,   9.0,  12.0,  16.0,  34.0,  20.0,  24.0,  28.0,  33.0,
+    38.0,  43.0,  48.0,  54.0,  58.0,  62.0,  68.0,  92.0,  70.0,
+    74.0,  78.0,  82.0,  85.0,  88.0,  91.0,  94.0,  96.0,  97.0,
+    99.0, 100.0};
+
+// cuBLAS getrsBatched (permute + two TRSV), single precision. The paper
+// reports it optimized for m < 16 and ~4.5x slower than the small-size LU
+// TRSV at m = 32 (90+ GFLOPS -> ~20).
+constexpr double vendor_getrs_sp[29] = {
+    3.0,   4.0,   5.5,   7.0,  12.0,   9.0,  10.0,  11.0,  12.5,
+    13.5,  14.5,  16.0,  18.0,  15.0,  15.5,  16.0,  16.5,  17.0,
+    17.5,  18.0,  18.5,  19.0,  19.2,  19.5,  19.7,  20.0,  20.2,
+    20.5,  20.5};
+
+// cuBLAS getrsBatched, double precision (~4x slower than small-size LU at
+// m = 32: close to 80 -> ~19).
+constexpr double vendor_getrs_dp[29] = {
+    2.5,   3.5,   5.0,   6.5,  11.0,   8.0,   9.0,  10.0,  11.0,
+    12.0,  13.0,  14.5,  16.5,  13.5,  14.0,  14.5,  15.0,  15.5,
+    16.0,  16.5,  17.0,  17.5,  17.8,  18.0,  18.3,  18.5,  18.7,
+    19.0,  19.0};
+
+}  // namespace
+
+double VendorModel::getrf_gflops(index_type m, Precision prec) const {
+    return prec == Precision::dp ? table_lookup(vendor_getrf_dp, m)
+                                 : table_lookup(vendor_getrf_sp, m);
+}
+
+double VendorModel::getrs_gflops(index_type m, Precision prec) const {
+    return prec == Precision::dp ? table_lookup(vendor_getrs_dp, m)
+                                 : table_lookup(vendor_getrs_sp, m);
+}
+
+double VendorModel::estimate_seconds(double useful_flops,
+                                     double asymptotic_gflops,
+                                     size_type num_problems) const {
+    VBATCH_ENSURE(num_problems > 0, "empty launch");
+    const double t_throughput = useful_flops / (asymptotic_gflops * 1e9);
+    // Same ramp behaviour as the open kernels: a launch cannot beat the
+    // per-wave latency floor. Vendor kernels use one thread-block per
+    // problem; assume a comparable occupancy of 2048 problems in flight
+    // and a 3 us critical path per problem wave.
+    const double waves = std::ceil(static_cast<double>(num_problems) / 2048.0);
+    const double t_latency = waves * 3e-6;
+    return device_.launch_overhead_seconds() +
+           std::max(t_throughput, t_latency);
+}
+
+}  // namespace vbatch::simt

@@ -1,0 +1,71 @@
+// Instruction/transaction accounting for warp-emulated kernels.
+//
+// The emulator counts *warp-wide* instruction issues (on a GPU a predicated
+// FMA occupies the issue slot regardless of how many lanes are active) and,
+// separately, the number of *useful* floating-point operations actually
+// contributing to the mathematical result. The device model (device_model.hpp)
+// charges time for issues and bytes; benchmark GFLOPS are computed from
+// useful flops, exactly like the paper does. The gap between the two is
+// what produces the padding penalty of the eager right-looking LU for
+// block sizes k < 32 (Section IV.B of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "base/types.hpp"
+
+namespace vbatch::simt {
+
+struct KernelStats {
+    // -- instruction issues (warp-wide) --
+    size_type fp_instructions = 0;     ///< add/mul/fma issues
+    size_type div_instructions = 0;    ///< divisions (expensive path)
+    size_type shuffle_instructions = 0;///< __shfl-class issues
+    size_type misc_instructions = 0;   ///< compares, selects, index math
+
+    // -- useful mathematical work --
+    size_type useful_flops = 0;        ///< flops counted as in the paper
+
+    // -- global memory traffic (32-byte sectors, like nvprof's
+    //    gld/gst_transactions) --
+    size_type load_transactions = 0;
+    size_type store_transactions = 0;  ///< DRAM sectors after L2 write-combining
+    size_type load_requests = 0;       ///< warp-wide load instructions
+    size_type store_requests = 0;
+    /// LSU serialization: sectors beyond the first touched by one
+    /// instruction replay through the load/store unit even when the L2
+    /// absorbs the traffic -- the issue-side cost of non-coalesced access.
+    size_type load_replays = 0;
+    size_type store_replays = 0;
+
+    // -- shared memory --
+    size_type shared_accesses = 0;     ///< warp-wide shared ld/st issues
+    size_type shared_bank_conflicts = 0;
+
+    size_type load_bytes() const noexcept { return load_transactions * 32; }
+    size_type store_bytes() const noexcept { return store_transactions * 32; }
+
+    KernelStats& operator+=(const KernelStats& o) noexcept {
+        fp_instructions += o.fp_instructions;
+        div_instructions += o.div_instructions;
+        shuffle_instructions += o.shuffle_instructions;
+        misc_instructions += o.misc_instructions;
+        useful_flops += o.useful_flops;
+        load_transactions += o.load_transactions;
+        store_transactions += o.store_transactions;
+        load_requests += o.load_requests;
+        store_requests += o.store_requests;
+        load_replays += o.load_replays;
+        store_replays += o.store_replays;
+        shared_accesses += o.shared_accesses;
+        shared_bank_conflicts += o.shared_bank_conflicts;
+        return *this;
+    }
+
+    friend KernelStats operator+(KernelStats a, const KernelStats& b) {
+        a += b;
+        return a;
+    }
+};
+
+}  // namespace vbatch::simt

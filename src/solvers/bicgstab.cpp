@@ -1,0 +1,120 @@
+#include "solvers/bicgstab.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "base/macros.hpp"
+#include "base/timer.hpp"
+#include "blas/blas1.hpp"
+
+namespace vbatch::solvers {
+
+template <typename T>
+SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
+                     std::span<T> x, const precond::Preconditioner<T>& prec,
+                     const SolverOptions& opts) {
+    VBATCH_ENSURE(a.num_rows() == a.num_cols(), "square system required");
+    VBATCH_ENSURE_DIMS(static_cast<index_type>(b.size()) == a.num_rows());
+    VBATCH_ENSURE_DIMS(b.size() == x.size());
+    const auto nz = static_cast<std::size_t>(a.num_rows());
+
+    Timer timer;
+    SolveResult result;
+
+    std::vector<T> r(nz), r0(nz), p(nz), v(nz), s(nz), t(nz), phat(nz),
+        shat(nz);
+    a.spmv(std::span<const T>(x), std::span<T>(r));
+    for (std::size_t i = 0; i < nz; ++i) {
+        r[i] = b[i] - r[i];
+    }
+    blas::copy(std::span<const T>(r), std::span<T>(r0));
+    T normr = blas::nrm2(std::span<const T>(r));
+    result.initial_residual = static_cast<double>(normr);
+    const T tol = static_cast<T>(opts.rel_tol) * normr;
+    if (opts.keep_residual_history) {
+        result.residual_history.push_back(static_cast<double>(normr));
+    }
+
+    T rho_old{1}, alpha{1}, omega{1};
+    blas::fill(std::span<T>(p), T{});
+    blas::fill(std::span<T>(v), T{});
+
+    index_type iters = 0;
+    bool converged = normr <= tol;
+    while (!converged && iters < opts.max_iters) {
+        const T rho = blas::dot(std::span<const T>(r0),
+                                std::span<const T>(r));
+        if (rho == T{} || omega == T{}) {
+            result.breakdown = true;
+            break;
+        }
+        const T beta = (rho / rho_old) * (alpha / omega);
+        // p = r + beta * (p - omega * v)
+        for (std::size_t i = 0; i < nz; ++i) {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        prec.apply(std::span<const T>(p), std::span<T>(phat));
+        a.spmv(std::span<const T>(phat), std::span<T>(v));
+        ++iters;
+        const T r0v = blas::dot(std::span<const T>(r0),
+                                std::span<const T>(v));
+        if (r0v == T{}) {
+            result.breakdown = true;
+            break;
+        }
+        alpha = rho / r0v;
+        for (std::size_t i = 0; i < nz; ++i) {
+            s[i] = r[i] - alpha * v[i];
+        }
+        const T norms = blas::nrm2(std::span<const T>(s));
+        if (norms <= tol) {
+            blas::axpy(alpha, std::span<const T>(phat), std::span<T>(x));
+            blas::copy(std::span<const T>(s), std::span<T>(r));
+            normr = norms;
+            converged = true;
+            if (opts.keep_residual_history) {
+                result.residual_history.push_back(
+                    static_cast<double>(normr));
+            }
+            break;
+        }
+        prec.apply(std::span<const T>(s), std::span<T>(shat));
+        a.spmv(std::span<const T>(shat), std::span<T>(t));
+        ++iters;
+        const T tt = blas::dot(std::span<const T>(t), std::span<const T>(t));
+        if (tt == T{}) {
+            result.breakdown = true;
+            break;
+        }
+        omega = blas::dot(std::span<const T>(t), std::span<const T>(s)) / tt;
+        for (std::size_t i = 0; i < nz; ++i) {
+            x[i] += alpha * phat[i] + omega * shat[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        normr = blas::nrm2(std::span<const T>(r));
+        if (opts.keep_residual_history) {
+            result.residual_history.push_back(static_cast<double>(normr));
+        }
+        converged = normr <= tol;
+        rho_old = rho;
+    }
+
+    result.converged = converged;
+    result.iterations = iters;
+    result.final_residual = static_cast<double>(normr);
+    result.solve_seconds = timer.seconds();
+    return result;
+}
+
+template SolveResult bicgstab<float>(const sparse::Csr<float>&,
+                                     std::span<const float>,
+                                     std::span<float>,
+                                     const precond::Preconditioner<float>&,
+                                     const SolverOptions&);
+template SolveResult bicgstab<double>(const sparse::Csr<double>&,
+                                      std::span<const double>,
+                                      std::span<double>,
+                                      const precond::Preconditioner<double>&,
+                                      const SolverOptions&);
+
+}  // namespace vbatch::solvers

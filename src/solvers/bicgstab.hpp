@@ -1,0 +1,17 @@
+// Preconditioned BiCGSTAB (van der Vorst 1992): the classic nonsymmetric
+// workhorse, provided alongside IDR(4) for cross-checks -- IDR(1) is
+// mathematically equivalent to BiCGSTAB, a property the test suite uses.
+#pragma once
+
+#include "precond/preconditioner.hpp"
+#include "solvers/solver_base.hpp"
+#include "sparse/csr.hpp"
+
+namespace vbatch::solvers {
+
+template <typename T>
+SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
+                     std::span<T> x, const precond::Preconditioner<T>& prec,
+                     const SolverOptions& opts = {});
+
+}  // namespace vbatch::solvers

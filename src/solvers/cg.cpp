@@ -1,0 +1,88 @@
+#include "solvers/cg.hpp"
+
+#include <vector>
+
+#include "base/macros.hpp"
+#include "base/timer.hpp"
+#include "blas/blas1.hpp"
+
+namespace vbatch::solvers {
+
+template <typename T>
+SolveResult cg(const sparse::Csr<T>& a, std::span<const T> b, std::span<T> x,
+               const precond::Preconditioner<T>& prec,
+               const SolverOptions& opts) {
+    VBATCH_ENSURE(a.num_rows() == a.num_cols(), "square system required");
+    VBATCH_ENSURE_DIMS(static_cast<index_type>(b.size()) == a.num_rows());
+    VBATCH_ENSURE_DIMS(b.size() == x.size());
+    const auto nz = static_cast<std::size_t>(a.num_rows());
+
+    Timer timer;
+    SolveResult result;
+
+    std::vector<T> r(nz), z(nz), p(nz), q(nz);
+    a.spmv(std::span<const T>(x), std::span<T>(r));
+    for (std::size_t i = 0; i < nz; ++i) {
+        r[i] = b[i] - r[i];
+    }
+    T normr = blas::nrm2(std::span<const T>(r));
+    result.initial_residual = static_cast<double>(normr);
+    const T tol = static_cast<T>(opts.rel_tol) * normr;
+    if (opts.keep_residual_history) {
+        result.residual_history.push_back(static_cast<double>(normr));
+    }
+
+    prec.apply(std::span<const T>(r), std::span<T>(z));
+    blas::copy(std::span<const T>(z), std::span<T>(p));
+    T rz = blas::dot(std::span<const T>(r), std::span<const T>(z));
+
+    index_type iters = 0;
+    bool converged = normr <= tol;
+    while (!converged && iters < opts.max_iters) {
+        a.spmv(std::span<const T>(p), std::span<T>(q));
+        ++iters;
+        const T pq = blas::dot(std::span<const T>(p), std::span<const T>(q));
+        if (pq == T{}) {
+            result.breakdown = true;
+            break;
+        }
+        const T alpha = rz / pq;
+        blas::axpy(alpha, std::span<const T>(p), std::span<T>(x));
+        blas::axpy(-alpha, std::span<const T>(q), std::span<T>(r));
+        normr = blas::nrm2(std::span<const T>(r));
+        if (opts.keep_residual_history) {
+            result.residual_history.push_back(static_cast<double>(normr));
+        }
+        converged = normr <= tol;
+        if (converged) {
+            break;
+        }
+        prec.apply(std::span<const T>(r), std::span<T>(z));
+        const T rz_new = blas::dot(std::span<const T>(r),
+                                   std::span<const T>(z));
+        if (rz == T{}) {
+            result.breakdown = true;
+            break;
+        }
+        const T beta = rz_new / rz;
+        blas::xpby(std::span<const T>(z), beta, std::span<T>(p));
+        rz = rz_new;
+    }
+
+    result.converged = converged;
+    result.iterations = iters;
+    result.final_residual = static_cast<double>(normr);
+    result.solve_seconds = timer.seconds();
+    return result;
+}
+
+template SolveResult cg<float>(const sparse::Csr<float>&,
+                               std::span<const float>, std::span<float>,
+                               const precond::Preconditioner<float>&,
+                               const SolverOptions&);
+template SolveResult cg<double>(const sparse::Csr<double>&,
+                                std::span<const double>, std::span<double>,
+                                const precond::Preconditioner<double>&,
+                                const SolverOptions&);
+
+}  // namespace vbatch::solvers

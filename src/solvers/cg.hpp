@@ -1,0 +1,17 @@
+// Preconditioned Conjugate Gradients for symmetric positive definite
+// systems (Hestenes-Stiefel), completing the solver family; the
+// future-work Cholesky variant of the paper targets exactly this pairing.
+#pragma once
+
+#include "precond/preconditioner.hpp"
+#include "solvers/solver_base.hpp"
+#include "sparse/csr.hpp"
+
+namespace vbatch::solvers {
+
+template <typename T>
+SolveResult cg(const sparse::Csr<T>& a, std::span<const T> b, std::span<T> x,
+               const precond::Preconditioner<T>& prec,
+               const SolverOptions& opts = {});
+
+}  // namespace vbatch::solvers

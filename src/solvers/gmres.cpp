@@ -1,0 +1,162 @@
+#include "solvers/gmres.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "base/macros.hpp"
+#include "base/timer.hpp"
+#include "blas/blas1.hpp"
+#include "blas/dense_matrix.hpp"
+
+namespace vbatch::solvers {
+
+template <typename T>
+SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
+                  std::span<T> x, const precond::Preconditioner<T>& prec,
+                  const GmresOptions& opts) {
+    VBATCH_ENSURE(a.num_rows() == a.num_cols(), "square system required");
+    VBATCH_ENSURE_DIMS(static_cast<index_type>(b.size()) == a.num_rows());
+    VBATCH_ENSURE_DIMS(b.size() == x.size());
+    VBATCH_ENSURE(opts.restart >= 1, "restart length must be positive");
+    const auto nz = static_cast<std::size_t>(a.num_rows());
+    const index_type m = opts.restart;
+
+    Timer timer;
+    SolveResult result;
+
+    std::vector<T> r(nz), w(nz), z(nz);
+    // Left-preconditioned residual: z = M^{-1}(b - A x).
+    const auto compute_residual = [&] {
+        a.spmv(std::span<const T>(x), std::span<T>(w));
+        for (std::size_t i = 0; i < nz; ++i) {
+            w[i] = b[i] - w[i];
+        }
+        prec.apply(std::span<const T>(w), std::span<T>(r));
+        return blas::nrm2(std::span<const T>(r));
+    };
+
+    T beta = compute_residual();
+    result.initial_residual = static_cast<double>(beta);
+    const T tol = static_cast<T>(opts.rel_tol) * beta;
+    if (opts.keep_residual_history) {
+        result.residual_history.push_back(static_cast<double>(beta));
+    }
+
+    // Krylov basis (n x (m+1)) and Hessenberg ((m+1) x m).
+    auto v = DenseMatrix<T>::zeros(a.num_rows(), m + 1);
+    auto h = DenseMatrix<T>::zeros(m + 1, m);
+    std::vector<T> cs(static_cast<std::size_t>(m)),
+        sn(static_cast<std::size_t>(m)), g(static_cast<std::size_t>(m) + 1),
+        y(static_cast<std::size_t>(m));
+    const auto vcol = [&](index_type j) {
+        return std::span<T>{v.data() + static_cast<size_type>(j) *
+                                           a.num_rows(),
+                            nz};
+    };
+
+    index_type iters = 0;
+    bool converged = beta <= tol;
+    while (!converged && iters < opts.max_iters && !result.breakdown) {
+        // Start/restart the Arnoldi process from the current residual.
+        if (beta == T{}) {
+            converged = true;
+            break;
+        }
+        {
+            auto v0 = vcol(0);
+            for (std::size_t i = 0; i < nz; ++i) {
+                v0[i] = r[i] / beta;
+            }
+        }
+        blas::fill(std::span<T>(g), T{});
+        g[0] = beta;
+        index_type j = 0;
+        for (; j < m && iters < opts.max_iters; ++j) {
+            // w = M^{-1} A v_j
+            a.spmv(std::span<const T>(vcol(j)), std::span<T>(w));
+            ++iters;
+            prec.apply(std::span<const T>(w), std::span<T>(z));
+            // Modified Gram-Schmidt.
+            for (index_type i = 0; i <= j; ++i) {
+                h(i, j) = blas::dot(std::span<const T>(vcol(i)),
+                                    std::span<const T>(z));
+                blas::axpy(-h(i, j), std::span<const T>(vcol(i)),
+                           std::span<T>(z));
+            }
+            h(j + 1, j) = blas::nrm2(std::span<const T>(z));
+            if (h(j + 1, j) != T{}) {
+                auto vj1 = vcol(j + 1);
+                for (std::size_t i = 0; i < nz; ++i) {
+                    vj1[i] = z[i] / h(j + 1, j);
+                }
+            }
+            // Apply the accumulated Givens rotations to column j.
+            for (index_type i = 0; i < j; ++i) {
+                const T tmp = cs[static_cast<std::size_t>(i)] * h(i, j) +
+                              sn[static_cast<std::size_t>(i)] * h(i + 1, j);
+                h(i + 1, j) = -sn[static_cast<std::size_t>(i)] * h(i, j) +
+                              cs[static_cast<std::size_t>(i)] * h(i + 1, j);
+                h(i, j) = tmp;
+            }
+            // New rotation annihilating h(j+1, j).
+            const T denom = std::sqrt(h(j, j) * h(j, j) +
+                                      h(j + 1, j) * h(j + 1, j));
+            if (denom == T{}) {
+                result.breakdown = true;
+                ++j;
+                break;
+            }
+            cs[static_cast<std::size_t>(j)] = h(j, j) / denom;
+            sn[static_cast<std::size_t>(j)] = h(j + 1, j) / denom;
+            h(j, j) = denom;
+            h(j + 1, j) = T{};
+            g[static_cast<std::size_t>(j) + 1] =
+                -sn[static_cast<std::size_t>(j)] *
+                g[static_cast<std::size_t>(j)];
+            g[static_cast<std::size_t>(j)] =
+                cs[static_cast<std::size_t>(j)] *
+                g[static_cast<std::size_t>(j)];
+            const T res = std::abs(g[static_cast<std::size_t>(j) + 1]);
+            if (opts.keep_residual_history) {
+                result.residual_history.push_back(static_cast<double>(res));
+            }
+            if (res <= tol) {
+                converged = true;
+                ++j;
+                break;
+            }
+        }
+        // Solve the (j x j) triangular system for y and update x.
+        for (index_type i = j - 1; i >= 0; --i) {
+            T acc = g[static_cast<std::size_t>(i)];
+            for (index_type l = i + 1; l < j; ++l) {
+                acc -= h(i, l) * y[static_cast<std::size_t>(l)];
+            }
+            y[static_cast<std::size_t>(i)] = acc / h(i, i);
+        }
+        for (index_type i = 0; i < j; ++i) {
+            blas::axpy(y[static_cast<std::size_t>(i)],
+                       std::span<const T>(vcol(i)), std::span<T>(x));
+        }
+        beta = compute_residual();
+        converged = beta <= tol;
+    }
+
+    result.converged = converged;
+    result.iterations = iters;
+    result.final_residual = static_cast<double>(beta);
+    result.solve_seconds = timer.seconds();
+    return result;
+}
+
+template SolveResult gmres<float>(const sparse::Csr<float>&,
+                                  std::span<const float>, std::span<float>,
+                                  const precond::Preconditioner<float>&,
+                                  const GmresOptions&);
+template SolveResult gmres<double>(const sparse::Csr<double>&,
+                                   std::span<const double>,
+                                   std::span<double>,
+                                   const precond::Preconditioner<double>&,
+                                   const GmresOptions&);
+
+}  // namespace vbatch::solvers

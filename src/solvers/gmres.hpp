@@ -1,0 +1,21 @@
+// Restarted GMRES(m) with left preconditioning (Saad & Schultz), rounding
+// out the Krylov family of the library.
+#pragma once
+
+#include "precond/preconditioner.hpp"
+#include "solvers/solver_base.hpp"
+#include "sparse/csr.hpp"
+
+namespace vbatch::solvers {
+
+struct GmresOptions : SolverOptions {
+    /// Restart length.
+    index_type restart = 30;
+};
+
+template <typename T>
+SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
+                  std::span<T> x, const precond::Preconditioner<T>& prec,
+                  const GmresOptions& opts = {});
+
+}  // namespace vbatch::solvers

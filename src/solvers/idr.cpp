@@ -1,0 +1,261 @@
+#include "solvers/idr.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "base/macros.hpp"
+#include "base/random.hpp"
+#include "base/timer.hpp"
+#include "blas/blas1.hpp"
+#include "blas/dense_matrix.hpp"
+#include "blas/lapack.hpp"
+
+namespace vbatch::solvers {
+
+namespace {
+
+/// Orthonormalize the columns of p (modified Gram-Schmidt); the shadow
+/// space must have full rank for IDR to be well defined.
+template <typename T>
+void orthonormalize(DenseMatrix<T>& p) {
+    const index_type n = p.rows();
+    const index_type s = p.cols();
+    for (index_type j = 0; j < s; ++j) {
+        std::span<T> pj{p.data() + static_cast<size_type>(j) * n,
+                        static_cast<std::size_t>(n)};
+        for (index_type i = 0; i < j; ++i) {
+            std::span<const T> pi{p.data() + static_cast<size_type>(i) * n,
+                                  static_cast<std::size_t>(n)};
+            const T proj = blas::dot(pi, std::span<const T>(pj));
+            blas::axpy(-proj, pi, pj);
+        }
+        const T norm = blas::nrm2(std::span<const T>(pj));
+        VBATCH_ENSURE(norm > T{}, "degenerate shadow space");
+        blas::scal(T{1} / norm, pj);
+    }
+}
+
+}  // namespace
+
+template <typename T>
+SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
+                std::span<T> x, const precond::Preconditioner<T>& prec,
+                const IdrOptions& opts) {
+    VBATCH_ENSURE(a.num_rows() == a.num_cols(), "square system required");
+    VBATCH_ENSURE_DIMS(static_cast<index_type>(b.size()) == a.num_rows());
+    VBATCH_ENSURE_DIMS(b.size() == x.size());
+    VBATCH_ENSURE(opts.s >= 1, "shadow dimension must be positive");
+    const index_type n = a.num_rows();
+    const index_type s = opts.s;
+    const auto nz = static_cast<std::size_t>(n);
+
+    Timer timer;
+    SolveResult result;
+
+    // r = b - A x
+    std::vector<T> r(nz);
+    a.spmv(std::span<const T>(x), std::span<T>(r));
+    for (std::size_t i = 0; i < nz; ++i) {
+        r[i] = b[i] - r[i];
+    }
+    T normr = blas::nrm2(std::span<const T>(r));
+    result.initial_residual = static_cast<double>(normr);
+    const T tol = static_cast<T>(opts.rel_tol) * normr;
+    if (opts.keep_residual_history) {
+        result.residual_history.push_back(static_cast<double>(normr));
+    }
+
+    // Random orthonormal shadow space P (n x s), fixed seed.
+    auto p = DenseMatrix<T>::random(n, s, opts.shadow_seed);
+    orthonormalize(p);
+    const auto pcol = [&](index_type j) {
+        return std::span<const T>{p.data() + static_cast<size_type>(j) * n,
+                                  nz};
+    };
+
+    auto g = DenseMatrix<T>::zeros(n, s);
+    auto u = DenseMatrix<T>::zeros(n, s);
+    auto mmat = DenseMatrix<T>::identity(s);
+    const auto gcol = [&](index_type j) {
+        return std::span<T>{g.data() + static_cast<size_type>(j) * n, nz};
+    };
+    const auto ucol = [&](index_type j) {
+        return std::span<T>{u.data() + static_cast<size_type>(j) * n, nz};
+    };
+
+    std::vector<T> f(static_cast<std::size_t>(s));
+    std::vector<T> c(static_cast<std::size_t>(s));
+    std::vector<T> v(nz), vhat(nz), t(nz);
+    T om{1};
+
+    // Minimal-residual smoothing state: (xs, rs) track the smoothed
+    // iterate; after every update of (x, r) we move (xs, rs) toward it by
+    // the step that minimizes ||rs||.
+    std::vector<T> xs, rs;
+    T norm_rs = normr;
+    if (opts.smoothing) {
+        xs.assign(x.begin(), x.end());
+        rs.assign(r.begin(), r.end());
+    }
+    const auto smooth = [&] {
+        if (!opts.smoothing) {
+            return;
+        }
+        // d = rs - r; gamma = (rs, d) / (d, d); rs -= gamma d.
+        T dd{}, rd{};
+        for (std::size_t i = 0; i < nz; ++i) {
+            const T d = rs[i] - r[i];
+            dd += d * d;
+            rd += rs[i] * d;
+        }
+        if (dd == T{}) {
+            return;
+        }
+        const T gamma = rd / dd;
+        for (std::size_t i = 0; i < nz; ++i) {
+            rs[i] -= gamma * (rs[i] - r[i]);
+            xs[i] -= gamma * (xs[i] - x[i]);
+        }
+        norm_rs = blas::nrm2(std::span<const T>(rs));
+    };
+
+    index_type iters = 0;
+    bool converged = normr <= tol;
+    while (!converged && iters < opts.max_iters && !result.breakdown) {
+        // f = P^T r
+        for (index_type i = 0; i < s; ++i) {
+            f[static_cast<std::size_t>(i)] =
+                blas::dot(pcol(i), std::span<const T>(r));
+        }
+        for (index_type k = 0; k < s && !converged; ++k) {
+            // Solve the trailing (s-k) x (s-k) block of M for c.
+            const index_type sk = s - k;
+            DenseMatrix<T> msub(sk, sk);
+            for (index_type j = 0; j < sk; ++j) {
+                for (index_type i = 0; i < sk; ++i) {
+                    msub(i, j) = mmat(k + i, k + j);
+                }
+                c[static_cast<std::size_t>(j)] =
+                    f[static_cast<std::size_t>(k + j)];
+            }
+            if (lapack::gesv<T>(msub.view(),
+                                std::span<T>(c.data(),
+                                             static_cast<std::size_t>(sk))) !=
+                0) {
+                result.breakdown = true;
+                break;
+            }
+            // v = r - sum_i c_i g_{k+i}
+            blas::copy(std::span<const T>(r), std::span<T>(v));
+            for (index_type i = 0; i < sk; ++i) {
+                blas::axpy(-c[static_cast<std::size_t>(i)],
+                           std::span<const T>(gcol(k + i)), std::span<T>(v));
+            }
+            // Preconditioned direction.
+            prec.apply(std::span<const T>(v), std::span<T>(vhat));
+            // u_k = om * vhat + sum_i c_i u_{k+i}. The i = 0 term reads the
+            // old u_k, so fold it into the overwriting pass.
+            auto uk = ucol(k);
+            const T c0 = c[0];
+            for (std::size_t i = 0; i < nz; ++i) {
+                uk[i] = om * vhat[i] + c0 * uk[i];
+            }
+            for (index_type i = 1; i < sk; ++i) {
+                blas::axpy(c[static_cast<std::size_t>(i)],
+                           std::span<const T>(ucol(k + i)), std::span<T>(uk));
+            }
+            // g_k = A u_k
+            a.spmv(std::span<const T>(uk), std::span<T>(gcol(k)));
+            ++iters;
+            // Bi-orthogonalize g_k (and u_k) against p_0..p_{k-1}.
+            for (index_type i = 0; i < k; ++i) {
+                const T alpha =
+                    blas::dot(pcol(i), std::span<const T>(gcol(k))) /
+                    mmat(i, i);
+                blas::axpy(-alpha, std::span<const T>(gcol(i)),
+                           std::span<T>(gcol(k)));
+                blas::axpy(-alpha, std::span<const T>(ucol(i)),
+                           std::span<T>(uk));
+            }
+            // New column of M.
+            for (index_type i = k; i < s; ++i) {
+                mmat(i, k) = blas::dot(pcol(i), std::span<const T>(gcol(k)));
+            }
+            if (mmat(k, k) == T{}) {
+                result.breakdown = true;
+                break;
+            }
+            const T beta = f[static_cast<std::size_t>(k)] / mmat(k, k);
+            blas::axpy(-beta, std::span<const T>(gcol(k)), std::span<T>(r));
+            blas::axpy(beta, std::span<const T>(uk), std::span<T>(x));
+            normr = blas::nrm2(std::span<const T>(r));
+            smooth();
+            const T monitored = opts.smoothing ? norm_rs : normr;
+            if (opts.keep_residual_history) {
+                result.residual_history.push_back(
+                    static_cast<double>(monitored));
+            }
+            converged = monitored <= tol;
+            for (index_type i = k + 1; i < s; ++i) {
+                f[static_cast<std::size_t>(i)] -= beta * mmat(i, k);
+            }
+            if (iters >= opts.max_iters) {
+                break;
+            }
+        }
+        if (converged || result.breakdown || iters >= opts.max_iters) {
+            break;
+        }
+        // Dimension-reduction step: r in G_j -> r in G_{j+1}.
+        prec.apply(std::span<const T>(r), std::span<T>(vhat));
+        a.spmv(std::span<const T>(vhat), std::span<T>(t));
+        ++iters;
+        const T tt = blas::dot(std::span<const T>(t), std::span<const T>(t));
+        const T tr = blas::dot(std::span<const T>(t), std::span<const T>(r));
+        if (tt == T{}) {
+            result.breakdown = true;
+            break;
+        }
+        om = tr / tt;
+        // Angle safeguard (van Gijzen): avoid tiny omega.
+        const T rho = std::abs(tr) / (std::sqrt(tt) * normr);
+        if (rho < static_cast<T>(opts.kappa) && rho > T{}) {
+            om *= static_cast<T>(opts.kappa) / rho;
+        }
+        if (om == T{}) {
+            result.breakdown = true;
+            break;
+        }
+        blas::axpy(om, std::span<const T>(vhat), std::span<T>(x));
+        blas::axpy(-om, std::span<const T>(t), std::span<T>(r));
+        normr = blas::nrm2(std::span<const T>(r));
+        smooth();
+        const T monitored = opts.smoothing ? norm_rs : normr;
+        if (opts.keep_residual_history) {
+            result.residual_history.push_back(
+                static_cast<double>(monitored));
+        }
+        converged = monitored <= tol;
+    }
+
+    if (opts.smoothing) {
+        blas::copy(std::span<const T>(xs), std::span<T>(x));
+        normr = norm_rs;
+    }
+    result.converged = converged;
+    result.iterations = iters;
+    result.final_residual = static_cast<double>(normr);
+    result.solve_seconds = timer.seconds();
+    return result;
+}
+
+template SolveResult idr<float>(const sparse::Csr<float>&,
+                                std::span<const float>, std::span<float>,
+                                const precond::Preconditioner<float>&,
+                                const IdrOptions&);
+template SolveResult idr<double>(const sparse::Csr<double>&,
+                                 std::span<const double>, std::span<double>,
+                                 const precond::Preconditioner<double>&,
+                                 const IdrOptions&);
+
+}  // namespace vbatch::solvers

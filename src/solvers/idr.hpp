@@ -1,0 +1,38 @@
+// IDR(s) -- the Krylov method of the paper's solver study (IDR(4),
+// Section IV.D), in the "biortho" variant of van Gijzen & Sonneveld
+// (Algorithm 913, ACM TOMS 2011), with left preconditioning, exactly the
+// configuration MAGMA-sparse's IDR uses.
+//
+// IDR(s) forces the residual into a shrinking sequence of Sonneveld spaces
+// G_j; each cycle performs s preconditioned "directions" plus one
+// dimension-reduction step, i.e. s+1 operator applications.
+#pragma once
+
+#include "precond/preconditioner.hpp"
+#include "solvers/solver_base.hpp"
+#include "sparse/csr.hpp"
+
+namespace vbatch::solvers {
+
+struct IdrOptions : SolverOptions {
+    /// Shadow-space dimension (the paper uses s = 4).
+    index_type s = 4;
+    /// Seed for the random shadow space P (fixed for reproducibility).
+    std::uint64_t shadow_seed = 7;
+    /// Angle safeguard for the omega computation (van Gijzen's kappa).
+    double kappa = 0.7;
+    /// Minimal-residual smoothing (the option MAGMA-sparse's IDR exposes):
+    /// returns the smoothed iterate whose residual norm is monotonically
+    /// non-increasing, at the cost of two extra vectors and a dot/axpy
+    /// pair per iteration.
+    bool smoothing = false;
+};
+
+/// Solve A x = b with IDR(s); x holds the initial guess on entry and the
+/// solution on exit.
+template <typename T>
+SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
+                std::span<T> x, const precond::Preconditioner<T>& prec,
+                const IdrOptions& opts = {});
+
+}  // namespace vbatch::solvers

@@ -1,0 +1,41 @@
+// Common options/result types for the iterative solvers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace vbatch::solvers {
+
+struct SolverOptions {
+    /// Stop when ||r|| <= rel_tol * ||r0|| (the paper stops after the
+    /// relative residual norm dropped six orders of magnitude).
+    double rel_tol = 1e-6;
+    /// Iteration budget; the paper allows up to 10,000.
+    index_type max_iters = 10000;
+    /// Record ||r|| after every iteration (costs memory, for plots/tests).
+    bool keep_residual_history = false;
+};
+
+struct SolveResult {
+    bool converged = false;
+    /// Consumed iterations. One iteration = one operator (SpMV)
+    /// application, the convention MAGMA-sparse reports.
+    index_type iterations = 0;
+    double initial_residual = 0.0;
+    double final_residual = 0.0;
+    /// Wall time of the iterative phase (excludes preconditioner setup).
+    double solve_seconds = 0.0;
+    /// True if the method broke down (division by a vanishing inner
+    /// product) before reaching the tolerance.
+    bool breakdown = false;
+    std::vector<double> residual_history;
+
+    double relative_residual() const {
+        return initial_residual > 0.0 ? final_residual / initial_residual
+                                      : final_residual;
+    }
+};
+
+}  // namespace vbatch::solvers

@@ -1,0 +1,83 @@
+// Compressed Sparse Row matrix -- the storage format the paper's
+// block-Jacobi ecosystem extracts diagonal blocks from (Section III.C)
+// and the format the Krylov solvers run their SpMV on.
+//
+// Invariants: row_ptrs has num_rows()+1 monotonically non-decreasing
+// entries; within each row the column indices are strictly increasing
+// (duplicates are merged on construction).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace vbatch::sparse {
+
+/// One (row, col, value) entry of a matrix in construction.
+template <typename T>
+struct Triplet {
+    index_type row;
+    index_type col;
+    T value;
+};
+
+template <typename T>
+class Csr {
+public:
+    Csr() : num_rows_(0), num_cols_(0) { row_ptrs_.push_back(0); }
+
+    /// Build from an unordered triplet list; duplicate entries are summed.
+    static Csr from_triplets(index_type num_rows, index_type num_cols,
+                             std::vector<Triplet<T>> triplets);
+
+    /// Build directly from validated CSR arrays.
+    Csr(index_type num_rows, index_type num_cols,
+        std::vector<size_type> row_ptrs, std::vector<index_type> col_idxs,
+        std::vector<T> values);
+
+    index_type num_rows() const noexcept { return num_rows_; }
+    index_type num_cols() const noexcept { return num_cols_; }
+    size_type nnz() const noexcept {
+        return static_cast<size_type>(values_.size());
+    }
+
+    std::span<const size_type> row_ptrs() const noexcept { return row_ptrs_; }
+    std::span<const index_type> col_idxs() const noexcept {
+        return col_idxs_;
+    }
+    std::span<const T> values() const noexcept { return values_; }
+    std::span<T> values() noexcept { return values_; }
+
+    /// Entry (i, j), or zero if not stored (binary search; test helper).
+    T at(index_type i, index_type j) const;
+
+    /// y := A x
+    void spmv(std::span<const T> x, std::span<T> y) const;
+
+    /// y := alpha A x + beta y
+    void spmv(T alpha, std::span<const T> x, T beta, std::span<T> y) const;
+
+    /// Number of stored entries in row i.
+    index_type row_nnz(index_type i) const noexcept {
+        return static_cast<index_type>(
+            row_ptrs_[static_cast<std::size_t>(i) + 1] -
+            row_ptrs_[static_cast<std::size_t>(i)]);
+    }
+
+    /// Transposed copy (used by generators and tests).
+    Csr transpose() const;
+
+    /// True if the sparsity pattern and values are symmetric (tolerance on
+    /// values; pattern must match exactly).
+    bool is_symmetric(T tol) const;
+
+private:
+    index_type num_rows_;
+    index_type num_cols_;
+    std::vector<size_type> row_ptrs_;
+    std::vector<index_type> col_idxs_;
+    std::vector<T> values_;
+};
+
+}  // namespace vbatch::sparse

@@ -1,0 +1,352 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "base/macros.hpp"
+#include "base/random.hpp"
+
+namespace vbatch::sparse {
+
+namespace {
+
+/// Append the dense dofs x dofs node-coupling block for grid node `node`.
+/// The diagonal covers the couplings *exactly* (weak dominance): interior
+/// rows balance like a Dirichlet Laplacian, the strict boundary rows keep
+/// the matrix irreducibly diagonally dominant (hence non-singular), and
+/// the assembled operator has the classic O(h^-2) conditioning that makes
+/// the solver study meaningful.
+template <typename T>
+void append_node_block(std::vector<Triplet<T>>& triplets, index_type node,
+                       index_type dofs, T stencil_weight,
+                       std::uint64_t seed) {
+    auto eng = make_engine(seed, static_cast<std::uint64_t>(node));
+    const index_type base = node * dofs;
+    // Intra-node coupling strength relative to the stencil scale.
+    const T amp = T{0.5} * stencil_weight /
+                  static_cast<T>(std::max<index_type>(1, dofs - 1));
+    // The intra-node block is a weighted *graph Laplacian* over the dofs:
+    // symmetric negative couplings, diagonal = exact row cover. This adds
+    // a positive-semidefinite zero-row-sum perturbation, so it thickens
+    // the intra-node coupling (what block-Jacobi later absorbs) without
+    // shifting the spectrum away from the O(h^-2) stencil conditioning.
+    std::array<T, max_block_size> cover{};
+    for (index_type i = 0; i < dofs; ++i) {
+        for (index_type j = i + 1; j < dofs; ++j) {
+            const T w = amp * uniform<T>(eng, T{0.1}, T{1});
+            triplets.push_back({base + i, base + j, -w});
+            triplets.push_back({base + j, base + i, -w});
+            cover[static_cast<std::size_t>(i)] += w;
+            cover[static_cast<std::size_t>(j)] += w;
+        }
+    }
+    for (index_type i = 0; i < dofs; ++i) {
+        triplets.push_back(
+            {base + i, base + i,
+             cover[static_cast<std::size_t>(i)] + stencil_weight});
+    }
+}
+
+/// Append the inter-node coupling block between nodes a and b (one
+/// direction). Like a true FEM assembly, the coupling is a *dense*
+/// dofs x dofs block (every dof of a couples to every dof of b) with row
+/// sums of magnitude c -- this is what makes all dofs of one node share
+/// their column sparsity pattern, i.e. form a supervariable.
+template <typename T>
+void append_coupling(std::vector<Triplet<T>>& triplets, index_type a,
+                     index_type b, index_type dofs, T c) {
+    const T v = -c / static_cast<T>(dofs);
+    for (index_type i = 0; i < dofs; ++i) {
+        for (index_type j = 0; j < dofs; ++j) {
+            triplets.push_back({a * dofs + i, b * dofs + j, v});
+        }
+    }
+}
+
+}  // namespace
+
+template <typename T>
+Csr<T> laplacian_2d(index_type nx, index_type ny, index_type dofs,
+                    std::uint64_t seed) {
+    VBATCH_ENSURE(nx > 0 && ny > 0 && dofs > 0, "invalid grid");
+    const index_type nodes = nx * ny;
+    std::vector<Triplet<T>> triplets;
+    triplets.reserve(static_cast<std::size_t>(nodes) *
+                     (dofs * dofs + 4 * dofs));
+    const auto id = [nx](index_type ix, index_type iy) {
+        return iy * nx + ix;
+    };
+    for (index_type iy = 0; iy < ny; ++iy) {
+        for (index_type ix = 0; ix < nx; ++ix) {
+            const index_type node = id(ix, iy);
+            // Full interior stencil weight regardless of the boundary --
+            // the Dirichlet convention that gives boundary rows their
+            // strict dominance.
+            append_node_block(triplets, node, dofs, T{4}, seed);
+            if (ix > 0) append_coupling(triplets, node, id(ix - 1, iy), dofs, T{1});
+            if (ix + 1 < nx) append_coupling(triplets, node, id(ix + 1, iy), dofs, T{1});
+            if (iy > 0) append_coupling(triplets, node, id(ix, iy - 1), dofs, T{1});
+            if (iy + 1 < ny) append_coupling(triplets, node, id(ix, iy + 1), dofs, T{1});
+        }
+    }
+    return Csr<T>::from_triplets(nodes * dofs, nodes * dofs,
+                                 std::move(triplets));
+}
+
+template <typename T>
+Csr<T> laplacian_3d(index_type nx, index_type ny, index_type nz,
+                    index_type dofs, std::uint64_t seed) {
+    VBATCH_ENSURE(nx > 0 && ny > 0 && nz > 0 && dofs > 0, "invalid grid");
+    const index_type nodes = nx * ny * nz;
+    std::vector<Triplet<T>> triplets;
+    triplets.reserve(static_cast<std::size_t>(nodes) *
+                     (dofs * dofs + 6 * dofs));
+    const auto id = [nx, ny](index_type ix, index_type iy, index_type iz) {
+        return (iz * ny + iy) * nx + ix;
+    };
+    for (index_type iz = 0; iz < nz; ++iz) {
+        for (index_type iy = 0; iy < ny; ++iy) {
+            for (index_type ix = 0; ix < nx; ++ix) {
+                const index_type node = id(ix, iy, iz);
+                const index_type nb[6][3] = {
+                    {ix - 1, iy, iz}, {ix + 1, iy, iz}, {ix, iy - 1, iz},
+                    {ix, iy + 1, iz}, {ix, iy, iz - 1}, {ix, iy, iz + 1}};
+                append_node_block(triplets, node, dofs, T{6}, seed);
+                for (const auto& c : nb) {
+                    if (c[0] >= 0 && c[0] < nx && c[1] >= 0 && c[1] < ny &&
+                        c[2] >= 0 && c[2] < nz) {
+                        append_coupling(triplets, node, id(c[0], c[1], c[2]),
+                                        dofs, T{1});
+                    }
+                }
+            }
+        }
+    }
+    return Csr<T>::from_triplets(nodes * dofs, nodes * dofs,
+                                 std::move(triplets));
+}
+
+template <typename T>
+Csr<T> convection_diffusion_2d(index_type nx, index_type ny, index_type dofs,
+                               T peclet, std::uint64_t seed) {
+    VBATCH_ENSURE(nx > 0 && ny > 0 && dofs > 0, "invalid grid");
+    const index_type nodes = nx * ny;
+    std::vector<Triplet<T>> triplets;
+    triplets.reserve(static_cast<std::size_t>(nodes) *
+                     (dofs * dofs + 4 * dofs));
+    const auto id = [nx](index_type ix, index_type iy) {
+        return iy * nx + ix;
+    };
+    for (index_type iy = 0; iy < ny; ++iy) {
+        for (index_type ix = 0; ix < nx; ++ix) {
+            const index_type node = id(ix, iy);
+            // Rotating velocity field (bx, by) in [-1, 1]^2.
+            const T x = T(2) * ix / std::max<index_type>(1, nx - 1) - T(1);
+            const T y = T(2) * iy / std::max<index_type>(1, ny - 1) - T(1);
+            const T bx = peclet * y;
+            const T by = -peclet * x;
+            // First-order upwind: convection strengthens the coupling
+            // against the flow and the diagonal.
+            const T wxm = T{1} + std::max(bx, T{0});
+            const T wxp = T{1} + std::max(-bx, T{0});
+            const T wym = T{1} + std::max(by, T{0});
+            const T wyp = T{1} + std::max(-by, T{0});
+            append_node_block(triplets, node, dofs,
+                              wxm + wxp + wym + wyp, seed);
+            if (ix > 0) append_coupling(triplets, node, id(ix - 1, iy), dofs, wxm);
+            if (ix + 1 < nx) append_coupling(triplets, node, id(ix + 1, iy), dofs, wxp);
+            if (iy > 0) append_coupling(triplets, node, id(ix, iy - 1), dofs, wym);
+            if (iy + 1 < ny) append_coupling(triplets, node, id(ix, iy + 1), dofs, wyp);
+        }
+    }
+    return Csr<T>::from_triplets(nodes * dofs, nodes * dofs,
+                                 std::move(triplets));
+}
+
+template <typename T>
+Csr<T> anisotropic_2d(index_type nx, index_type ny, T epsilon,
+                      index_type dofs, std::uint64_t seed) {
+    VBATCH_ENSURE(nx > 0 && ny > 0 && dofs > 0, "invalid grid");
+    VBATCH_ENSURE(epsilon > T{0}, "anisotropy must be positive");
+    const index_type nodes = nx * ny;
+    std::vector<Triplet<T>> triplets;
+    const auto id = [nx](index_type ix, index_type iy) {
+        return iy * nx + ix;
+    };
+    for (index_type iy = 0; iy < ny; ++iy) {
+        for (index_type ix = 0; ix < nx; ++ix) {
+            const index_type node = id(ix, iy);
+            append_node_block(triplets, node, dofs,
+                              T{2} + T{2} * epsilon, seed);
+            if (ix > 0) append_coupling(triplets, node, id(ix - 1, iy), dofs, T{1});
+            if (ix + 1 < nx) append_coupling(triplets, node, id(ix + 1, iy), dofs, T{1});
+            if (iy > 0) append_coupling(triplets, node, id(ix, iy - 1), dofs, epsilon);
+            if (iy + 1 < ny) append_coupling(triplets, node, id(ix, iy + 1), dofs, epsilon);
+        }
+    }
+    return Csr<T>::from_triplets(nodes * dofs, nodes * dofs,
+                                 std::move(triplets));
+}
+
+template <typename T>
+Csr<T> fem_block_matrix(index_type num_blocks, index_type min_block,
+                        index_type max_block, index_type neighbors,
+                        T coupling, std::uint64_t seed) {
+    VBATCH_ENSURE(num_blocks > 0, "need at least one block");
+    VBATCH_ENSURE(min_block > 0 && min_block <= max_block &&
+                      max_block <= max_block_size,
+                  "block size bounds invalid");
+    auto eng = make_engine(seed);
+    std::vector<index_type> sizes(static_cast<std::size_t>(num_blocks));
+    std::vector<index_type> starts(static_cast<std::size_t>(num_blocks) + 1);
+    starts[0] = 0;
+    for (index_type b = 0; b < num_blocks; ++b) {
+        sizes[static_cast<std::size_t>(b)] =
+            uniform_int(eng, min_block, max_block);
+        starts[static_cast<std::size_t>(b) + 1] =
+            starts[static_cast<std::size_t>(b)] +
+            sizes[static_cast<std::size_t>(b)];
+    }
+    const index_type n = starts[static_cast<std::size_t>(num_blocks)];
+
+    std::vector<Triplet<T>> triplets;
+    // Off-diagonal couplings first so the diagonal can cover them.
+    std::vector<T> row_off_sum(static_cast<std::size_t>(n), T{});
+    for (index_type b = 0; b < num_blocks; ++b) {
+        for (index_type d = 1; d <= neighbors; ++d) {
+            const index_type nb = b + d;
+            if (nb >= num_blocks) {
+                break;
+            }
+            // Couple a random subset of (row, col) pairs symmetrically.
+            const index_type mb = sizes[static_cast<std::size_t>(b)];
+            const index_type mn = sizes[static_cast<std::size_t>(nb)];
+            const index_type pairs = std::max<index_type>(1, (mb + mn) / 4);
+            for (index_type p = 0; p < pairs; ++p) {
+                const index_type i =
+                    starts[static_cast<std::size_t>(b)] +
+                    uniform_int(eng, 0, mb - 1);
+                const index_type j =
+                    starts[static_cast<std::size_t>(nb)] +
+                    uniform_int(eng, 0, mn - 1);
+                const T v = coupling * uniform<T>(eng, T{-1}, T{1});
+                triplets.push_back({i, j, v});
+                triplets.push_back({j, i, v});
+                row_off_sum[static_cast<std::size_t>(i)] += std::abs(v);
+                row_off_sum[static_cast<std::size_t>(j)] += std::abs(v);
+            }
+        }
+    }
+    // Dense diagonally-dominant blocks.
+    for (index_type b = 0; b < num_blocks; ++b) {
+        const index_type base = starts[static_cast<std::size_t>(b)];
+        const index_type m = sizes[static_cast<std::size_t>(b)];
+        for (index_type i = 0; i < m; ++i) {
+            T off_sum = row_off_sum[static_cast<std::size_t>(base + i)];
+            for (index_type j = 0; j < m; ++j) {
+                if (i == j) {
+                    continue;
+                }
+                const T v = uniform<T>(eng, T{-1}, T{1});
+                off_sum += std::abs(v);
+                triplets.push_back({base + i, base + j, v});
+            }
+            triplets.push_back(
+                {base + i, base + i,
+                 off_sum + T{0.001} + T{0.01} * uniform<T>(eng, T{0.1}, T{0.9})});
+        }
+    }
+    return Csr<T>::from_triplets(n, n, std::move(triplets));
+}
+
+template <typename T>
+Csr<T> circuit_like(index_type n, index_type avg_row_nnz, index_type num_hubs,
+                    index_type hub_nnz, std::uint64_t seed) {
+    VBATCH_ENSURE(n > 1, "matrix too small");
+    VBATCH_ENSURE(avg_row_nnz >= 1 && hub_nnz >= 1, "invalid nnz targets");
+    VBATCH_ENSURE(num_hubs >= 0 && num_hubs < n, "invalid hub count");
+    auto eng = make_engine(seed);
+    std::vector<Triplet<T>> triplets;
+    std::vector<T> row_off_sum(static_cast<std::size_t>(n), T{});
+    const auto add_sym = [&](index_type i, index_type j, T v) {
+        if (i == j) {
+            return;
+        }
+        triplets.push_back({i, j, v});
+        triplets.push_back({j, i, v});
+        row_off_sum[static_cast<std::size_t>(i)] += std::abs(v);
+        row_off_sum[static_cast<std::size_t>(j)] += std::abs(v);
+    };
+    // Short-range connections (the "components").
+    for (index_type i = 0; i < n; ++i) {
+        const index_type links = uniform_int(eng, 1, avg_row_nnz);
+        for (index_type l = 0; l < links; ++l) {
+            const index_type j =
+                std::min<index_type>(n - 1, i + uniform_int(eng, 1, 8));
+            add_sym(i, j, uniform<T>(eng, T{-1}, T{1}));
+        }
+    }
+    // Hub rows (the "power nets"): a few rows touching many columns.
+    for (index_type h = 0; h < num_hubs; ++h) {
+        const index_type hub = uniform_int(eng, 0, n - 1);
+        for (index_type l = 0; l < hub_nnz; ++l) {
+            const index_type j = uniform_int(eng, 0, n - 1);
+            add_sym(hub, j, uniform<T>(eng, T{-1}, T{1}) * T(0.1));
+        }
+    }
+    for (index_type i = 0; i < n; ++i) {
+        triplets.push_back(
+            {i, i, row_off_sum[static_cast<std::size_t>(i)] + T{0.05} +
+                       T{0.20} * uniform<T>(eng, T{0.1}, T{0.9})});
+    }
+    return Csr<T>::from_triplets(n, n, std::move(triplets));
+}
+
+template <typename T>
+Csr<T> random_banded(index_type n, index_type bandwidth, T dominance,
+                     std::uint64_t seed) {
+    VBATCH_ENSURE(n > 0 && bandwidth >= 0, "invalid band parameters");
+    auto eng = make_engine(seed);
+    std::vector<Triplet<T>> triplets;
+    for (index_type i = 0; i < n; ++i) {
+        T off_sum{};
+        const index_type lo = std::max<index_type>(0, i - bandwidth);
+        const index_type hi = std::min<index_type>(n - 1, i + bandwidth);
+        for (index_type j = lo; j <= hi; ++j) {
+            if (j == i) {
+                continue;
+            }
+            const T v = uniform<T>(eng, T{-1}, T{1});
+            off_sum += std::abs(v);
+            triplets.push_back({i, j, v});
+        }
+        triplets.push_back(
+            {i, i, off_sum + dominance + uniform<T>(eng, T{0.1}, T{0.9})});
+    }
+    return Csr<T>::from_triplets(n, n, std::move(triplets));
+}
+
+#define VBATCH_INSTANTIATE_GEN(T)                                           \
+    template Csr<T> laplacian_2d<T>(index_type, index_type, index_type,     \
+                                    std::uint64_t);                         \
+    template Csr<T> laplacian_3d<T>(index_type, index_type, index_type,     \
+                                    index_type, std::uint64_t);             \
+    template Csr<T> convection_diffusion_2d<T>(index_type, index_type,      \
+                                               index_type, T,               \
+                                               std::uint64_t);              \
+    template Csr<T> anisotropic_2d<T>(index_type, index_type, T,            \
+                                      index_type, std::uint64_t);           \
+    template Csr<T> fem_block_matrix<T>(index_type, index_type, index_type, \
+                                        index_type, T, std::uint64_t);      \
+    template Csr<T> circuit_like<T>(index_type, index_type, index_type,     \
+                                    index_type, std::uint64_t);             \
+    template Csr<T> random_banded<T>(index_type, index_type, T,             \
+                                     std::uint64_t)
+
+VBATCH_INSTANTIATE_GEN(float);
+VBATCH_INSTANTIATE_GEN(double);
+
+#undef VBATCH_INSTANTIATE_GEN
+
+}  // namespace vbatch::sparse

@@ -1,0 +1,153 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "base/macros.hpp"
+
+namespace vbatch::sparse {
+
+namespace {
+
+std::string to_lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+}  // namespace
+
+template <typename T>
+Csr<T> read_matrix_market(std::istream& in) {
+    std::string line;
+    if (!std::getline(in, line)) {
+        throw IoError("matrix market: empty stream");
+    }
+    std::istringstream header(line);
+    std::string banner, object, format, field, symmetry;
+    header >> banner >> object >> format >> field >> symmetry;
+    if (banner != "%%MatrixMarket") {
+        throw IoError("matrix market: missing %%MatrixMarket banner");
+    }
+    object = to_lower(object);
+    format = to_lower(format);
+    field = to_lower(field);
+    symmetry = to_lower(symmetry);
+    if (object != "matrix" || format != "coordinate") {
+        throw IoError("matrix market: only coordinate matrices supported");
+    }
+    const bool pattern = field == "pattern";
+    if (!pattern && field != "real" && field != "integer") {
+        throw IoError("matrix market: unsupported field type '" + field +
+                      "'");
+    }
+    const bool symmetric = symmetry == "symmetric";
+    const bool skew = symmetry == "skew-symmetric";
+    if (!symmetric && !skew && symmetry != "general") {
+        throw IoError("matrix market: unsupported symmetry '" + symmetry +
+                      "'");
+    }
+
+    // Skip comments.
+    do {
+        if (!std::getline(in, line)) {
+            throw IoError("matrix market: missing size line");
+        }
+    } while (!line.empty() && line[0] == '%');
+
+    std::istringstream size_line(line);
+    long rows = 0, cols = 0, entries = 0;
+    size_line >> rows >> cols >> entries;
+    if (rows <= 0 || cols <= 0 || entries < 0) {
+        throw IoError("matrix market: invalid size line");
+    }
+
+    std::vector<Triplet<T>> triplets;
+    triplets.reserve(static_cast<std::size_t>(entries) *
+                     (symmetric || skew ? 2 : 1));
+    for (long e = 0; e < entries; ++e) {
+        if (!std::getline(in, line)) {
+            throw IoError("matrix market: truncated entry list");
+        }
+        if (line.empty() || line[0] == '%') {
+            --e;
+            continue;
+        }
+        std::istringstream es(line);
+        long i = 0, j = 0;
+        double v = 1.0;
+        es >> i >> j;
+        if (!pattern) {
+            es >> v;
+        }
+        if (i < 1 || i > rows || j < 1 || j > cols) {
+            throw IoError("matrix market: entry out of bounds");
+        }
+        const auto r = static_cast<index_type>(i - 1);
+        const auto c = static_cast<index_type>(j - 1);
+        triplets.push_back({r, c, static_cast<T>(v)});
+        if ((symmetric || skew) && r != c) {
+            triplets.push_back(
+                {c, r, static_cast<T>(skew ? -v : v)});
+        }
+    }
+    return Csr<T>::from_triplets(static_cast<index_type>(rows),
+                                 static_cast<index_type>(cols),
+                                 std::move(triplets));
+}
+
+template <typename T>
+Csr<T> read_matrix_market_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw IoError("matrix market: cannot open '" + path + "'");
+    }
+    return read_matrix_market<T>(in);
+}
+
+template <typename T>
+void write_matrix_market(std::ostream& out, const Csr<T>& matrix) {
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << matrix.num_rows() << " " << matrix.num_cols() << " "
+        << matrix.nnz() << "\n";
+    out.precision(17);
+    for (index_type i = 0; i < matrix.num_rows(); ++i) {
+        for (auto p = matrix.row_ptrs()[static_cast<std::size_t>(i)];
+             p < matrix.row_ptrs()[static_cast<std::size_t>(i) + 1]; ++p) {
+            out << (i + 1) << " "
+                << (matrix.col_idxs()[static_cast<std::size_t>(p)] + 1)
+                << " " << matrix.values()[static_cast<std::size_t>(p)]
+                << "\n";
+        }
+    }
+    if (!out) {
+        throw IoError("matrix market: write failure");
+    }
+}
+
+template <typename T>
+void write_matrix_market_file(const std::string& path,
+                              const Csr<T>& matrix) {
+    std::ofstream out(path);
+    if (!out) {
+        throw IoError("matrix market: cannot open '" + path +
+                      "' for writing");
+    }
+    write_matrix_market(out, matrix);
+}
+
+#define VBATCH_INSTANTIATE_MM(T)                                            \
+    template Csr<T> read_matrix_market<T>(std::istream&);                   \
+    template Csr<T> read_matrix_market_file<T>(const std::string&);         \
+    template void write_matrix_market<T>(std::ostream&, const Csr<T>&);     \
+    template void write_matrix_market_file<T>(const std::string&,           \
+                                              const Csr<T>&)
+
+VBATCH_INSTANTIATE_MM(float);
+VBATCH_INSTANTIATE_MM(double);
+
+#undef VBATCH_INSTANTIATE_MM
+
+}  // namespace vbatch::sparse

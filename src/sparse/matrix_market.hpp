@@ -1,0 +1,33 @@
+// Matrix Market (.mtx) I/O.
+//
+// The paper's solver study runs on SuiteSparse matrices distributed in
+// this format; the reader lets a user with network access drop the real
+// Table I matrices into the harness, while the offline reproduction uses
+// the synthetic suite (suite.hpp). Supports coordinate real/integer/
+// pattern, general/symmetric/skew-symmetric.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace vbatch::sparse {
+
+/// Read a coordinate-format Matrix Market stream. Symmetric storage is
+/// expanded to both triangles; pattern entries get value 1.
+template <typename T>
+Csr<T> read_matrix_market(std::istream& in);
+
+/// Read from a file path; throws vbatch::IoError if unreadable.
+template <typename T>
+Csr<T> read_matrix_market_file(const std::string& path);
+
+/// Write in coordinate real general format.
+template <typename T>
+void write_matrix_market(std::ostream& out, const Csr<T>& matrix);
+
+template <typename T>
+void write_matrix_market_file(const std::string& path, const Csr<T>& matrix);
+
+}  // namespace vbatch::sparse

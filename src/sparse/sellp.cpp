@@ -1,0 +1,128 @@
+#include "sparse/sellp.hpp"
+
+#include <algorithm>
+
+#include "base/macros.hpp"
+#include "base/thread_pool.hpp"
+
+namespace vbatch::sparse {
+
+template <typename T>
+SellP<T> SellP<T>::from_csr(const Csr<T>& csr, index_type slice_size,
+                            index_type alignment) {
+    VBATCH_ENSURE(slice_size >= 1, "slice size must be positive");
+    VBATCH_ENSURE(alignment >= 1, "alignment must be positive");
+    SellP out;
+    out.num_rows_ = csr.num_rows();
+    out.num_cols_ = csr.num_cols();
+    out.slice_size_ = slice_size;
+    out.nnz_ = csr.nnz();
+    const index_type num_slices =
+        (csr.num_rows() + slice_size - 1) / slice_size;
+    out.slice_offsets_.assign(static_cast<std::size_t>(num_slices) + 1, 0);
+    out.slice_widths_.assign(static_cast<std::size_t>(num_slices), 0);
+
+    const auto row_ptrs = csr.row_ptrs();
+    for (index_type s = 0; s < num_slices; ++s) {
+        const index_type r0 = s * slice_size;
+        const index_type rows =
+            std::min(slice_size, csr.num_rows() - r0);
+        index_type width = 0;
+        for (index_type r = 0; r < rows; ++r) {
+            width = std::max(width, csr.row_nnz(r0 + r));
+        }
+        width = (width + alignment - 1) / alignment * alignment;
+        out.slice_widths_[static_cast<std::size_t>(s)] = width;
+        out.slice_offsets_[static_cast<std::size_t>(s) + 1] =
+            out.slice_offsets_[static_cast<std::size_t>(s)] +
+            static_cast<size_type>(width) * rows;
+    }
+    out.values_.assign(
+        static_cast<std::size_t>(out.slice_offsets_.back()), T{});
+    out.col_idxs_.assign(
+        static_cast<std::size_t>(out.slice_offsets_.back()), -1);
+
+    const auto col_idxs = csr.col_idxs();
+    const auto values = csr.values();
+    for (index_type s = 0; s < num_slices; ++s) {
+        const index_type r0 = s * slice_size;
+        const index_type rows =
+            std::min(slice_size, csr.num_rows() - r0);
+        const auto base = out.slice_offsets_[static_cast<std::size_t>(s)];
+        for (index_type r = 0; r < rows; ++r) {
+            const auto beg = row_ptrs[static_cast<std::size_t>(r0 + r)];
+            const auto len =
+                row_ptrs[static_cast<std::size_t>(r0 + r) + 1] - beg;
+            for (size_type k = 0; k < len; ++k) {
+                const auto slot = static_cast<std::size_t>(
+                    base + k * rows + r);
+                out.col_idxs_[slot] =
+                    col_idxs[static_cast<std::size_t>(beg + k)];
+                out.values_[slot] =
+                    values[static_cast<std::size_t>(beg + k)];
+            }
+        }
+    }
+    return out;
+}
+
+template <typename T>
+void SellP<T>::spmv(std::span<const T> x, std::span<T> y) const {
+    spmv(T{1}, x, T{0}, y);
+}
+
+template <typename T>
+void SellP<T>::spmv(T alpha, std::span<const T> x, T beta,
+                    std::span<T> y) const {
+    VBATCH_ENSURE_DIMS(static_cast<index_type>(x.size()) == num_cols_);
+    VBATCH_ENSURE_DIMS(static_cast<index_type>(y.size()) == num_rows_);
+    const index_type slices = num_slices();
+    const auto body = [&](size_type s) {
+        const index_type r0 = static_cast<index_type>(s) * slice_size_;
+        const index_type rows = std::min(slice_size_, num_rows_ - r0);
+        const auto base = slice_offsets_[static_cast<std::size_t>(s)];
+        const auto width = slice_widths_[static_cast<std::size_t>(s)];
+        for (index_type r = 0; r < rows; ++r) {
+            T acc{};
+            for (index_type k = 0; k < width; ++k) {
+                const auto slot = static_cast<std::size_t>(
+                    base + static_cast<size_type>(k) * rows + r);
+                const auto c = col_idxs_[slot];
+                if (c >= 0) {
+                    acc += values_[slot] * x[static_cast<std::size_t>(c)];
+                }
+            }
+            y[static_cast<std::size_t>(r0 + r)] =
+                alpha * acc + beta * y[static_cast<std::size_t>(r0 + r)];
+        }
+    };
+    ThreadPool::global().parallel_for(0, slices, body, 64);
+}
+
+template <typename T>
+Csr<T> SellP<T>::to_csr() const {
+    std::vector<Triplet<T>> triplets;
+    triplets.reserve(static_cast<std::size_t>(nnz_));
+    for (index_type s = 0; s < num_slices(); ++s) {
+        const index_type r0 = s * slice_size_;
+        const index_type rows = std::min(slice_size_, num_rows_ - r0);
+        const auto base = slice_offsets_[static_cast<std::size_t>(s)];
+        const auto width = slice_widths_[static_cast<std::size_t>(s)];
+        for (index_type r = 0; r < rows; ++r) {
+            for (index_type k = 0; k < width; ++k) {
+                const auto slot = static_cast<std::size_t>(
+                    base + static_cast<size_type>(k) * rows + r);
+                if (col_idxs_[slot] >= 0) {
+                    triplets.push_back(
+                        {r0 + r, col_idxs_[slot], values_[slot]});
+                }
+            }
+        }
+    }
+    return Csr<T>::from_triplets(num_rows_, num_cols_, std::move(triplets));
+}
+
+template class SellP<float>;
+template class SellP<double>;
+
+}  // namespace vbatch::sparse

@@ -1,0 +1,76 @@
+// SELL-P (sliced ELLPACK with padding) sparse format.
+//
+// MAGMA-sparse -- the library the paper's kernels integrate into -- runs
+// its Krylov solvers' SpMV on SELL-P: rows are grouped into slices of
+// `slice_size`, each slice is padded to its longest row (rounded up to an
+// alignment), and values/column indices are stored slice-locally in
+// column-major order so that consecutive GPU threads read consecutive
+// memory. We provide the format as part of the sparse substrate: a
+// conversion from CSR, an SpMV, and the padding diagnostics that decide
+// when it pays off.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace vbatch::sparse {
+
+template <typename T>
+class SellP {
+public:
+    /// Convert from CSR. `slice_size` rows per slice (MAGMA default 32);
+    /// the per-slice width is rounded up to a multiple of `alignment`.
+    static SellP from_csr(const Csr<T>& csr, index_type slice_size = 32,
+                          index_type alignment = 4);
+
+    index_type num_rows() const noexcept { return num_rows_; }
+    index_type num_cols() const noexcept { return num_cols_; }
+    /// Stored entries including padding.
+    size_type stored_elements() const noexcept {
+        return static_cast<size_type>(values_.size());
+    }
+    /// Actual nonzeros (excluding padding).
+    size_type nnz() const noexcept { return nnz_; }
+    index_type slice_size() const noexcept { return slice_size_; }
+    index_type num_slices() const noexcept {
+        return static_cast<index_type>(slice_offsets_.size()) - 1;
+    }
+    /// Fraction of stored elements that is padding (0 = perfect).
+    double padding_overhead() const noexcept {
+        return stored_elements() == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(nnz_) /
+                             static_cast<double>(stored_elements());
+    }
+
+    /// y := A x
+    void spmv(std::span<const T> x, std::span<T> y) const;
+
+    /// y := alpha A x + beta y
+    void spmv(T alpha, std::span<const T> x, T beta, std::span<T> y) const;
+
+    /// Round-trip back to CSR (drops the padding).
+    Csr<T> to_csr() const;
+
+private:
+    SellP() = default;
+
+    index_type num_rows_ = 0;
+    index_type num_cols_ = 0;
+    index_type slice_size_ = 32;
+    size_type nnz_ = 0;
+    /// Start of each slice in values_/col_idxs_ (num_slices + 1 entries).
+    std::vector<size_type> slice_offsets_;
+    /// Padded width of each slice.
+    std::vector<index_type> slice_widths_;
+    /// Column-major within the slice: entry (row r, step k) of slice s at
+    /// slice_offsets_[s] + k * rows_in_slice + (r - s*slice_size).
+    /// Padding entries carry column -1 and value 0.
+    std::vector<index_type> col_idxs_;
+    std::vector<T> values_;
+};
+
+}  // namespace vbatch::sparse

@@ -1,0 +1,139 @@
+#include "sparse/suite.hpp"
+
+#include "base/macros.hpp"
+#include "sparse/generators.hpp"
+
+namespace vbatch::sparse {
+
+std::string family_name(SuiteFamily family) {
+    switch (family) {
+    case SuiteFamily::fem_block: return "fem-block";
+    case SuiteFamily::laplace2d: return "laplace-2d";
+    case SuiteFamily::laplace3d: return "laplace-3d";
+    case SuiteFamily::convection: return "convection";
+    case SuiteFamily::anisotropic: return "anisotropic";
+    case SuiteFamily::circuit: return "circuit";
+    case SuiteFamily::hard: return "hard";
+    }
+    return "unknown";
+}
+
+const std::vector<SuiteCase>& suite_cases() {
+    // Parameter meaning per family:
+    //   fem_block  : p1=num_blocks p2=min_block p3=max_block p4=neighbors
+    //                x1=coupling
+    //   laplace2d  : p1=nx p2=ny p3=dofs
+    //   laplace3d  : p1=nx p2=ny p3=nz p4=dofs
+    //   convection : p1=nx p2=ny p3=dofs x1=peclet
+    //   anisotropic: p1=nx p2=ny p3=dofs x1=epsilon
+    //   circuit    : p1=n p2=avg_row_nnz p3=num_hubs p4=hub_nnz
+    //   hard       : p1=nx p2=ny p3=dofs x1=peclet x2=diagonal shift factor
+    static const std::vector<SuiteCase> cases = {
+        // --- FEM-like variable-block matrices (12) ---
+        {1, "fem_d2_s", SuiteFamily::fem_block, 800, 2, 4, 2, 0.20, 0, 101},
+        {2, "fem_d2_m", SuiteFamily::fem_block, 2400, 2, 4, 2, 0.20, 0, 102},
+        {3, "fem_d4_s", SuiteFamily::fem_block, 700, 3, 6, 2, 0.25, 0, 103},
+        {4, "fem_d4_m", SuiteFamily::fem_block, 2000, 3, 6, 3, 0.25, 0, 104},
+        {5, "fem_d8_s", SuiteFamily::fem_block, 500, 6, 10, 2, 0.25, 0, 105},
+        {6, "fem_d8_m", SuiteFamily::fem_block, 1500, 6, 10, 3, 0.25, 0, 106},
+        {7, "fem_d12_s", SuiteFamily::fem_block, 400, 10, 14, 2, 0.30, 0, 107},
+        {8, "fem_d12_m", SuiteFamily::fem_block, 1200, 10, 14, 3, 0.30, 0, 108},
+        {9, "fem_d16_m", SuiteFamily::fem_block, 900, 12, 20, 3, 0.30, 0, 109},
+        {10, "fem_d24_m", SuiteFamily::fem_block, 700, 20, 28, 3, 0.30, 0, 110},
+        {11, "fem_d32_s", SuiteFamily::fem_block, 350, 28, 32, 2, 0.30, 0, 111},
+        {12, "fem_d32_m", SuiteFamily::fem_block, 800, 28, 32, 3, 0.30, 0, 112},
+        // --- 2-D multi-dof Poisson (6) ---
+        {13, "lap2d_d1", SuiteFamily::laplace2d, 90, 90, 1, 0, 0, 0, 201},
+        {14, "lap2d_d2", SuiteFamily::laplace2d, 70, 70, 2, 0, 0, 0, 202},
+        {15, "lap2d_d4", SuiteFamily::laplace2d, 55, 55, 4, 0, 0, 0, 203},
+        {16, "lap2d_d5", SuiteFamily::laplace2d, 64, 48, 5, 0, 0, 0, 204},
+        {17, "lap2d_d8", SuiteFamily::laplace2d, 42, 42, 8, 0, 0, 0, 205},
+        {18, "lap2d_d16", SuiteFamily::laplace2d, 30, 30, 16, 0, 0, 0, 206},
+        // --- 3-D multi-dof Poisson (4) ---
+        {19, "lap3d_d1", SuiteFamily::laplace3d, 22, 22, 22, 1, 0, 0, 301},
+        {20, "lap3d_d2", SuiteFamily::laplace3d, 17, 17, 17, 2, 0, 0, 302},
+        {21, "lap3d_d4", SuiteFamily::laplace3d, 14, 14, 14, 4, 0, 0, 303},
+        {22, "lap3d_d8", SuiteFamily::laplace3d, 11, 11, 11, 8, 0, 0, 304},
+        // --- nonsymmetric convection-diffusion (8) ---
+        {23, "convdiff_p2_d1", SuiteFamily::convection, 85, 85, 1, 0, 2, 0, 401},
+        {24, "convdiff_p2_d4", SuiteFamily::convection, 48, 48, 4, 0, 2, 0, 402},
+        {25, "convdiff_p10_d1", SuiteFamily::convection, 85, 85, 1, 0, 10, 0, 403},
+        {26, "convdiff_p10_d4", SuiteFamily::convection, 48, 48, 4, 0, 10, 0, 404},
+        {27, "convdiff_p10_d8", SuiteFamily::convection, 36, 36, 8, 0, 10, 0, 405},
+        {28, "convdiff_p50_d2", SuiteFamily::convection, 60, 60, 2, 0, 50, 0, 406},
+        {29, "convdiff_p50_d4", SuiteFamily::convection, 44, 44, 4, 0, 50, 0, 407},
+        {30, "convdiff_p200_d4", SuiteFamily::convection, 40, 40, 4, 0, 200, 0, 408},
+        // --- anisotropic diffusion (6) ---
+        {31, "aniso_e10_d1", SuiteFamily::anisotropic, 80, 80, 1, 0, 10, 0, 501},
+        {32, "aniso_e10_d4", SuiteFamily::anisotropic, 46, 46, 4, 0, 10, 0, 502},
+        {33, "aniso_e100_d1", SuiteFamily::anisotropic, 80, 80, 1, 0, 100, 0, 503},
+        {34, "aniso_e100_d4", SuiteFamily::anisotropic, 46, 46, 4, 0, 100, 0, 504},
+        {35, "aniso_e100_d8", SuiteFamily::anisotropic, 34, 34, 8, 0, 100, 0, 505},
+        {36, "aniso_e1000_d2", SuiteFamily::anisotropic, 56, 56, 2, 0, 1000, 0, 506},
+        // --- circuit-like unbalanced (6) ---
+        {37, "circuit_s", SuiteFamily::circuit, 5000, 3, 6, 400, 0, 0, 601},
+        {38, "circuit_m", SuiteFamily::circuit, 15000, 3, 10, 800, 0, 0, 602},
+        {39, "circuit_l", SuiteFamily::circuit, 40000, 3, 14, 1200, 0, 0, 603},
+        {40, "circuit_dense_hubs", SuiteFamily::circuit, 12000, 4, 30, 2000, 0, 0, 604},
+        {41, "circuit_sparse", SuiteFamily::circuit, 20000, 2, 6, 500, 0, 0, 605},
+        {42, "circuit_mixed", SuiteFamily::circuit, 9000, 5, 20, 1500, 0, 0, 606},
+        // --- hard cases (6): shifted / dominated by convection; like four
+        //     of the paper's matrices, some do not converge in 10k its ---
+        {43, "hard_shift_low", SuiteFamily::hard, 60, 60, 2, 0, 5, 0.02, 701},
+        {44, "hard_shift_mid", SuiteFamily::hard, 60, 60, 2, 0, 5, 0.95, 702},
+        {45, "hard_shift_high", SuiteFamily::hard, 60, 60, 2, 0, 5, 1.20, 703},
+        {46, "hard_conv_shift", SuiteFamily::hard, 52, 52, 4, 0, 120, 0.03, 704},
+        {47, "hard_indefinite", SuiteFamily::hard, 70, 70, 1, 0, 1, 1.05, 705},
+        {48, "hard_conv_extreme", SuiteFamily::hard, 48, 48, 4, 0, 400, 0.80, 706},
+    };
+    return cases;
+}
+
+Csr<double> build_suite_matrix(const SuiteCase& c) {
+    switch (c.family) {
+    case SuiteFamily::fem_block:
+        return fem_block_matrix<double>(c.p1, c.p2, c.p3, c.p4, c.x1,
+                                        c.seed);
+    case SuiteFamily::laplace2d:
+        return laplacian_2d<double>(c.p1, c.p2, c.p3, c.seed);
+    case SuiteFamily::laplace3d:
+        return laplacian_3d<double>(c.p1, c.p2, c.p3, c.p4, c.seed);
+    case SuiteFamily::convection:
+        return convection_diffusion_2d<double>(c.p1, c.p2, c.p3, c.x1,
+                                               c.seed);
+    case SuiteFamily::anisotropic:
+        return anisotropic_2d<double>(c.p1, c.p2, c.x1, c.p3, c.seed);
+    case SuiteFamily::circuit:
+        return circuit_like<double>(c.p1, c.p2, c.p3, c.p4, c.seed);
+    case SuiteFamily::hard: {
+        // Convection-diffusion weakened by a diagonal shift of x2 times
+        // each row's diagonal: pushes eigenvalues toward (and past) zero.
+        auto a = convection_diffusion_2d<double>(c.p1, c.p2, c.p3, c.x1,
+                                                 c.seed);
+        auto vals = a.values();
+        const auto row_ptrs = a.row_ptrs();
+        const auto col_idxs = a.col_idxs();
+        for (index_type i = 0; i < a.num_rows(); ++i) {
+            for (auto p = row_ptrs[static_cast<std::size_t>(i)];
+                 p < row_ptrs[static_cast<std::size_t>(i) + 1]; ++p) {
+                if (col_idxs[static_cast<std::size_t>(p)] == i) {
+                    vals[static_cast<std::size_t>(p)] *= (1.0 - c.x2);
+                }
+            }
+        }
+        return a;
+    }
+    }
+    throw BadParameter("unknown suite family");
+}
+
+const SuiteCase& suite_case_by_name(const std::string& name) {
+    for (const auto& c : suite_cases()) {
+        if (c.name == name) {
+            return c;
+        }
+    }
+    throw BadParameter("no suite case named '" + name + "'");
+}
+
+}  // namespace vbatch::sparse

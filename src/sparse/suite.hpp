@@ -1,0 +1,51 @@
+// The 48-matrix benchmark suite for the block-Jacobi solver study.
+//
+// Substitutes for the 48 SuiteSparse matrices of the paper's Table I
+// (offline environment; see DESIGN.md). Families and parameters are chosen
+// so the suite spans the same structural situations: FEM-like inherent
+// block structure of varying block size, 2-D/3-D multi-dof
+// discretizations, nonsymmetric convection, strong anisotropy,
+// circuit-like unbalanced patterns, and a few deliberately hard
+// (indefinite / strongly nonsymmetric) problems that -- like four of the
+// paper's cases -- defeat the solver.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace vbatch::sparse {
+
+enum class SuiteFamily {
+    fem_block,    ///< generic FEM-like variable-block matrices
+    laplace2d,    ///< 2-D multi-dof Poisson
+    laplace3d,    ///< 3-D multi-dof Poisson
+    convection,   ///< nonsymmetric convection-diffusion
+    anisotropic,  ///< anisotropic diffusion
+    circuit,      ///< unbalanced circuit-like
+    hard,         ///< indefinite (diagonal-shifted) problems
+};
+
+std::string family_name(SuiteFamily family);
+
+struct SuiteCase {
+    int id;            ///< 1-based index (the "ID" column of Table I)
+    std::string name;  ///< synthetic name, styled after the paper's table
+    SuiteFamily family;
+    index_type p1, p2, p3, p4;  ///< family-specific integer parameters
+    double x1, x2;              ///< family-specific real parameters
+    std::uint64_t seed;
+};
+
+/// The full 48-case suite (metadata only; matrices are built on demand).
+const std::vector<SuiteCase>& suite_cases();
+
+/// Instantiate the matrix of one case.
+Csr<double> build_suite_matrix(const SuiteCase& c);
+
+/// Find a case by name; throws BadParameter if absent.
+const SuiteCase& suite_case_by_name(const std::string& name);
+
+}  // namespace vbatch::sparse

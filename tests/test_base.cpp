@@ -1,0 +1,224 @@
+// Unit tests for the base infrastructure: views, buffers, RNG, thread
+// pool, statistics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "base/exception.hpp"
+#include "base/memory.hpp"
+#include "base/random.hpp"
+#include "base/span2d.hpp"
+#include "base/statistics.hpp"
+#include "base/thread_pool.hpp"
+#include "base/timer.hpp"
+
+namespace vbatch {
+namespace {
+
+TEST(MatrixView, IndexesColumnMajor) {
+    std::vector<double> data(12);
+    std::iota(data.begin(), data.end(), 0.0);
+    MatrixView<double> v(data.data(), 3, 4);
+    EXPECT_EQ(v(0, 0), 0.0);
+    EXPECT_EQ(v(2, 0), 2.0);
+    EXPECT_EQ(v(0, 1), 3.0);
+    EXPECT_EQ(v(2, 3), 11.0);
+}
+
+TEST(MatrixView, RespectsLeadingDimension) {
+    std::vector<double> data(20);
+    std::iota(data.begin(), data.end(), 0.0);
+    MatrixView<double> v(data.data(), 3, 4, 5);
+    EXPECT_EQ(v(0, 1), 5.0);
+    EXPECT_EQ(v(2, 3), 17.0);
+    EXPECT_EQ(v.col(2), data.data() + 10);
+}
+
+TEST(MatrixView, SubmatrixSharesStorage) {
+    std::vector<double> data(16, 0.0);
+    MatrixView<double> v(data.data(), 4, 4);
+    auto sub = v.submatrix(1, 2, 2, 2);
+    sub(0, 0) = 7.0;
+    EXPECT_EQ(v(1, 2), 7.0);
+    EXPECT_EQ(sub.ld(), 4);
+}
+
+TEST(ConstMatrixView, ConvertsFromMutable) {
+    std::vector<float> data(4, 1.0f);
+    MatrixView<float> v(data.data(), 2, 2);
+    ConstMatrixView<float> c = v;
+    EXPECT_EQ(c(1, 1), 1.0f);
+    EXPECT_EQ(c.rows(), 2);
+}
+
+TEST(AlignedBuffer, IsCacheLineAligned) {
+    AlignedBuffer<double> buf(100);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) %
+                  cache_line_bytes,
+              0u);
+    EXPECT_EQ(buf.size(), 100);
+}
+
+TEST(AlignedBuffer, ZerosInitializes) {
+    auto buf = AlignedBuffer<int>::zeros(17);
+    for (const int v : buf) {
+        EXPECT_EQ(v, 0);
+    }
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+    AlignedBuffer<int> a(4);
+    a[0] = 42;
+    AlignedBuffer<int> b(std::move(a));
+    EXPECT_EQ(b[0], 42);
+    EXPECT_EQ(a.size(), 0);
+    EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(AlignedBuffer, RejectsNegativeSize) {
+    EXPECT_THROW(AlignedBuffer<double>(-1), BadParameter);
+}
+
+TEST(Random, EnginesAreDeterministic) {
+    auto e1 = make_engine(123, 5);
+    auto e2 = make_engine(123, 5);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(e1(), e2());
+    }
+}
+
+TEST(Random, SubstreamsDiffer) {
+    auto e1 = make_engine(123, 0);
+    auto e2 = make_engine(123, 1);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i) {
+        any_diff |= (e1() != e2());
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Random, UniformRespectsBounds) {
+    auto eng = make_engine(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = uniform<double>(eng, -2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = uniform_int(eng, 4, 8);
+        EXPECT_GE(v, 4);
+        EXPECT_LE(v, 8);
+    }
+}
+
+TEST(ThreadPool, RunsEveryIteration) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, 1000, [&](size_type i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, HandlesEmptyAndOffsetRanges) {
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.parallel_for(5, 5, [&](size_type) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 0);
+    std::atomic<size_type> sum{0};
+    pool.parallel_for(10, 20, [&](size_type i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPool, SequentialFallbackWithOneThread) {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    std::vector<int> order;
+    pool.parallel_for(0, 8, [&](size_type i) {
+        order.push_back(static_cast<int>(i));
+    });
+    // Single participant executes in order.
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+    ThreadPool pool(3);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<size_type> sum{0};
+        pool.parallel_for(0, 100, [&](size_type i) { sum.fetch_add(i); });
+        EXPECT_EQ(sum.load(), 4950);
+    }
+}
+
+TEST(Statistics, SummaryBasics) {
+    const auto s = summarize({3.0, 1.0, 2.0, 4.0});
+    EXPECT_EQ(s.count, 4);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.median, 2.5);
+    EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Statistics, SummaryEmptyAndSingle) {
+    EXPECT_EQ(summarize({}).count, 0);
+    const auto s = summarize({7.5});
+    EXPECT_DOUBLE_EQ(s.median, 7.5);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(1.9);
+    h.add(5.0);
+    h.add(10.0);
+    h.add(25.0);
+    EXPECT_EQ(h.underflow(), 1);
+    EXPECT_EQ(h.overflow(), 2);
+    EXPECT_EQ(h.count(0), 2);
+    EXPECT_EQ(h.count(2), 1);
+    EXPECT_EQ(h.total(), 6);
+    EXPECT_DOUBLE_EQ(h.center(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.edge(5), 10.0);
+}
+
+TEST(Histogram, RejectsBadConfig) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), BadParameter);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), BadParameter);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+    Timer t;
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) {
+        sink = sink + 1.0;
+    }
+    EXPECT_GE(t.seconds(), 0.0);
+    double acc = 0.0;
+    {
+        ScopedTimer st(acc);
+    }
+    EXPECT_GE(acc, 0.0);
+}
+
+TEST(Exceptions, HierarchyIsCatchable) {
+    try {
+        throw SingularMatrix("boom", 7, 3);
+    } catch (const Error& e) {
+        const auto* s = dynamic_cast<const SingularMatrix*>(&e);
+        ASSERT_NE(s, nullptr);
+        EXPECT_EQ(s->batch_index(), 7);
+        EXPECT_EQ(s->step(), 3);
+    }
+}
+
+}  // namespace
+}  // namespace vbatch

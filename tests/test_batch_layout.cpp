@@ -1,0 +1,131 @@
+// Unit tests for the variable-size batch descriptor and batch storage.
+#include <gtest/gtest.h>
+
+#include "core/batch_storage.hpp"
+
+namespace vbatch::core {
+namespace {
+
+TEST(BatchLayout, UniformBatch) {
+    const auto layout = BatchLayout::uniform(5, 8);
+    EXPECT_EQ(layout.count(), 5);
+    EXPECT_TRUE(layout.is_uniform());
+    EXPECT_EQ(layout.max_size(), 8);
+    EXPECT_EQ(layout.total_values(), 5 * 64);
+    EXPECT_EQ(layout.total_rows(), 40);
+    EXPECT_EQ(layout.value_offset(2), 128);
+    EXPECT_EQ(layout.row_offset(3), 24);
+}
+
+TEST(BatchLayout, VariableBatch) {
+    const BatchLayout layout({4, 7, 0, 32});
+    EXPECT_FALSE(layout.is_uniform());
+    EXPECT_EQ(layout.max_size(), 32);
+    EXPECT_EQ(layout.total_values(), 16 + 49 + 0 + 1024);
+    EXPECT_EQ(layout.total_rows(), 43);
+    EXPECT_EQ(layout.value_offset(1), 16);
+    EXPECT_EQ(layout.value_offset(3), 65);
+    EXPECT_EQ(layout.size(2), 0);
+}
+
+TEST(BatchLayout, RejectsOversizedBlocks) {
+    EXPECT_THROW(BatchLayout({4, 33}), BadParameter);
+    EXPECT_THROW(BatchLayout::uniform(3, -1), BadParameter);
+}
+
+TEST(BatchLayout, EmptyBatch) {
+    const auto layout = BatchLayout::uniform(0, 16);
+    EXPECT_EQ(layout.count(), 0);
+    EXPECT_EQ(layout.total_values(), 0);
+    EXPECT_TRUE(layout.is_uniform());
+}
+
+TEST(BatchLayout, EqualityComparesSizes) {
+    EXPECT_TRUE(BatchLayout({2, 3}) == BatchLayout({2, 3}));
+    EXPECT_FALSE(BatchLayout({2, 3}) == BatchLayout({3, 2}));
+}
+
+TEST(BatchedMatrices, ViewsAddressDisjointSlices) {
+    auto layout = make_layout({2, 3});
+    BatchedMatrices<double> batch(layout);
+    auto v0 = batch.view(0);
+    auto v1 = batch.view(1);
+    EXPECT_EQ(v0.rows(), 2);
+    EXPECT_EQ(v1.rows(), 3);
+    EXPECT_EQ(v1.data(), batch.data() + 4);
+    v0(1, 1) = 5.0;
+    v1(2, 2) = 7.0;
+    EXPECT_EQ(batch.data()[3], 5.0);
+    EXPECT_EQ(batch.data()[4 + 8], 7.0);
+}
+
+TEST(BatchedMatrices, ZeroInitialized) {
+    BatchedMatrices<float> batch(make_uniform_layout(3, 4));
+    for (size_type i = 0; i < 3 * 16; ++i) {
+        EXPECT_EQ(batch.data()[i], 0.0f);
+    }
+}
+
+TEST(BatchedMatrices, RandomDiagonallyDominantIsDominantPerBlock) {
+    auto batch = BatchedMatrices<double>::random_diagonally_dominant(
+        make_layout({5, 9, 17}), 77);
+    for (size_type b = 0; b < batch.count(); ++b) {
+        const auto v = batch.view(b);
+        for (index_type i = 0; i < v.rows(); ++i) {
+            double off = 0;
+            for (index_type j = 0; j < v.cols(); ++j) {
+                if (i != j) {
+                    off += std::abs(v(i, j));
+                }
+            }
+            EXPECT_GT(std::abs(v(i, i)), off);
+        }
+    }
+}
+
+TEST(BatchedMatrices, EntryDataIndependentOfBatchPosition) {
+    // Entry data depends on (seed, index) only -- dispatch-order safe.
+    auto b1 = BatchedMatrices<double>::random_general(
+        make_uniform_layout(4, 6), 5);
+    auto b2 = BatchedMatrices<double>::random_general(
+        make_uniform_layout(10, 6), 5);
+    const auto v1 = b1.view(3);
+    const auto v2 = b2.view(3);
+    for (index_type j = 0; j < 6; ++j) {
+        for (index_type i = 0; i < 6; ++i) {
+            EXPECT_EQ(v1(i, j), v2(i, j));
+        }
+    }
+}
+
+TEST(BatchedMatrices, CloneIsDeep) {
+    auto batch = BatchedMatrices<double>::random_general(
+        make_uniform_layout(2, 3), 1);
+    auto copy = batch.clone();
+    copy.view(0)(0, 0) += 1.0;
+    EXPECT_NE(copy.view(0)(0, 0), batch.view(0)(0, 0));
+}
+
+TEST(BatchedVectors, SpansAndFactories) {
+    auto layout = make_layout({3, 1, 4});
+    auto ones = BatchedVectors<double>::ones(layout);
+    EXPECT_EQ(ones.span(2).size(), 4u);
+    EXPECT_EQ(ones.span(1)[0], 1.0);
+    auto rnd = BatchedVectors<double>::random(layout, 3);
+    auto rnd2 = BatchedVectors<double>::random(layout, 3);
+    EXPECT_EQ(rnd.span(2)[3], rnd2.span(2)[3]);
+    auto c = rnd.clone();
+    c.span(0)[0] += 2.0;
+    EXPECT_NE(c.span(0)[0], rnd.span(0)[0]);
+}
+
+TEST(BatchedPivots, LayoutAndSpans) {
+    BatchedPivots piv(make_layout({2, 5}));
+    EXPECT_EQ(piv.count(), 2);
+    EXPECT_EQ(piv.span(1).size(), 5u);
+    piv.span(1)[4] = 3;
+    EXPECT_EQ(piv.span(1)[4], 3);
+}
+
+}  // namespace
+}  // namespace vbatch::core

@@ -1,0 +1,144 @@
+// Tests for the P100 device model and vendor performance envelope.
+#include <gtest/gtest.h>
+
+#include "base/exception.hpp"
+#include "simt/device_model.hpp"
+
+namespace vbatch::simt {
+namespace {
+
+KernelStats sample_stats(size_type warps) {
+    KernelStats s;
+    s.fp_instructions = 500 * warps;
+    s.shuffle_instructions = 500 * warps;
+    s.misc_instructions = 100 * warps;
+    s.div_instructions = 30 * warps;
+    s.load_transactions = 256 * warps;
+    s.store_transactions = 256 * warps;
+    s.load_requests = 32 * warps;
+    s.store_requests = 32 * warps;
+    s.useful_flops = 20000 * warps;
+    return s;
+}
+
+TEST(DeviceModel, DoublePrecisionIsSlower) {
+    const auto model = DeviceModel::p100();
+    const auto fp = register_kernel_footprint(32, Precision::dp);
+    const auto fp_sp = register_kernel_footprint(32, Precision::single);
+    const auto stats = sample_stats(10000);
+    const double t_dp =
+        model.estimate_seconds(stats, 10000, Precision::dp, fp);
+    const double t_sp =
+        model.estimate_seconds(stats, 10000, Precision::single, fp_sp);
+    EXPECT_GE(t_dp, t_sp);
+}
+
+TEST(DeviceModel, TimeIncreasesWithWork) {
+    const auto model = DeviceModel::p100();
+    const auto fp = register_kernel_footprint(32, Precision::dp);
+    const double t1 = model.estimate_seconds(sample_stats(1000), 1000,
+                                             Precision::dp, fp);
+    const double t2 = model.estimate_seconds(sample_stats(40000), 40000,
+                                             Precision::dp, fp);
+    EXPECT_GT(t2, t1);
+}
+
+TEST(DeviceModel, ThroughputRampsWithBatchSize) {
+    // GFLOPS(batch) must grow toward a plateau (Fig. 4/6 shape): the
+    // per-launch overhead dominates small batches.
+    const auto model = DeviceModel::p100();
+    const auto fp = register_kernel_footprint(32, Precision::dp);
+    double prev = 0.0;
+    for (const size_type batch : {500, 2000, 8000, 40000}) {
+        const auto stats = sample_stats(batch);
+        const double t =
+            model.estimate_seconds(stats, batch, Precision::dp, fp);
+        const double gflops =
+            static_cast<double>(stats.useful_flops) / t * 1e-9;
+        EXPECT_GT(gflops, prev);
+        prev = gflops;
+    }
+}
+
+TEST(DeviceModel, RegisterFootprintLimitsOccupancy) {
+    const auto model = DeviceModel::p100();
+    const auto small = register_kernel_footprint(8, Precision::single);
+    const auto large = register_kernel_footprint(32, Precision::dp);
+    EXPECT_GT(model.resident_warps(small), model.resident_warps(large));
+    EXPECT_LE(model.resident_warps(large),
+              static_cast<size_type>(model.num_sms) *
+                  model.max_warps_per_sm);
+    EXPECT_GE(model.resident_warps(large), model.num_sms);
+}
+
+TEST(DeviceModel, MemoryBoundKernelScalesWithBytes) {
+    const auto model = DeviceModel::p100();
+    const auto fp = register_kernel_footprint(32, Precision::dp);
+    auto s = sample_stats(20000);
+    const double t1 = model.estimate_seconds(s, 20000, Precision::dp, fp);
+    s.load_transactions *= 8;  // 8x the traffic
+    const double t2 = model.estimate_seconds(s, 20000, Precision::dp, fp);
+    EXPECT_GT(t2, 1.5 * t1);
+}
+
+TEST(DeviceModel, EmptyLaunchRejected) {
+    const auto model = DeviceModel::p100();
+    const auto fp = register_kernel_footprint(16, Precision::dp);
+    EXPECT_THROW(
+        model.estimate_seconds(KernelStats{}, 0, Precision::dp, fp),
+        vbatch::BadParameter);
+}
+
+TEST(VendorModel, TablesShowTunedPeaks) {
+    const auto device = DeviceModel::p100();
+    const VendorModel vendor(device);
+    // Single precision getrf: local peaks at 8, 16 and 29.
+    EXPECT_GT(vendor.getrf_gflops(8, Precision::single),
+              vendor.getrf_gflops(9, Precision::single));
+    EXPECT_GT(vendor.getrf_gflops(16, Precision::single),
+              vendor.getrf_gflops(17, Precision::single));
+    EXPECT_GT(vendor.getrf_gflops(29, Precision::single),
+              vendor.getrf_gflops(30, Precision::single));
+    // Double precision: peaks at 8 and 20.
+    EXPECT_GT(vendor.getrf_gflops(8, Precision::dp),
+              vendor.getrf_gflops(9, Precision::dp));
+    EXPECT_GT(vendor.getrf_gflops(20, Precision::dp),
+              vendor.getrf_gflops(21, Precision::dp));
+    // Roughly 100 GFLOPS at m = 32 in double precision (paper: "about 100").
+    EXPECT_NEAR(vendor.getrf_gflops(32, Precision::dp), 100.0, 15.0);
+}
+
+TEST(VendorModel, GetrsSlowerThanGetrf) {
+    const auto device = DeviceModel::p100();
+    const VendorModel vendor(device);
+    for (index_type m = 4; m <= 32; ++m) {
+        EXPECT_LT(vendor.getrs_gflops(m, Precision::dp),
+                  vendor.getrf_gflops(m, Precision::dp));
+    }
+}
+
+TEST(VendorModel, EstimateHonoursRampAndThroughput) {
+    const auto device = DeviceModel::p100();
+    const VendorModel vendor(device);
+    const double g = vendor.getrf_gflops(32, Precision::dp);
+    const double flops_per = 2.0 / 3 * 32 * 32 * 32;
+    const double t_small = vendor.estimate_seconds(flops_per * 100, g, 100);
+    const double t_large =
+        vendor.estimate_seconds(flops_per * 40000, g, 40000);
+    const double g_small = flops_per * 100 / t_small * 1e-9;
+    const double g_large = flops_per * 40000 / t_large * 1e-9;
+    EXPECT_LT(g_small, g_large);
+    EXPECT_NEAR(g_large, g, 0.25 * g);
+}
+
+TEST(WarpFootprint, ScalesWithPrecisionAndSize) {
+    const auto sp = register_kernel_footprint(32, Precision::single);
+    const auto dp = register_kernel_footprint(32, Precision::dp);
+    EXPECT_GT(dp.registers_per_lane, sp.registers_per_lane);
+    const auto small = register_kernel_footprint(8, Precision::dp);
+    EXPECT_EQ(small.registers_per_lane, dp.registers_per_lane)
+        << "padded kernels hold the full 32-wide row regardless of m";
+}
+
+}  // namespace
+}  // namespace vbatch::simt

@@ -1,0 +1,114 @@
+// Tests for the Gauss-Jordan explicit inversion (inversion-based
+// block-Jacobi backend).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/blas3.hpp"
+#include "blas/dense_matrix.hpp"
+#include "blas/lapack.hpp"
+#include "core/gauss_jordan.hpp"
+
+namespace vbatch::core {
+namespace {
+
+class GjeSizes : public ::testing::TestWithParam<index_type> {};
+
+TEST_P(GjeSizes, InvertMatchesLapack) {
+    const index_type m = GetParam();
+    auto batch = BatchedMatrices<double>::random_general(
+        make_uniform_layout(8, m), 700 + m);
+    auto original = batch.clone();
+    ASSERT_TRUE(gauss_jordan_batch(batch).ok());
+    for (size_type b = 0; b < batch.count(); ++b) {
+        DenseMatrix<double> dense(m, m), ref(m, m);
+        for (index_type j = 0; j < m; ++j) {
+            for (index_type i = 0; i < m; ++i) {
+                dense(i, j) = original.view(b)(i, j);
+            }
+        }
+        ASSERT_EQ(lapack::invert<double>(dense.view(), ref.view()), 0);
+        for (index_type j = 0; j < m; ++j) {
+            for (index_type i = 0; i < m; ++i) {
+                EXPECT_NEAR(batch.view(b)(i, j), ref(i, j),
+                            1e-9 * std::max(1.0, std::abs(ref(i, j))))
+                    << b << " (" << i << "," << j << ")";
+            }
+        }
+    }
+}
+
+TEST_P(GjeSizes, InverseTimesOriginalIsIdentity) {
+    const index_type m = GetParam();
+    auto batch = BatchedMatrices<double>::random_diagonally_dominant(
+        make_uniform_layout(4, m), 800 + m);
+    auto original = batch.clone();
+    ASSERT_TRUE(gauss_jordan_batch(batch).ok());
+    for (size_type b = 0; b < batch.count(); ++b) {
+        DenseMatrix<double> a(m, m), inv(m, m);
+        for (index_type j = 0; j < m; ++j) {
+            for (index_type i = 0; i < m; ++i) {
+                a(i, j) = original.view(b)(i, j);
+                inv(i, j) = batch.view(b)(i, j);
+            }
+        }
+        auto prod = DenseMatrix<double>::zeros(m, m);
+        blas::gemm(1.0, a.view(), inv.view(), 0.0, prod.view());
+        for (index_type j = 0; j < m; ++j) {
+            for (index_type i = 0; i < m; ++i) {
+                EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-10);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GjeSizes,
+                         ::testing::Values(1, 2, 3, 4, 6, 9, 16, 25, 32));
+
+TEST(GaussJordan, PivotingHandlesZeroDiagonal) {
+    auto batch = BatchedMatrices<double>(make_uniform_layout(1, 2));
+    auto v = batch.view(0);
+    v(0, 1) = 1.0;
+    v(1, 0) = 2.0;
+    ASSERT_TRUE(gauss_jordan_batch(batch).ok());
+    // inv([[0,1],[2,0]]) = [[0,0.5],[1,0]]
+    EXPECT_NEAR(v(0, 0), 0.0, 1e-15);
+    EXPECT_NEAR(v(0, 1), 0.5, 1e-15);
+    EXPECT_NEAR(v(1, 0), 1.0, 1e-15);
+    EXPECT_NEAR(v(1, 1), 0.0, 1e-15);
+}
+
+TEST(GaussJordan, SingularThrows) {
+    BatchedMatrices<double> batch(make_uniform_layout(1, 4));
+    EXPECT_THROW(gauss_jordan_batch(batch), SingularMatrix);
+}
+
+TEST(ApplyInverse, EqualsGemv) {
+    auto layout = make_layout({3, 8, 15});
+    auto batch = BatchedMatrices<double>::random_diagonally_dominant(layout,
+                                                                     12);
+    auto original = batch.clone();
+    ASSERT_TRUE(gauss_jordan_batch(batch).ok());
+    auto x = BatchedVectors<double>::random(layout, 77);
+    auto x_orig = x.clone();
+    apply_inverse_batch(batch, x);
+    // Check A * (A^{-1} r) == r for each block.
+    for (size_type b = 0; b < layout->count(); ++b) {
+        const index_type m = layout->size(b);
+        std::vector<double> back(static_cast<std::size_t>(m), 0.0);
+        const auto a = original.view(b);
+        for (index_type j = 0; j < m; ++j) {
+            for (index_type i = 0; i < m; ++i) {
+                back[static_cast<std::size_t>(i)] +=
+                    a(i, j) * x.span(b)[static_cast<std::size_t>(j)];
+            }
+        }
+        for (index_type i = 0; i < m; ++i) {
+            EXPECT_NEAR(back[static_cast<std::size_t>(i)],
+                        x_orig.span(b)[static_cast<std::size_t>(i)], 1e-10);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace vbatch::core

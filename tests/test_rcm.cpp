@@ -1,0 +1,129 @@
+// Tests for the reverse Cuthill-McKee reordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "base/exception.hpp"
+#include "base/random.hpp"
+#include "blocking/rcm.hpp"
+#include "blocking/supervariable.hpp"
+#include "sparse/generators.hpp"
+
+namespace vbatch::blocking {
+namespace {
+
+using sparse::Csr;
+using sparse::Triplet;
+
+bool is_permutation(std::span<const index_type> p, index_type n) {
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    if (static_cast<index_type>(p.size()) != n) {
+        return false;
+    }
+    for (const auto v : p) {
+        if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) {
+            return false;
+        }
+        seen[static_cast<std::size_t>(v)] = true;
+    }
+    return true;
+}
+
+TEST(Rcm, ReturnsValidPermutation) {
+    const auto a = sparse::laplacian_2d<double>(12, 9, 2);
+    const auto perm = reverse_cuthill_mckee(a);
+    EXPECT_TRUE(is_permutation(perm, a.num_rows()));
+}
+
+TEST(Rcm, ReducesBandwidthOfShuffledMatrix) {
+    // Take a banded matrix, destroy its ordering with a random symmetric
+    // permutation, and check RCM recovers a small bandwidth.
+    const auto band = sparse::random_banded<double>(300, 3, 1.0, 7);
+    const auto bw_orig = bandwidth(band);
+    std::vector<index_type> shuffle(300);
+    std::iota(shuffle.begin(), shuffle.end(), 0);
+    auto eng = make_engine(5);
+    for (index_type i = 299; i > 0; --i) {
+        std::swap(shuffle[static_cast<std::size_t>(i)],
+                  shuffle[static_cast<std::size_t>(
+                      uniform_int(eng, 0, i))]);
+    }
+    const auto scrambled = permute_symmetric(band, shuffle);
+    ASSERT_GT(bandwidth(scrambled), 5 * bw_orig);
+    const auto perm = reverse_cuthill_mckee(scrambled);
+    const auto restored = permute_symmetric(scrambled, perm);
+    EXPECT_LT(bandwidth(restored), bandwidth(scrambled) / 4);
+}
+
+TEST(Rcm, PermuteSymmetricPreservesValues) {
+    auto a = Csr<double>::from_triplets(
+        3, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}, {2, 0, 4.0},
+               {2, 2, 5.0}});
+    const std::vector<index_type> perm{2, 0, 1};
+    const auto b = permute_symmetric(a, perm);
+    // b(i, j) = a(perm[i], perm[j])
+    EXPECT_EQ(b.at(0, 0), 5.0);
+    EXPECT_EQ(b.at(0, 1), 4.0);
+    EXPECT_EQ(b.at(1, 0), 2.0);
+    EXPECT_EQ(b.at(2, 2), 3.0);
+    EXPECT_EQ(b.nnz(), a.nnz());
+}
+
+TEST(Rcm, VectorPermutationRoundTrip) {
+    const std::vector<index_type> perm{2, 0, 3, 1};
+    const std::vector<double> in{10, 20, 30, 40};
+    std::vector<double> mid(4), back(4);
+    permute_vector<double>(perm, in, std::span<double>(mid));
+    EXPECT_EQ(mid[0], 30.0);
+    EXPECT_EQ(mid[1], 10.0);
+    unpermute_vector<double>(perm, mid, std::span<double>(back));
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(back[static_cast<std::size_t>(i)],
+                  in[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+    // Two disjoint 2-cliques and an isolated vertex.
+    auto a = Csr<double>::from_triplets(
+        5, 5,
+        {{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 1.0},
+         {2, 2, 1.0},
+         {3, 3, 1.0}, {3, 4, 1.0}, {4, 3, 1.0}, {4, 4, 1.0}});
+    const auto perm = reverse_cuthill_mckee(a);
+    EXPECT_TRUE(is_permutation(perm, 5));
+}
+
+TEST(Rcm, SupervariableBlockingSurvivesRcm) {
+    // The paper's point: RCM-like orderings keep nearby variables nearby,
+    // so the block structure remains usable. A multi-dof stencil stays
+    // exactly block-detectable because dofs of one node remain adjacent
+    // under the symmetric permutation of node groups... verify that the
+    // reordered matrix still partitions and the preconditioner pipeline
+    // runs.
+    const auto a = sparse::laplacian_2d<double>(8, 8, 4, 3);
+    const auto perm = reverse_cuthill_mckee(a);
+    const auto b = permute_symmetric(a, perm);
+    BlockingOptions opts;
+    opts.max_block_size = 16;
+    const auto blocks = supervariable_blocking(b, opts);
+    index_type sum = 0;
+    for (const auto s : blocks) {
+        sum += s;
+        EXPECT_LE(s, 16);
+    }
+    EXPECT_EQ(sum, b.num_rows());
+}
+
+TEST(Rcm, RejectsRectangularAndBadPerms) {
+    auto rect = Csr<double>::from_triplets(2, 3, {{0, 0, 1.0}});
+    EXPECT_THROW(reverse_cuthill_mckee(rect), BadParameter);
+    auto sq = Csr<double>::from_triplets(2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+    const std::vector<index_type> bad{0, 5};
+    EXPECT_THROW(permute_symmetric(sq, bad), BadParameter);
+}
+
+}  // namespace
+}  // namespace vbatch::blocking

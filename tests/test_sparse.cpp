@@ -1,0 +1,159 @@
+// Tests for the CSR substrate and Matrix Market I/O.
+#include "base/exception.hpp"
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/matrix_market.hpp"
+
+namespace vbatch::sparse {
+namespace {
+
+Csr<double> small_matrix() {
+    // [ 1 0 2 ]
+    // [ 0 3 0 ]
+    // [ 4 0 5 ]
+    return Csr<double>::from_triplets(
+        3, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}, {2, 0, 4.0},
+               {2, 2, 5.0}});
+}
+
+TEST(Csr, FromTripletsSortsAndSums) {
+    auto a = Csr<double>::from_triplets(
+        2, 2, {{1, 1, 1.0}, {0, 0, 2.0}, {1, 1, 2.5}, {0, 1, -1.0}});
+    EXPECT_EQ(a.nnz(), 3);
+    EXPECT_EQ(a.at(0, 0), 2.0);
+    EXPECT_EQ(a.at(0, 1), -1.0);
+    EXPECT_EQ(a.at(1, 1), 3.5);
+    EXPECT_EQ(a.at(1, 0), 0.0);
+}
+
+TEST(Csr, RejectsOutOfBoundsTriplets) {
+    EXPECT_THROW(Csr<double>::from_triplets(2, 2, {{2, 0, 1.0}}),
+                 BadParameter);
+    EXPECT_THROW(Csr<double>::from_triplets(2, 2, {{0, -1, 1.0}}),
+                 BadParameter);
+}
+
+TEST(Csr, ValidatesRawArrays) {
+    // Non-monotone row_ptrs must be rejected.
+    EXPECT_THROW(Csr<double>(2, 2, {0, 2, 1}, {0, 1}, {1.0, 2.0}),
+                 BadParameter);
+    // Unsorted columns within a row must be rejected.
+    EXPECT_THROW(Csr<double>(1, 3, {0, 2}, {2, 0}, {1.0, 2.0}),
+                 BadParameter);
+}
+
+TEST(Csr, SpmvMatchesDense) {
+    const auto a = small_matrix();
+    std::vector<double> x{1.0, 2.0, 3.0};
+    std::vector<double> y(3, -1.0);
+    a.spmv(std::span<const double>(x), std::span<double>(y));
+    EXPECT_DOUBLE_EQ(y[0], 7.0);
+    EXPECT_DOUBLE_EQ(y[1], 6.0);
+    EXPECT_DOUBLE_EQ(y[2], 19.0);
+    // alpha/beta form.
+    a.spmv(2.0, std::span<const double>(x), 1.0, std::span<double>(y));
+    EXPECT_DOUBLE_EQ(y[0], 21.0);
+}
+
+TEST(Csr, RowNnzAndAt) {
+    const auto a = small_matrix();
+    EXPECT_EQ(a.row_nnz(0), 2);
+    EXPECT_EQ(a.row_nnz(1), 1);
+    EXPECT_EQ(a.at(2, 2), 5.0);
+    EXPECT_EQ(a.at(1, 2), 0.0);
+    EXPECT_THROW(a.at(3, 0), BadParameter);
+}
+
+TEST(Csr, Transpose) {
+    const auto a = small_matrix();
+    const auto t = a.transpose();
+    EXPECT_EQ(t.at(0, 2), 4.0);
+    EXPECT_EQ(t.at(2, 0), 2.0);
+    EXPECT_EQ(t.nnz(), a.nnz());
+}
+
+TEST(Csr, SymmetryCheck) {
+    auto sym = Csr<double>::from_triplets(
+        2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 2.0}, {1, 1, 3.0}});
+    EXPECT_TRUE(sym.is_symmetric(0.0));
+    EXPECT_FALSE(small_matrix().is_symmetric(1e-10));
+}
+
+TEST(Csr, EmptyMatrix) {
+    Csr<double> a;
+    EXPECT_EQ(a.num_rows(), 0);
+    EXPECT_EQ(a.nnz(), 0);
+}
+
+TEST(MatrixMarket, RoundTrip) {
+    const auto a = small_matrix();
+    std::stringstream ss;
+    write_matrix_market(ss, a);
+    const auto b = read_matrix_market<double>(ss);
+    EXPECT_EQ(b.num_rows(), 3);
+    EXPECT_EQ(b.nnz(), a.nnz());
+    for (index_type i = 0; i < 3; ++i) {
+        for (index_type j = 0; j < 3; ++j) {
+            EXPECT_DOUBLE_EQ(b.at(i, j), a.at(i, j));
+        }
+    }
+}
+
+TEST(MatrixMarket, ReadsSymmetricStorage) {
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+       << "% a comment\n"
+       << "2 2 2\n"
+       << "1 1 4.0\n"
+       << "2 1 -1.5\n";
+    const auto a = read_matrix_market<double>(ss);
+    EXPECT_DOUBLE_EQ(a.at(0, 1), -1.5);
+    EXPECT_DOUBLE_EQ(a.at(1, 0), -1.5);
+    EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+    EXPECT_EQ(a.nnz(), 3);
+}
+
+TEST(MatrixMarket, ReadsPatternAsOnes) {
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate pattern general\n"
+       << "2 3 2\n"
+       << "1 3\n"
+       << "2 1\n";
+    const auto a = read_matrix_market<double>(ss);
+    EXPECT_DOUBLE_EQ(a.at(0, 2), 1.0);
+    EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+}
+
+TEST(MatrixMarket, ReadsSkewSymmetric) {
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+       << "2 2 1\n"
+       << "2 1 3.0\n";
+    const auto a = read_matrix_market<double>(ss);
+    EXPECT_DOUBLE_EQ(a.at(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(a.at(0, 1), -3.0);
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+    std::stringstream empty;
+    EXPECT_THROW(read_matrix_market<double>(empty), IoError);
+    std::stringstream bad_banner("hello world\n1 1 0\n");
+    EXPECT_THROW(read_matrix_market<double>(bad_banner), IoError);
+    std::stringstream bad_field;
+    bad_field << "%%MatrixMarket matrix coordinate complex general\n"
+              << "1 1 1\n1 1 1 0\n";
+    EXPECT_THROW(read_matrix_market<double>(bad_field), IoError);
+    std::stringstream oob;
+    oob << "%%MatrixMarket matrix coordinate real general\n"
+        << "2 2 1\n5 1 1.0\n";
+    EXPECT_THROW(read_matrix_market<double>(oob), IoError);
+    EXPECT_THROW(read_matrix_market_file<double>("/nonexistent/file.mtx"),
+                 IoError);
+}
+
+}  // namespace
+}  // namespace vbatch::sparse

@@ -1,0 +1,103 @@
+// Tests for the 48-matrix synthetic benchmark suite.
+#include "base/exception.hpp"
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sparse/suite.hpp"
+
+namespace vbatch::sparse {
+namespace {
+
+TEST(Suite, HasFortyEightUniqueCases) {
+    const auto& cases = suite_cases();
+    ASSERT_EQ(cases.size(), 48u);
+    std::set<int> ids;
+    std::set<std::string> names;
+    for (const auto& c : cases) {
+        ids.insert(c.id);
+        names.insert(c.name);
+    }
+    EXPECT_EQ(ids.size(), 48u);
+    EXPECT_EQ(names.size(), 48u);
+    EXPECT_EQ(*ids.begin(), 1);
+    EXPECT_EQ(*ids.rbegin(), 48);
+}
+
+TEST(Suite, CoversAllFamilies) {
+    std::set<SuiteFamily> fams;
+    for (const auto& c : suite_cases()) {
+        fams.insert(c.family);
+    }
+    EXPECT_EQ(fams.size(), 7u);
+}
+
+TEST(Suite, LookupByName) {
+    const auto& c = suite_case_by_name("circuit_m");
+    EXPECT_EQ(c.family, SuiteFamily::circuit);
+    EXPECT_THROW(suite_case_by_name("not_a_case"), BadParameter);
+}
+
+TEST(Suite, FamilyNamesAreDistinct) {
+    EXPECT_EQ(family_name(SuiteFamily::fem_block), "fem-block");
+    EXPECT_EQ(family_name(SuiteFamily::hard), "hard");
+    EXPECT_NE(family_name(SuiteFamily::circuit),
+              family_name(SuiteFamily::convection));
+}
+
+TEST(Suite, SpotBuildOnePerFamily) {
+    // Build one representative matrix per family and sanity check it.
+    std::set<SuiteFamily> done;
+    for (const auto& c : suite_cases()) {
+        if (done.count(c.family)) {
+            continue;
+        }
+        done.insert(c.family);
+        const auto a = build_suite_matrix(c);
+        EXPECT_GT(a.num_rows(), 100) << c.name;
+        EXPECT_EQ(a.num_rows(), a.num_cols()) << c.name;
+        EXPECT_GT(a.nnz(), a.num_rows()) << c.name;
+        // Every diagonal entry must be present (the preconditioners
+        // require it).
+        for (index_type i = 0; i < a.num_rows(); i += 37) {
+            EXPECT_NE(a.at(i, i), 0.0) << c.name << " row " << i;
+        }
+    }
+    EXPECT_EQ(done.size(), 7u);
+}
+
+TEST(Suite, HardCasesAreShiftedVersions) {
+    const auto& hard = suite_case_by_name("hard_shift_mid");
+    const auto a = build_suite_matrix(hard);
+    // The shift multiplies diagonals by (1 - x2) < 1: dominance is broken.
+    bool dominance_broken = false;
+    for (index_type i = 0; i < a.num_rows() && !dominance_broken; ++i) {
+        double off = 0, diag = 0;
+        for (auto p = a.row_ptrs()[static_cast<std::size_t>(i)];
+             p < a.row_ptrs()[static_cast<std::size_t>(i) + 1]; ++p) {
+            const auto j = a.col_idxs()[static_cast<std::size_t>(p)];
+            const auto v = a.values()[static_cast<std::size_t>(p)];
+            if (j == i) {
+                diag = std::abs(v);
+            } else {
+                off += std::abs(v);
+            }
+        }
+        dominance_broken = diag < off;
+    }
+    EXPECT_TRUE(dominance_broken);
+}
+
+TEST(Suite, DeterministicRebuild) {
+    const auto& c = suite_case_by_name("fem_d4_s");
+    const auto a = build_suite_matrix(c);
+    const auto b = build_suite_matrix(c);
+    ASSERT_EQ(a.nnz(), b.nnz());
+    for (size_type p = 0; p < a.nnz(); p += 101) {
+        EXPECT_EQ(a.values()[static_cast<std::size_t>(p)],
+                  b.values()[static_cast<std::size_t>(p)]);
+    }
+}
+
+}  // namespace
+}  // namespace vbatch::sparse

@@ -1,0 +1,127 @@
+// Tests for supervariable blocking.
+#include "base/exception.hpp"
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "blocking/supervariable.hpp"
+#include "sparse/generators.hpp"
+
+namespace vbatch::blocking {
+namespace {
+
+using sparse::Csr;
+using sparse::Triplet;
+
+TEST(FindSupervariables, DetectsIdenticalPatterns) {
+    // Rows 0-1 share a pattern, rows 2-4 share another, row 5 is alone.
+    std::vector<Triplet<double>> t;
+    for (index_type r : {0, 1}) {
+        t.push_back({r, 0, 1.0});
+        t.push_back({r, 1, 1.0});
+    }
+    for (index_type r : {2, 3, 4}) {
+        t.push_back({r, 2, 1.0});
+        t.push_back({r, 3, 1.0});
+        t.push_back({r, 4, 1.0});
+    }
+    t.push_back({5, 5, 1.0});
+    const auto a = Csr<double>::from_triplets(6, 6, std::move(t));
+    const auto sv = find_supervariables(a);
+    ASSERT_EQ(sv.size(), 3u);
+    EXPECT_EQ(sv[0], 2);
+    EXPECT_EQ(sv[1], 3);
+    EXPECT_EQ(sv[2], 1);
+}
+
+TEST(FindSupervariables, MultiDofStencilRecoversDofBlocks) {
+    const index_type dofs = 4;
+    const auto a = sparse::laplacian_2d<double>(6, 6, dofs);
+    const auto sv = find_supervariables(a);
+    // All dofs of one node share the pattern; different nodes differ.
+    for (const auto s : sv) {
+        EXPECT_EQ(s, dofs);
+    }
+    EXPECT_EQ(std::accumulate(sv.begin(), sv.end(), index_type{0}),
+              a.num_rows());
+}
+
+TEST(Blocking, PartitionsMatrixAndRespectsBound) {
+    const auto a = sparse::laplacian_2d<double>(10, 10, 3);
+    for (const index_type bound : {8, 12, 16, 24, 32}) {
+        BlockingOptions opts;
+        opts.max_block_size = bound;
+        const auto blocks = supervariable_blocking(a, opts);
+        index_type sum = 0;
+        for (const auto b : blocks) {
+            EXPECT_GE(b, 1);
+            EXPECT_LE(b, bound);
+            sum += b;
+        }
+        EXPECT_EQ(sum, a.num_rows());
+    }
+}
+
+TEST(Blocking, AgglomeratesAdjacentSupervariables) {
+    // dofs=3 nodes with bound 8: two nodes (6 rows) fit, a third does not.
+    const auto a = sparse::laplacian_2d<double>(4, 4, 3);
+    BlockingOptions opts;
+    opts.max_block_size = 8;
+    const auto blocks = supervariable_blocking(a, opts);
+    for (const auto b : blocks) {
+        EXPECT_EQ(b % 3, 0) << "blocks are whole supervariables";
+        EXPECT_LE(b, 8);
+    }
+    EXPECT_EQ(blocks.front(), 6);
+}
+
+TEST(Blocking, SplitsOversizedSupervariables) {
+    // A dense 40-row matrix is one supervariable of size 40 > 32.
+    std::vector<Triplet<double>> t;
+    for (index_type i = 0; i < 40; ++i) {
+        for (index_type j = 0; j < 40; ++j) {
+            t.push_back({i, j, 1.0});
+        }
+    }
+    const auto a = Csr<double>::from_triplets(40, 40, std::move(t));
+    BlockingOptions opts;
+    opts.max_block_size = 32;
+    const auto blocks = supervariable_blocking(a, opts);
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[0], 32);
+    EXPECT_EQ(blocks[1], 8);
+}
+
+TEST(Blocking, ChunkingAblationIgnoresPattern) {
+    const auto a = sparse::laplacian_2d<double>(5, 5, 4);
+    BlockingOptions opts;
+    opts.max_block_size = 16;
+    opts.detect_supervariables = false;
+    const auto blocks = supervariable_blocking(a, opts);
+    // Plain chunking: all blocks are the bound except possibly the last.
+    for (std::size_t i = 0; i + 1 < blocks.size(); ++i) {
+        EXPECT_EQ(blocks[i], 16);
+    }
+}
+
+TEST(Blocking, BoundValidation) {
+    const auto a = sparse::laplacian_2d<double>(3, 3, 1);
+    BlockingOptions opts;
+    opts.max_block_size = 0;
+    EXPECT_THROW(supervariable_blocking(a, opts), BadParameter);
+    opts.max_block_size = 33;
+    EXPECT_THROW(supervariable_blocking(a, opts), BadParameter);
+}
+
+TEST(Blocking, LayoutHelperMatchesSizes) {
+    const auto a = sparse::laplacian_2d<double>(6, 4, 2);
+    BlockingOptions opts;
+    opts.max_block_size = 12;
+    const auto layout = supervariable_layout(a, opts);
+    EXPECT_EQ(layout->total_rows(), a.num_rows());
+    const auto sizes = supervariable_blocking(a, opts);
+    ASSERT_EQ(static_cast<std::size_t>(layout->count()), sizes.size());
+}
+
+}  // namespace
+}  // namespace vbatch::blocking
