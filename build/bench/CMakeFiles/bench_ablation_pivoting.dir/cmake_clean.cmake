@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pivoting.dir/bench_ablation_pivoting.cpp.o"
+  "CMakeFiles/bench_ablation_pivoting.dir/bench_ablation_pivoting.cpp.o.d"
+  "bench_ablation_pivoting"
+  "bench_ablation_pivoting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pivoting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

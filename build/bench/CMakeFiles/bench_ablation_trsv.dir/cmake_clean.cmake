@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trsv.dir/bench_ablation_trsv.cpp.o"
+  "CMakeFiles/bench_ablation_trsv.dir/bench_ablation_trsv.cpp.o.d"
+  "bench_ablation_trsv"
+  "bench_ablation_trsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

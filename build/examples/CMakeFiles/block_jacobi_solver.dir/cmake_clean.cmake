@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_jacobi_solver.dir/block_jacobi_solver.cpp.o"
+  "CMakeFiles/block_jacobi_solver.dir/block_jacobi_solver.cpp.o.d"
+  "block_jacobi_solver"
+  "block_jacobi_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_jacobi_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

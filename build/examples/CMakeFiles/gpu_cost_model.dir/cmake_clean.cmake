@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_cost_model.dir/gpu_cost_model.cpp.o"
+  "CMakeFiles/gpu_cost_model.dir/gpu_cost_model.cpp.o.d"
+  "gpu_cost_model"
+  "gpu_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supervariable_explorer.dir/supervariable_explorer.cpp.o"
+  "CMakeFiles/supervariable_explorer.dir/supervariable_explorer.cpp.o.d"
+  "supervariable_explorer"
+  "supervariable_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supervariable_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbatch_solve.dir/vbatch_solve.cpp.o"
+  "CMakeFiles/vbatch_solve.dir/vbatch_solve.cpp.o.d"
+  "vbatch_solve"
+  "vbatch_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbatch_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

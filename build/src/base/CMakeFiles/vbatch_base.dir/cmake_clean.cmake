@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbatch_base.dir/exception.cpp.o"
+  "CMakeFiles/vbatch_base.dir/exception.cpp.o.d"
+  "CMakeFiles/vbatch_base.dir/statistics.cpp.o"
+  "CMakeFiles/vbatch_base.dir/statistics.cpp.o.d"
+  "CMakeFiles/vbatch_base.dir/thread_pool.cpp.o"
+  "CMakeFiles/vbatch_base.dir/thread_pool.cpp.o.d"
+  "libvbatch_base.a"
+  "libvbatch_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbatch_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

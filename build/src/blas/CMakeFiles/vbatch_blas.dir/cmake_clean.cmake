@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbatch_blas.dir/lapack.cpp.o"
+  "CMakeFiles/vbatch_blas.dir/lapack.cpp.o.d"
+  "libvbatch_blas.a"
+  "libvbatch_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbatch_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vbatch_blas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbatch_blocking.dir/extraction.cpp.o"
+  "CMakeFiles/vbatch_blocking.dir/extraction.cpp.o.d"
+  "CMakeFiles/vbatch_blocking.dir/rcm.cpp.o"
+  "CMakeFiles/vbatch_blocking.dir/rcm.cpp.o.d"
+  "CMakeFiles/vbatch_blocking.dir/supervariable.cpp.o"
+  "CMakeFiles/vbatch_blocking.dir/supervariable.cpp.o.d"
+  "libvbatch_blocking.a"
+  "libvbatch_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbatch_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

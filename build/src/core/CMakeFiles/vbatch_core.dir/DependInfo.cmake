@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_layout.cpp" "src/core/CMakeFiles/vbatch_core.dir/batch_layout.cpp.o" "gcc" "src/core/CMakeFiles/vbatch_core.dir/batch_layout.cpp.o.d"
+  "/root/repo/src/core/cholesky.cpp" "src/core/CMakeFiles/vbatch_core.dir/cholesky.cpp.o" "gcc" "src/core/CMakeFiles/vbatch_core.dir/cholesky.cpp.o.d"
+  "/root/repo/src/core/gauss_huard.cpp" "src/core/CMakeFiles/vbatch_core.dir/gauss_huard.cpp.o" "gcc" "src/core/CMakeFiles/vbatch_core.dir/gauss_huard.cpp.o.d"
+  "/root/repo/src/core/gauss_jordan.cpp" "src/core/CMakeFiles/vbatch_core.dir/gauss_jordan.cpp.o" "gcc" "src/core/CMakeFiles/vbatch_core.dir/gauss_jordan.cpp.o.d"
+  "/root/repo/src/core/getrf.cpp" "src/core/CMakeFiles/vbatch_core.dir/getrf.cpp.o" "gcc" "src/core/CMakeFiles/vbatch_core.dir/getrf.cpp.o.d"
+  "/root/repo/src/core/gje_simt.cpp" "src/core/CMakeFiles/vbatch_core.dir/gje_simt.cpp.o" "gcc" "src/core/CMakeFiles/vbatch_core.dir/gje_simt.cpp.o.d"
+  "/root/repo/src/core/packed_kernels.cpp" "src/core/CMakeFiles/vbatch_core.dir/packed_kernels.cpp.o" "gcc" "src/core/CMakeFiles/vbatch_core.dir/packed_kernels.cpp.o.d"
+  "/root/repo/src/core/simt_kernels.cpp" "src/core/CMakeFiles/vbatch_core.dir/simt_kernels.cpp.o" "gcc" "src/core/CMakeFiles/vbatch_core.dir/simt_kernels.cpp.o.d"
+  "/root/repo/src/core/trsv.cpp" "src/core/CMakeFiles/vbatch_core.dir/trsv.cpp.o" "gcc" "src/core/CMakeFiles/vbatch_core.dir/trsv.cpp.o.d"
+  "/root/repo/src/core/vendor.cpp" "src/core/CMakeFiles/vbatch_core.dir/vendor.cpp.o" "gcc" "src/core/CMakeFiles/vbatch_core.dir/vendor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vbatch_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/vbatch_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/vbatch_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

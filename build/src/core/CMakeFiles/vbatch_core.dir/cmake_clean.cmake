@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbatch_core.dir/batch_layout.cpp.o"
+  "CMakeFiles/vbatch_core.dir/batch_layout.cpp.o.d"
+  "CMakeFiles/vbatch_core.dir/cholesky.cpp.o"
+  "CMakeFiles/vbatch_core.dir/cholesky.cpp.o.d"
+  "CMakeFiles/vbatch_core.dir/gauss_huard.cpp.o"
+  "CMakeFiles/vbatch_core.dir/gauss_huard.cpp.o.d"
+  "CMakeFiles/vbatch_core.dir/gauss_jordan.cpp.o"
+  "CMakeFiles/vbatch_core.dir/gauss_jordan.cpp.o.d"
+  "CMakeFiles/vbatch_core.dir/getrf.cpp.o"
+  "CMakeFiles/vbatch_core.dir/getrf.cpp.o.d"
+  "CMakeFiles/vbatch_core.dir/gje_simt.cpp.o"
+  "CMakeFiles/vbatch_core.dir/gje_simt.cpp.o.d"
+  "CMakeFiles/vbatch_core.dir/packed_kernels.cpp.o"
+  "CMakeFiles/vbatch_core.dir/packed_kernels.cpp.o.d"
+  "CMakeFiles/vbatch_core.dir/simt_kernels.cpp.o"
+  "CMakeFiles/vbatch_core.dir/simt_kernels.cpp.o.d"
+  "CMakeFiles/vbatch_core.dir/trsv.cpp.o"
+  "CMakeFiles/vbatch_core.dir/trsv.cpp.o.d"
+  "CMakeFiles/vbatch_core.dir/vendor.cpp.o"
+  "CMakeFiles/vbatch_core.dir/vendor.cpp.o.d"
+  "libvbatch_core.a"
+  "libvbatch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbatch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbatch_precond.dir/block_jacobi.cpp.o"
+  "CMakeFiles/vbatch_precond.dir/block_jacobi.cpp.o.d"
+  "libvbatch_precond.a"
+  "libvbatch_precond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbatch_precond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

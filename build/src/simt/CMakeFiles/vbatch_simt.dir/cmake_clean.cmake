@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbatch_simt.dir/device_model.cpp.o"
+  "CMakeFiles/vbatch_simt.dir/device_model.cpp.o.d"
+  "libvbatch_simt.a"
+  "libvbatch_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbatch_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

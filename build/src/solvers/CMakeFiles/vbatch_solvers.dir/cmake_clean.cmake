@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbatch_solvers.dir/bicgstab.cpp.o"
+  "CMakeFiles/vbatch_solvers.dir/bicgstab.cpp.o.d"
+  "CMakeFiles/vbatch_solvers.dir/cg.cpp.o"
+  "CMakeFiles/vbatch_solvers.dir/cg.cpp.o.d"
+  "CMakeFiles/vbatch_solvers.dir/gmres.cpp.o"
+  "CMakeFiles/vbatch_solvers.dir/gmres.cpp.o.d"
+  "CMakeFiles/vbatch_solvers.dir/idr.cpp.o"
+  "CMakeFiles/vbatch_solvers.dir/idr.cpp.o.d"
+  "libvbatch_solvers.a"
+  "libvbatch_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbatch_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvbatch_solvers.a"
+)

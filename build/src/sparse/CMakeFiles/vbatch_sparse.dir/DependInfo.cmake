@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/vbatch_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/vbatch_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/sparse/CMakeFiles/vbatch_sparse.dir/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/vbatch_sparse.dir/generators.cpp.o.d"
+  "/root/repo/src/sparse/matrix_market.cpp" "src/sparse/CMakeFiles/vbatch_sparse.dir/matrix_market.cpp.o" "gcc" "src/sparse/CMakeFiles/vbatch_sparse.dir/matrix_market.cpp.o.d"
+  "/root/repo/src/sparse/sellp.cpp" "src/sparse/CMakeFiles/vbatch_sparse.dir/sellp.cpp.o" "gcc" "src/sparse/CMakeFiles/vbatch_sparse.dir/sellp.cpp.o.d"
+  "/root/repo/src/sparse/suite.cpp" "src/sparse/CMakeFiles/vbatch_sparse.dir/suite.cpp.o" "gcc" "src/sparse/CMakeFiles/vbatch_sparse.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vbatch_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbatch_sparse.dir/csr.cpp.o"
+  "CMakeFiles/vbatch_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/vbatch_sparse.dir/generators.cpp.o"
+  "CMakeFiles/vbatch_sparse.dir/generators.cpp.o.d"
+  "CMakeFiles/vbatch_sparse.dir/matrix_market.cpp.o"
+  "CMakeFiles/vbatch_sparse.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/vbatch_sparse.dir/sellp.cpp.o"
+  "CMakeFiles/vbatch_sparse.dir/sellp.cpp.o.d"
+  "CMakeFiles/vbatch_sparse.dir/suite.cpp.o"
+  "CMakeFiles/vbatch_sparse.dir/suite.cpp.o.d"
+  "libvbatch_sparse.a"
+  "libvbatch_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbatch_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

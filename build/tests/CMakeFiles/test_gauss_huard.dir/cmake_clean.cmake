@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gauss_huard.dir/test_gauss_huard.cpp.o"
+  "CMakeFiles/test_gauss_huard.dir/test_gauss_huard.cpp.o.d"
+  "test_gauss_huard"
+  "test_gauss_huard.pdb"
+  "test_gauss_huard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gauss_huard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

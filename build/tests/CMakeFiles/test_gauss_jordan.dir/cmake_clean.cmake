@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gauss_jordan.dir/test_gauss_jordan.cpp.o"
+  "CMakeFiles/test_gauss_jordan.dir/test_gauss_jordan.cpp.o.d"
+  "test_gauss_jordan"
+  "test_gauss_jordan.pdb"
+  "test_gauss_jordan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gauss_jordan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

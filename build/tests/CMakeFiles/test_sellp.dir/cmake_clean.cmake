@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sellp.dir/test_sellp.cpp.o"
+  "CMakeFiles/test_sellp.dir/test_sellp.cpp.o.d"
+  "test_sellp"
+  "test_sellp.pdb"
+  "test_sellp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sellp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

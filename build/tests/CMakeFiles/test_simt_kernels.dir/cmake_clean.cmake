@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_kernels.dir/test_simt_kernels.cpp.o"
+  "CMakeFiles/test_simt_kernels.dir/test_simt_kernels.cpp.o.d"
+  "test_simt_kernels"
+  "test_simt_kernels.pdb"
+  "test_simt_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

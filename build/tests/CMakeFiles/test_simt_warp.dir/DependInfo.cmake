@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_simt_warp.cpp" "tests/CMakeFiles/test_simt_warp.dir/test_simt_warp.cpp.o" "gcc" "tests/CMakeFiles/test_simt_warp.dir/test_simt_warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solvers/CMakeFiles/vbatch_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/precond/CMakeFiles/vbatch_precond.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/vbatch_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vbatch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/vbatch_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/vbatch_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/vbatch_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vbatch_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_warp.dir/test_simt_warp.cpp.o"
+  "CMakeFiles/test_simt_warp.dir/test_simt_warp.cpp.o.d"
+  "test_simt_warp"
+  "test_simt_warp.pdb"
+  "test_simt_warp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_warp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_cases.dir/test_suite_cases.cpp.o"
+  "CMakeFiles/test_suite_cases.dir/test_suite_cases.cpp.o.d"
+  "test_suite_cases"
+  "test_suite_cases.pdb"
+  "test_suite_cases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_supervariable.dir/test_supervariable.cpp.o"
+  "CMakeFiles/test_supervariable.dir/test_supervariable.cpp.o.d"
+  "test_supervariable"
+  "test_supervariable.pdb"
+  "test_supervariable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_supervariable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

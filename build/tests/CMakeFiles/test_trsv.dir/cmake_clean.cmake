@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trsv.dir/test_trsv.cpp.o"
+  "CMakeFiles/test_trsv.dir/test_trsv.cpp.o.d"
+  "test_trsv"
+  "test_trsv.pdb"
+  "test_trsv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_simt_warp[1]_include.cmake")
+include("/root/repo/build/tests/test_device_model[1]_include.cmake")
+include("/root/repo/build/tests/test_blas[1]_include.cmake")
+include("/root/repo/build/tests/test_batch_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_getrf[1]_include.cmake")
+include("/root/repo/build/tests/test_trsv[1]_include.cmake")
+include("/root/repo/build/tests/test_gauss_huard[1]_include.cmake")
+include("/root/repo/build/tests/test_gauss_jordan[1]_include.cmake")
+include("/root/repo/build/tests/test_vendor[1]_include.cmake")
+include("/root/repo/build/tests/test_simt_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_suite_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_supervariable[1]_include.cmake")
+include("/root/repo/build/tests/test_extraction[1]_include.cmake")
+include("/root/repo/build/tests/test_precond[1]_include.cmake")
+include("/root/repo/build/tests/test_solvers[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_cholesky[1]_include.cmake")
+include("/root/repo/build/tests/test_packed[1]_include.cmake")
+include("/root/repo/build/tests/test_rcm[1]_include.cmake")
+include("/root/repo/build/tests/test_sellp[1]_include.cmake")
+include("/root/repo/build/tests/test_gje_simt[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
