@@ -17,6 +17,7 @@
 #include "core/getrf.hpp"
 #include "core/simt_kernels.hpp"
 #include "core/trsv.hpp"
+#include "obs/bench_report.hpp"
 #include "simt/device_model.hpp"
 
 namespace vbatch::bench {
@@ -155,6 +156,26 @@ inline void print_series_table(const std::string& row_label,
             std::printf("  %16.1f", data[c][r]);
         }
         std::printf("\n");
+    }
+}
+
+/// Print one table *and* record it into the bench report: each kernel
+/// column becomes one series named "<context>/<kernel>".
+inline void emit_series_table(obs::BenchReport& report,
+                              const std::string& context,
+                              const std::string& row_label,
+                              const std::vector<double>& rows,
+                              const std::vector<Kernel>& kernels,
+                              const std::vector<std::vector<double>>& data) {
+    print_series_table(row_label, rows, kernels, data);
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+        std::vector<std::pair<double, double>> points;
+        points.reserve(rows.size());
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            points.emplace_back(rows[r], data[k][r]);
+        }
+        report.series(context + "/" + kernel_name(kernels[k]), row_label,
+                      std::move(points));
     }
 }
 

@@ -9,7 +9,8 @@ using vb::bench::Kernel;
 namespace {
 
 template <typename T>
-void run_precision(const vb::simt::DeviceModel& device) {
+void run_precision(const vb::simt::DeviceModel& device,
+                   vb::obs::BenchReport& report) {
     const std::vector<Kernel> kernels = {
         Kernel::smallsize_lu, Kernel::gauss_huard, Kernel::gauss_huard_t,
         Kernel::vendor};
@@ -20,6 +21,7 @@ void run_precision(const vb::simt::DeviceModel& device) {
         batches = {1000, 2000, 5000, 10000, 15000, 20000,
                    25000, 30000, 35000, 40000};
     }
+    vb::Timer precision_timer;
     for (const vb::index_type m : {16, 32}) {
         vb::bench::print_header(
             "Fig. 4 GETRF | block size " + std::to_string(m) + " | " +
@@ -33,8 +35,12 @@ void run_precision(const vb::simt::DeviceModel& device) {
                     kernels[k], m, batch, device));
             }
         }
-        vb::bench::print_series_table("batch", rows, kernels, data);
+        vb::bench::emit_series_table(
+            report,
+            std::string(vb::precision_name<T>()) + "/m" + std::to_string(m),
+            "batch", rows, kernels, data);
     }
+    report.phase(vb::precision_name<T>(), precision_timer.seconds());
 }
 
 }  // namespace
@@ -44,7 +50,12 @@ int main() {
     std::printf("Reproduction of Fig. 4 (batched GETRF vs batch size) on "
                 "the %s cost model.\n",
                 device.name().c_str());
-    run_precision<float>(device);
-    run_precision<double>(device);
+    vb::obs::BenchReport report("fig4_getrf_batch");
+    report.config("device", device.name());
+    report.config("quick", vb::bench::quick_mode());
+    report.config("emulation_sample", vb::bench::emulation_sample);
+    run_precision<float>(device, report);
+    run_precision<double>(device, report);
+    report.write_if_enabled();
     return 0;
 }

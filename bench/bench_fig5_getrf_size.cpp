@@ -8,8 +8,8 @@ using vb::bench::Kernel;
 namespace {
 
 template <typename T>
-void run_precision(const vb::simt::DeviceModel& device,
-                   vb::size_type batch) {
+void run_precision(const vb::simt::DeviceModel& device, vb::size_type batch,
+                   vb::obs::BenchReport& report) {
     const std::vector<Kernel> kernels = {
         Kernel::smallsize_lu, Kernel::gauss_huard, Kernel::gauss_huard_t,
         Kernel::vendor};
@@ -19,6 +19,7 @@ void run_precision(const vb::simt::DeviceModel& device,
     std::vector<double> rows;
     std::vector<std::vector<double>> data(kernels.size());
     const vb::index_type step = vb::bench::quick_mode() ? 7 : 1;
+    vb::Timer precision_timer;
     for (vb::index_type m = 4; m <= 32; m += step) {
         rows.push_back(m);
         for (std::size_t k = 0; k < kernels.size(); ++k) {
@@ -26,7 +27,9 @@ void run_precision(const vb::simt::DeviceModel& device,
                 vb::bench::getrf_gflops<T>(kernels[k], m, batch, device));
         }
     }
-    vb::bench::print_series_table("size", rows, kernels, data);
+    vb::bench::emit_series_table(report, vb::precision_name<T>(), "size",
+                                 rows, kernels, data);
+    report.phase(vb::precision_name<T>(), precision_timer.seconds());
 }
 
 }  // namespace
@@ -37,7 +40,12 @@ int main() {
     std::printf("Reproduction of Fig. 5 (batched GETRF vs matrix size, "
                 "batch fixed to 40,000) on the %s cost model.\n",
                 device.name().c_str());
-    run_precision<float>(device, batch);
-    run_precision<double>(device, batch);
+    vb::obs::BenchReport report("fig5_getrf_size");
+    report.config("device", device.name());
+    report.config("batch", batch);
+    report.config("quick", vb::bench::quick_mode());
+    run_precision<float>(device, batch, report);
+    run_precision<double>(device, batch, report);
+    report.write_if_enabled();
     return 0;
 }

@@ -8,7 +8,8 @@ using vb::bench::Kernel;
 namespace {
 
 template <typename T>
-void run_precision(const vb::simt::DeviceModel& device) {
+void run_precision(const vb::simt::DeviceModel& device,
+                   vb::obs::BenchReport& report) {
     const std::vector<Kernel> kernels = {
         Kernel::smallsize_lu, Kernel::gauss_huard, Kernel::gauss_huard_t,
         Kernel::vendor};
@@ -19,6 +20,7 @@ void run_precision(const vb::simt::DeviceModel& device) {
         batches = {1000, 2000, 5000, 10000, 15000, 20000,
                    25000, 30000, 35000, 40000};
     }
+    vb::Timer precision_timer;
     for (const vb::index_type m : {16, 32}) {
         vb::bench::print_header(
             "Fig. 6 TRSV | block size " + std::to_string(m) + " | " +
@@ -32,8 +34,12 @@ void run_precision(const vb::simt::DeviceModel& device) {
                     kernels[k], m, batch, device));
             }
         }
-        vb::bench::print_series_table("batch", rows, kernels, data);
+        vb::bench::emit_series_table(
+            report,
+            std::string(vb::precision_name<T>()) + "/m" + std::to_string(m),
+            "batch", rows, kernels, data);
     }
+    report.phase(vb::precision_name<T>(), precision_timer.seconds());
 }
 
 }  // namespace
@@ -43,7 +49,11 @@ int main() {
     std::printf("Reproduction of Fig. 6 (batched triangular solves vs "
                 "batch size) on the %s cost model.\n",
                 device.name().c_str());
-    run_precision<float>(device);
-    run_precision<double>(device);
+    vb::obs::BenchReport report("fig6_trsv_batch");
+    report.config("device", device.name());
+    report.config("quick", vb::bench::quick_mode());
+    run_precision<float>(device, report);
+    run_precision<double>(device, report);
+    report.write_if_enabled();
     return 0;
 }

@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "base/statistics.hpp"
+#include "obs/metrics.hpp"
 #include "solver_study.hpp"
 
 namespace vb = vbatch;
@@ -17,9 +18,13 @@ int main() {
         "Negative bins: LU gave the better preconditioner (GH needed more "
         "iterations); positive bins: GH was better.\n");
     const auto cases = vb::bench::study_cases();
+    vb::obs::BenchReport report("fig8_convergence");
+    report.config("quick", vb::bench::quick_mode());
+    report.config("cases", static_cast<vb::size_type>(cases.size()));
 
     vb::size_type lu_better = 0, gh_better = 0, tied = 0;
     for (const vb::index_type bound : {8, 12, 16, 24, 32}) {
+        vb::Timer bound_timer;
         // Bin width 20%, with one bin centered on zero so the "identical
         // iteration count" mass is its own bar like the paper's figure.
         vb::Histogram hist(-110.0, 110.0, 11);
@@ -48,12 +53,25 @@ int main() {
         }
         std::printf("\n--- block size bound %d ---\n", bound);
         std::printf("%s", hist.render().c_str());
+        std::vector<std::pair<double, double>> points;
+        for (int b = 0; b < hist.bins(); ++b) {
+            points.emplace_back(hist.center(b),
+                                static_cast<double>(hist.count(b)));
+        }
+        report.series("overhead_histogram/bound" + std::to_string(bound),
+                      "overhead_percent", std::move(points), "count");
+        report.phase("bound" + std::to_string(bound), bound_timer.seconds());
     }
     std::printf(
         "\nTotals over all bounds: LU better %lld | tied %lld | GH better "
         "%lld\n",
         static_cast<long long>(lu_better), static_cast<long long>(tied),
         static_cast<long long>(gh_better));
+    auto& registry = vb::obs::Registry::global();
+    registry.set("fig8.lu_better", static_cast<double>(lu_better));
+    registry.set("fig8.gh_better", static_cast<double>(gh_better));
+    registry.set("fig8.tied", static_cast<double>(tied));
+    report.write_if_enabled();
     std::printf("Paper's observation: the histogram is concentrated at the "
                 "center and roughly symmetric -- neither factorization is "
                 "generally superior.\n");

@@ -2,6 +2,8 @@
 // enhanced with scalar Jacobi and with LU-based block-Jacobi
 // preconditioning for block-size bounds {8, 12, 16, 24, 32}, over the
 // 48-matrix synthetic suite.
+#include <map>
+
 #include "solver_study.hpp"
 
 namespace vb = vbatch;
@@ -12,24 +14,48 @@ int main() {
         "solve seconds) with scalar Jacobi and block-Jacobi(8/12/16/24/32), "
         "small-size LU backend.\n\n");
     const auto cases = vb::bench::study_cases();
+    vb::obs::BenchReport report("table1");
+    report.config("quick", vb::bench::quick_mode());
+    report.config("cases", static_cast<vb::size_type>(cases.size()));
 
     std::printf("%-22s %9s %10s | %-17s %-17s %-17s %-17s %-17s %-17s\n",
                 "matrix", "size", "nnz", "Jacobi", "BJ(8)", "BJ(12)",
                 "BJ(16)", "BJ(24)", "BJ(32)");
+    // One iterations-per-matrix series per preconditioner configuration.
+    std::map<std::string, std::vector<std::pair<double, double>>> iters;
+    double setup_total = 0.0, solve_total = 0.0;
+    const auto tally = [&](const std::optional<vb::bench::StudyResult>& r,
+                           const std::string& key, double id) {
+        if (r && r->converged) {
+            iters[key].emplace_back(id, static_cast<double>(r->iterations));
+            setup_total += r->setup_seconds;
+            solve_total += r->solve_seconds;
+        }
+    };
     for (const auto* c : cases) {
         const auto a = vb::sparse::build_suite_matrix(*c);
+        const auto id = static_cast<double>(c->id);
         const auto jac = vb::bench::run_scalar_jacobi(a);
+        tally(jac, "jacobi", id);
         std::printf("%-22s %9d %10lld |", c->name.c_str(), a.num_rows(),
                     static_cast<long long>(a.nnz()));
         std::printf(" %s", vb::bench::study_cell(jac).c_str());
         for (const vb::index_type bound : {8, 12, 16, 24, 32}) {
             const auto r = vb::bench::run_block_jacobi(
                 a, vb::precond::BlockJacobiBackend::lu, bound);
+            tally(r, "bj" + std::to_string(bound), id);
             std::printf(" %s", vb::bench::study_cell(r).c_str());
         }
         std::printf("\n");
         std::fflush(stdout);
     }
+    for (auto& [key, points] : iters) {
+        report.series("iterations/" + key, "matrix_id", std::move(points),
+                      "iterations");
+    }
+    report.phase("precond_setup", setup_total);
+    report.phase("iterative_solve", solve_total);
+    report.write_if_enabled();
     std::printf(
         "\nPaper's observation: larger block-size bounds typically improve "
         "both iteration count and time-to-solution; a few hard problems do "

@@ -31,8 +31,9 @@ public:
     void add(double value);
 
     int bins() const noexcept { return static_cast<int>(counts_.size()); }
-    /// Count in bucket b (0 = underflow, bins()+1... no: buckets are
-    /// [0, bins) interior; use underflow()/overflow() for the tails).
+    /// Count in interior bucket b, for b in [0, bins()). Values below
+    /// `lo` are tallied by underflow(), values at or above `hi` by
+    /// overflow(); neither tail appears in count().
     size_type count(int b) const;
     size_type underflow() const noexcept { return underflow_; }
     size_type overflow() const noexcept { return overflow_; }

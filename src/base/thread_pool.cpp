@@ -1,8 +1,10 @@
 #include "base/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "base/macros.hpp"
+#include "obs/trace.hpp"
 
 namespace vbatch {
 
@@ -13,7 +15,10 @@ ThreadPool::ThreadPool(unsigned num_threads) {
     // The calling thread always participates, so spawn one fewer worker.
     workers_.reserve(num_threads - 1);
     for (unsigned i = 0; i + 1 < num_threads; ++i) {
-        workers_.emplace_back([this] { worker_loop(); });
+        workers_.emplace_back([this, i] {
+            obs::set_thread_name("vbatch-worker-" + std::to_string(i + 1));
+            worker_loop();
+        });
     }
 }
 

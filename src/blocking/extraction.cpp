@@ -4,6 +4,8 @@
 
 #include "base/macros.hpp"
 #include "base/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vbatch::blocking {
 
@@ -17,6 +19,7 @@ core::BatchedMatrices<T> extract_diagonal_blocks(
     const sparse::Csr<T>& a, core::BatchLayoutPtr layout) {
     VBATCH_ENSURE(layout->total_rows() == a.num_rows(),
                   "block sizes must partition the matrix");
+    obs::TraceRegion trace("extract_diagonal_blocks");
     core::BatchedMatrices<T> blocks(layout);
     const auto row_ptrs = a.row_ptrs();
     const auto col_idxs = a.col_idxs();
@@ -50,6 +53,7 @@ SimtExtractionResult<T> extract_blocks_simt_row(const sparse::Csr<T>& a,
                                                 core::BatchLayoutPtr layout) {
     VBATCH_ENSURE(layout->total_rows() == a.num_rows(),
                   "block sizes must partition the matrix");
+    obs::TraceRegion trace("extract_blocks_simt_row");
     SimtExtractionResult<T> result{core::BatchedMatrices<T>(layout), {}};
     Warp warp;
     const auto row_ptrs = a.row_ptrs();
@@ -107,6 +111,8 @@ SimtExtractionResult<T> extract_blocks_simt_row(const sparse::Csr<T>& a,
         }
     }
     result.stats = warp.stats();
+    obs::Registry::global().record_kernel("extraction", result.stats,
+                                          layout->count());
     return result;
 }
 
@@ -115,6 +121,7 @@ SimtExtractionResult<T> extract_blocks_simt_shared(
     const sparse::Csr<T>& a, core::BatchLayoutPtr layout) {
     VBATCH_ENSURE(layout->total_rows() == a.num_rows(),
                   "block sizes must partition the matrix");
+    obs::TraceRegion trace("extract_blocks_simt_shared");
     SimtExtractionResult<T> result{core::BatchedMatrices<T>(layout), {}};
     Warp warp;
     const auto row_ptrs = a.row_ptrs();
@@ -174,6 +181,8 @@ SimtExtractionResult<T> extract_blocks_simt_shared(
         }
     }
     result.stats = warp.stats();
+    obs::Registry::global().record_kernel("extraction", result.stats,
+                                          layout->count());
     return result;
 }
 

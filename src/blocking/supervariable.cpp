@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/macros.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vbatch::blocking {
 
@@ -60,6 +62,7 @@ std::vector<index_type> supervariable_blocking(const sparse::Csr<T>& a,
                   "block bound out of [1, 32]");
     VBATCH_ENSURE(a.num_rows() == a.num_cols(),
                   "blocking needs a square matrix");
+    obs::TraceRegion trace("supervariable_blocking");
     const index_type bound = opts.max_block_size;
     const index_type n = a.num_rows();
 
@@ -98,6 +101,12 @@ std::vector<index_type> supervariable_blocking(const sparse::Csr<T>& a,
     if (current > 0) {
         blocks.push_back(current);
     }
+    auto& registry = obs::Registry::global();
+    registry.add("blocking.calls", 1.0);
+    registry.set("blocking.blocks",
+                 static_cast<double>(blocks.size()));
+    registry.set("blocking.supervariables",
+                 static_cast<double>(supervars.size()));
     return blocks;
 }
 

@@ -6,6 +6,8 @@
 
 #include "base/macros.hpp"
 #include "base/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vbatch::core {
 
@@ -169,6 +171,9 @@ FactorizeStatus gauss_huard_batch(BatchedMatrices<T>& a, BatchedPivots& cperm,
                                   const GetrfOptions& opts) {
     VBATCH_ENSURE(a.layout() == cperm.layout(),
                   "matrix and pivot batch layouts differ");
+    obs::TraceRegion trace("gauss_huard_batch");
+    obs::count("gauss_huard.launches");
+    obs::count("gauss_huard.problems", static_cast<double>(a.count()));
     std::atomic<size_type> failures{0};
     std::atomic<size_type> first_failure{-1};
     std::atomic<index_type> first_step{0};

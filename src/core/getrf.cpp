@@ -6,6 +6,8 @@
 
 #include "base/macros.hpp"
 #include "base/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vbatch::core {
 
@@ -195,6 +197,9 @@ index_type getrf_explicit(MatrixView<T> a, std::span<index_type> perm) {
 template <typename T>
 FactorizeStatus getrf_batch(BatchedMatrices<T>& a, BatchedPivots& perm,
                             const GetrfOptions& opts) {
+    obs::TraceRegion trace("getrf_batch");
+    obs::count("getrf.launches");
+    obs::count("getrf.problems", static_cast<double>(a.count()));
     return run_batch(a, perm, opts, &getrf_implicit<T>);
 }
 
@@ -202,6 +207,7 @@ template <typename T>
 FactorizeStatus getrf_batch_explicit(BatchedMatrices<T>& a,
                                      BatchedPivots& perm,
                                      const GetrfOptions& opts) {
+    obs::TraceRegion trace("getrf_batch_explicit");
     return run_batch(a, perm, opts, &getrf_explicit<T>);
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "base/macros.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vbatch::core {
 
@@ -381,15 +383,26 @@ SimtBatchResult drive(size_type total, const SimtBatchOptions& opts,
     return result;
 }
 
+/// Fold one launch's (extrapolated) counters into the metrics registry
+/// under the kernel family name.
+SimtBatchResult record_family(const char* family, SimtBatchResult result) {
+    obs::Registry::global().record_kernel(family, result.extrapolated(),
+                                          result.total);
+    return result;
+}
+
 }  // namespace
 
 template <typename T>
 SimtBatchResult getrf_batch_simt(BatchedMatrices<T>& a, BatchedPivots& perm,
                                  const SimtBatchOptions& opts) {
     VBATCH_ENSURE(a.layout() == perm.layout(), "batch layouts differ");
-    return drive(a.count(), opts, [&](Warp& w, size_type i) {
-        return getrf_warp(w, a.view(i), perm.span(i), opts.padded_update);
-    });
+    obs::TraceRegion trace("getrf_batch_simt");
+    return record_family(
+        "getrf", drive(a.count(), opts, [&](Warp& w, size_type i) {
+            return getrf_warp(w, a.view(i), perm.span(i),
+                              opts.padded_update);
+        }));
 }
 
 template <typename T>
@@ -399,10 +412,12 @@ SimtBatchResult getrs_batch_simt(const BatchedMatrices<T>& lu,
                                  const SimtBatchOptions& opts) {
     VBATCH_ENSURE(lu.layout() == perm.layout() && lu.layout() == b.layout(),
                   "batch layouts differ");
-    return drive(lu.count(), opts, [&](Warp& w, size_type i) {
-        getrs_warp(w, lu.view(i), perm.span(i), b.span(i), variant);
-        return index_type{0};
-    });
+    obs::TraceRegion trace("getrs_batch_simt");
+    return record_family(
+        "trsv", drive(lu.count(), opts, [&](Warp& w, size_type i) {
+            getrs_warp(w, lu.view(i), perm.span(i), b.span(i), variant);
+            return index_type{0};
+        }));
 }
 
 template <typename T>
@@ -411,9 +426,11 @@ SimtBatchResult gauss_huard_batch_simt(BatchedMatrices<T>& a,
                                        GhStorage storage,
                                        const SimtBatchOptions& opts) {
     VBATCH_ENSURE(a.layout() == cperm.layout(), "batch layouts differ");
-    return drive(a.count(), opts, [&](Warp& w, size_type i) {
-        return gauss_huard_warp(w, a.view(i), cperm.span(i), storage);
-    });
+    obs::TraceRegion trace("gauss_huard_batch_simt");
+    return record_family(
+        "gauss_huard", drive(a.count(), opts, [&](Warp& w, size_type i) {
+            return gauss_huard_warp(w, a.view(i), cperm.span(i), storage);
+        }));
 }
 
 template <typename T>
@@ -424,11 +441,14 @@ SimtBatchResult gauss_huard_solve_batch_simt(const BatchedMatrices<T>& f,
                                              const SimtBatchOptions& opts) {
     VBATCH_ENSURE(f.layout() == cperm.layout() && f.layout() == b.layout(),
                   "batch layouts differ");
-    return drive(f.count(), opts, [&](Warp& w, size_type i) {
-        gauss_huard_solve_warp(w, f.view(i), cperm.span(i), b.span(i),
-                               storage);
-        return index_type{0};
-    });
+    obs::TraceRegion trace("gauss_huard_solve_batch_simt");
+    return record_family(
+        "gauss_huard_solve",
+        drive(f.count(), opts, [&](Warp& w, size_type i) {
+            gauss_huard_solve_warp(w, f.view(i), cperm.span(i), b.span(i),
+                                   storage);
+            return index_type{0};
+        }));
 }
 
 #define VBATCH_INSTANTIATE_SIMT(T)                                           \

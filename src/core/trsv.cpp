@@ -4,6 +4,8 @@
 
 #include "base/macros.hpp"
 #include "base/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vbatch::core {
 
@@ -82,6 +84,9 @@ void getrs_batch(const BatchedMatrices<T>& lu, const BatchedPivots& perm,
                  BatchedVectors<T>& b, const TrsvOptions& opts) {
     VBATCH_ENSURE(lu.layout() == perm.layout() && lu.layout() == b.layout(),
                   "batch layouts differ");
+    obs::TraceRegion trace("getrs_batch");
+    obs::count("trsv.launches");
+    obs::count("trsv.problems", static_cast<double>(lu.count()));
     const auto body = [&](size_type i) {
         getrs_single(lu.view(i), perm.span(i), b.span(i), opts.variant);
     };

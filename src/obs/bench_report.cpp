@@ -1,0 +1,162 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace vbatch::obs {
+
+namespace {
+
+/// nullptr when disabled; "" means current directory, otherwise the
+/// requested output directory.
+const char* bench_json_dir() {
+    const char* v = std::getenv("VBATCH_BENCH_JSON");
+    if (v == nullptr || v[0] == '\0' || (v[0] == '0' && v[1] == '\0')) {
+        return nullptr;
+    }
+    if (v[0] == '1' && v[1] == '\0') {
+        return "";
+    }
+    return v;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+bool BenchReport::enabled() { return bench_json_dir() != nullptr; }
+
+void BenchReport::config(std::string key, std::string value) {
+    config_.emplace_back(std::move(key), ConfigValue(std::move(value)));
+}
+void BenchReport::config(std::string key, const char* value) {
+    config(std::move(key), std::string(value));
+}
+void BenchReport::config(std::string key, double value) {
+    config_.emplace_back(std::move(key), ConfigValue(value));
+}
+void BenchReport::config(std::string key, index_type value) {
+    config(std::move(key), static_cast<double>(value));
+}
+void BenchReport::config(std::string key, size_type value) {
+    config(std::move(key), static_cast<double>(value));
+}
+void BenchReport::config(std::string key, bool value) {
+    config_.emplace_back(std::move(key), ConfigValue(value));
+}
+
+void BenchReport::phase(std::string name, double seconds) {
+    for (auto& existing : phases_) {
+        if (existing.name == name) {
+            existing.seconds += seconds;
+            return;
+        }
+    }
+    phases_.push_back({std::move(name), seconds});
+}
+
+void BenchReport::series(std::string name, std::string x_label,
+                         std::vector<std::pair<double, double>> points,
+                         std::string unit) {
+    series_.push_back({std::move(name), std::move(x_label), std::move(unit),
+                       std::move(points)});
+}
+
+std::string BenchReport::to_json() const {
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.begin_object();
+    json.key("schema_version");
+    json.value(std::int64_t{1});
+    json.key("name");
+    json.value(name_);
+    json.key("generated_unix");
+    json.value(static_cast<std::int64_t>(std::time(nullptr)));
+
+    json.key("config");
+    json.begin_object();
+    for (const auto& [key, value] : config_) {
+        json.key(key);
+        if (const auto* s = std::get_if<std::string>(&value)) {
+            json.value(*s);
+        } else if (const auto* d = std::get_if<double>(&value)) {
+            json.value(*d);
+        } else {
+            json.value(std::get<bool>(value));
+        }
+    }
+    json.end_object();
+
+    json.key("phases");
+    json.begin_array();
+    for (const auto& phase : phases_) {
+        json.begin_object();
+        json.key("name");
+        json.value(phase.name);
+        json.key("seconds");
+        json.value(phase.seconds);
+        json.end_object();
+    }
+    json.end_array();
+
+    json.key("series");
+    json.begin_array();
+    for (const auto& series : series_) {
+        json.begin_object();
+        json.key("name");
+        json.value(series.name);
+        json.key("x_label");
+        json.value(series.x_label);
+        json.key("unit");
+        json.value(series.unit);
+        json.key("points");
+        json.begin_array();
+        for (const auto& [x, y] : series.points) {
+            json.begin_array();
+            json.value(x);
+            json.value(y);
+            json.end_array();
+        }
+        json.end_array();
+        json.end_object();
+    }
+    json.end_array();
+
+    Registry::global().write_json_members(json);
+    json.key("wall_seconds");
+    json.value(timer_.seconds());
+    json.end_object();
+    return os.str();
+}
+
+bool BenchReport::write_if_enabled() const {
+    const char* dir = bench_json_dir();
+    if (dir == nullptr) {
+        return false;
+    }
+    std::string path(dir);
+    if (!path.empty() && path.back() != '/') {
+        path += '/';
+    }
+    path += "BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "[vbatch-obs] cannot write %s\n", path.c_str());
+        return false;
+    }
+    os << to_json() << "\n";
+    if (!os.good()) {
+        return false;
+    }
+    std::fprintf(stderr, "[vbatch-obs] bench report written to %s\n",
+                 path.c_str());
+    return true;
+}
+
+}  // namespace vbatch::obs

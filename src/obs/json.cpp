@@ -1,0 +1,401 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace vbatch::obs {
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+void json_escape(std::string& out, std::string_view text) {
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void JsonWriter::before_value() {
+    if (scopes_.empty()) {
+        return;  // top-level value
+    }
+    if (scopes_.back() == Scope::object) {
+        if (!key_pending_) {
+            throw std::logic_error("JsonWriter: value inside object "
+                                   "requires a preceding key()");
+        }
+        key_pending_ = false;
+        return;
+    }
+    if (!first_.back()) {
+        os_ << ",";
+    }
+    first_.back() = false;
+}
+
+void JsonWriter::begin_object() {
+    before_value();
+    os_ << "{";
+    scopes_.push_back(Scope::object);
+    first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+    if (scopes_.empty() || scopes_.back() != Scope::object || key_pending_) {
+        throw std::logic_error("JsonWriter: unbalanced end_object()");
+    }
+    os_ << "}";
+    scopes_.pop_back();
+    first_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+    before_value();
+    os_ << "[";
+    scopes_.push_back(Scope::array);
+    first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+    if (scopes_.empty() || scopes_.back() != Scope::array) {
+        throw std::logic_error("JsonWriter: unbalanced end_array()");
+    }
+    os_ << "]";
+    scopes_.pop_back();
+    first_.pop_back();
+}
+
+void JsonWriter::key(std::string_view name) {
+    if (scopes_.empty() || scopes_.back() != Scope::object || key_pending_) {
+        throw std::logic_error("JsonWriter: key() outside an object");
+    }
+    if (!first_.back()) {
+        os_ << ",";
+    }
+    first_.back() = false;
+    std::string escaped;
+    json_escape(escaped, name);
+    os_ << "\"" << escaped << "\":";
+    key_pending_ = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+    before_value();
+    std::string escaped;
+    json_escape(escaped, text);
+    os_ << "\"" << escaped << "\"";
+}
+
+void JsonWriter::value(double number) {
+    before_value();
+    if (!std::isfinite(number)) {
+        // JSON has no inf/nan; null keeps the document parseable.
+        os_ << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", number);
+    os_ << buf;
+}
+
+void JsonWriter::value(std::int64_t number) {
+    before_value();
+    os_ << number;
+}
+
+void JsonWriter::value(std::uint64_t number) {
+    before_value();
+    os_ << number;
+}
+
+void JsonWriter::value(bool boolean) {
+    before_value();
+    os_ << (boolean ? "true" : "false");
+}
+
+void JsonWriter::null() {
+    before_value();
+    os_ << "null";
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view name) const {
+    if (type != Type::object) {
+        return nullptr;
+    }
+    for (const auto& [key, value] : members) {
+        if (key == name) {
+            return &value;
+        }
+    }
+    return nullptr;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue parse_document() {
+        auto value = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after JSON document");
+        }
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw JsonError("JSON parse error at offset " +
+                        std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+        }
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view literal) {
+        if (text_.substr(pos_, literal.size()) == literal) {
+            pos_ += literal.size();
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue parse_value() {
+        skip_ws();
+        const char c = peek();
+        switch (c) {
+        case '{': return parse_object();
+        case '[': return parse_array();
+        case '"': {
+            JsonValue v;
+            v.type = JsonValue::Type::string;
+            v.string = parse_string();
+            return v;
+        }
+        case 't':
+            if (consume_literal("true")) {
+                JsonValue v;
+                v.type = JsonValue::Type::boolean;
+                v.boolean = true;
+                return v;
+            }
+            fail("invalid literal");
+        case 'f':
+            if (consume_literal("false")) {
+                JsonValue v;
+                v.type = JsonValue::Type::boolean;
+                return v;
+            }
+            fail("invalid literal");
+        case 'n':
+            if (consume_literal("null")) {
+                return JsonValue{};
+            }
+            fail("invalid literal");
+        default: return parse_number();
+        }
+    }
+
+    JsonValue parse_object() {
+        expect('{');
+        JsonValue v;
+        v.type = JsonValue::Type::object;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skip_ws();
+            auto key = parse_string();
+            skip_ws();
+            expect(':');
+            v.members.emplace_back(std::move(key), parse_value());
+            skip_ws();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return v;
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue parse_array() {
+        expect('[');
+        JsonValue v;
+        v.type = JsonValue::Type::array;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(parse_value());
+            skip_ws();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return v;
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+            }
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return out;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("unterminated escape");
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        code += static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code += static_cast<unsigned>(h - 'a') + 10;
+                    } else if (h >= 'A' && h <= 'F') {
+                        code += static_cast<unsigned>(h - 'A') + 10;
+                    } else {
+                        fail("invalid \\u escape");
+                    }
+                }
+                // UTF-8 encode (surrogate pairs are passed through as
+                // separate code units; the exporters never emit them).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+            }
+            default: fail("invalid escape");
+            }
+        }
+    }
+
+    JsonValue parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            fail("expected a value");
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        const double number = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            fail("malformed number '" + token + "'");
+        }
+        JsonValue v;
+        v.type = JsonValue::Type::number;
+        v.number = number;
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+    return Parser(text).parse_document();
+}
+
+}  // namespace vbatch::obs

@@ -1,0 +1,89 @@
+// Minimal JSON support for the observability exporters and their tests.
+//
+// Writer: a streaming emitter with automatic comma/nesting management --
+// enough to produce the Chrome trace and BENCH_*.json artifacts without
+// a third-party dependency. Parser: a small recursive-descent reader used
+// by the round-trip tests and the bench-JSON schema validator; it accepts
+// strict JSON (objects, arrays, strings with escapes, numbers, booleans,
+// null) and throws JsonError on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vbatch::obs {
+
+/// Append `text` with JSON string escaping (no surrounding quotes).
+void json_escape(std::string& out, std::string_view text);
+
+/// Streaming JSON emitter. Usage errors (value without a pending key
+/// inside an object, unbalanced end_*) are programming bugs and throw
+/// std::logic_error.
+class JsonWriter {
+public:
+    explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+    void begin_object();
+    void end_object();
+    void begin_array();
+    void end_array();
+
+    /// Emit the key of the next object member.
+    void key(std::string_view name);
+
+    void value(std::string_view text);
+    void value(const char* text) { value(std::string_view(text)); }
+    void value(double number);
+    void value(std::int64_t number);
+    void value(std::uint64_t number);
+    void value(bool boolean);
+    void null();
+
+private:
+    enum class Scope : std::uint8_t { object, array };
+    void before_value();
+
+    std::ostream& os_;
+    std::vector<Scope> scopes_;
+    std::vector<bool> first_;
+    bool key_pending_ = false;
+};
+
+class JsonError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Parsed JSON document node.
+struct JsonValue {
+    enum class Type : std::uint8_t {
+        null, boolean, number, string, object, array
+    };
+
+    Type type = Type::null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    /// Object members in document order.
+    std::vector<std::pair<std::string, JsonValue>> members;
+    std::vector<JsonValue> items;
+
+    bool is_null() const noexcept { return type == Type::null; }
+    bool is_object() const noexcept { return type == Type::object; }
+    bool is_array() const noexcept { return type == Type::array; }
+    bool is_number() const noexcept { return type == Type::number; }
+    bool is_string() const noexcept { return type == Type::string; }
+
+    /// Object member lookup; nullptr if absent or not an object.
+    const JsonValue* find(std::string_view name) const;
+};
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace vbatch::obs

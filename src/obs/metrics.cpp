@@ -1,0 +1,168 @@
+#include "obs/metrics.hpp"
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace vbatch::obs {
+
+struct Registry::Impl {
+    mutable std::mutex mutex;
+    std::map<std::string, double, std::less<>> counters;
+    std::map<std::string, double, std::less<>> gauges;
+    std::map<std::string, KernelFamilyStats, std::less<>> kernels;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+    // Leaked singleton, like the tracer: instrumented code may record
+    // from worker threads during static destruction.
+    static Registry* registry = new Registry();
+    return *registry;
+}
+
+void Registry::add(std::string_view counter, double delta) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->counters.find(counter);
+    if (it == impl_->counters.end()) {
+        impl_->counters.emplace(std::string(counter), delta);
+    } else {
+        it->second += delta;
+    }
+}
+
+void Registry::set(std::string_view gauge, double value) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->gauges.find(gauge);
+    if (it == impl_->gauges.end()) {
+        impl_->gauges.emplace(std::string(gauge), value);
+    } else {
+        it->second = value;
+    }
+}
+
+void Registry::record_kernel(std::string_view family,
+                             const simt::KernelStats& stats,
+                             size_type problems, double modeled_seconds) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->kernels.find(family);
+    if (it == impl_->kernels.end()) {
+        it = impl_->kernels.emplace(std::string(family), KernelFamilyStats{})
+                 .first;
+    }
+    it->second.stats += stats;
+    it->second.launches += 1;
+    it->second.problems += problems;
+    it->second.modeled_seconds += modeled_seconds;
+}
+
+std::map<std::string, double, std::less<>> Registry::counters() const {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->counters;
+}
+
+std::map<std::string, double, std::less<>> Registry::gauges() const {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->gauges;
+}
+
+std::map<std::string, KernelFamilyStats, std::less<>> Registry::kernels()
+    const {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->kernels;
+}
+
+double Registry::counter_value(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->counters.find(name);
+    return it == impl_->counters.end() ? 0.0 : it->second;
+}
+
+void Registry::clear() {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->counters.clear();
+    impl_->gauges.clear();
+    impl_->kernels.clear();
+}
+
+namespace {
+
+void write_kernel_family(JsonWriter& json, const KernelFamilyStats& family) {
+    const auto& s = family.stats;
+    json.begin_object();
+    json.key("launches");
+    json.value(static_cast<std::uint64_t>(family.launches));
+    json.key("problems");
+    json.value(static_cast<std::uint64_t>(family.problems));
+    json.key("modeled_seconds");
+    json.value(family.modeled_seconds);
+    const std::pair<const char*, size_type> fields[] = {
+        {"fp_instructions", s.fp_instructions},
+        {"div_instructions", s.div_instructions},
+        {"shuffle_instructions", s.shuffle_instructions},
+        {"misc_instructions", s.misc_instructions},
+        {"useful_flops", s.useful_flops},
+        {"load_transactions", s.load_transactions},
+        {"store_transactions", s.store_transactions},
+        {"load_requests", s.load_requests},
+        {"store_requests", s.store_requests},
+        {"load_replays", s.load_replays},
+        {"store_replays", s.store_replays},
+        {"shared_accesses", s.shared_accesses},
+        {"shared_bank_conflicts", s.shared_bank_conflicts},
+    };
+    for (const auto& [name, value] : fields) {
+        json.key(name);
+        json.value(static_cast<std::uint64_t>(value));
+    }
+    json.end_object();
+}
+
+}  // namespace
+
+void Registry::write_json_members(JsonWriter& json) const {
+    const auto counter_map = counters();
+    const auto gauge_map = gauges();
+    const auto kernel_map = kernels();
+    json.key("counters");
+    json.begin_object();
+    for (const auto& [name, value] : counter_map) {
+        json.key(name);
+        json.value(value);
+    }
+    json.end_object();
+    json.key("gauges");
+    json.begin_object();
+    for (const auto& [name, value] : gauge_map) {
+        json.key(name);
+        json.value(value);
+    }
+    json.end_object();
+    json.key("kernel_stats");
+    json.begin_object();
+    for (const auto& [name, family] : kernel_map) {
+        json.key(name);
+        write_kernel_family(json, family);
+    }
+    json.end_object();
+}
+
+void Registry::write_json(std::ostream& os) const {
+    JsonWriter json(os);
+    json.begin_object();
+    write_json_members(json);
+    json.end_object();
+}
+
+std::string Registry::to_json() const {
+    std::ostringstream os;
+    write_json(os);
+    return os.str();
+}
+
+}  // namespace vbatch::obs

@@ -1,0 +1,83 @@
+// Process-wide metrics registry: named counters and gauges, plus
+// per-kernel-family aggregation of the SIMT emulator's KernelStats.
+//
+// The instrumented pipeline feeds this registry unconditionally (the cost
+// is one mutex-protected map update per *batch launch*, never per matrix
+// element), so any consumer -- the bench JSON exporter, a test, an
+// embedding application -- can snapshot a consistent view of what ran:
+// how many factorization launches, over how many problems, with which
+// instruction/transaction mix, and how much wall/modeled-device time the
+// phases consumed.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "base/types.hpp"
+#include "simt/kernel_stats.hpp"
+
+namespace vbatch::obs {
+
+class JsonWriter;
+
+/// Aggregated emulation counters for one kernel family
+/// (e.g. "getrf", "gauss_huard", "trsv", "extraction").
+struct KernelFamilyStats {
+    simt::KernelStats stats;       ///< summed (extrapolated) counters
+    size_type launches = 0;        ///< batch launches recorded
+    size_type problems = 0;        ///< batch entries those launches covered
+    double modeled_seconds = 0.0;  ///< accumulated device-model time (0 if
+                                   ///< the call site didn't model time)
+};
+
+class Registry {
+public:
+    static Registry& global();
+
+    Registry();
+    ~Registry();
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /// Add `delta` to a named counter (created at zero on first use).
+    void add(std::string_view counter, double delta);
+
+    /// Set a named gauge to `value` (last write wins).
+    void set(std::string_view gauge, double value);
+
+    /// Fold one batch launch's counters into a kernel family.
+    void record_kernel(std::string_view family,
+                       const simt::KernelStats& stats, size_type problems,
+                       double modeled_seconds = 0.0);
+
+    // -- snapshots (copies; safe to use while recording continues) ----
+    std::map<std::string, double, std::less<>> counters() const;
+    std::map<std::string, double, std::less<>> gauges() const;
+    std::map<std::string, KernelFamilyStats, std::less<>> kernels() const;
+
+    double counter_value(std::string_view name) const;
+
+    /// Reset every counter/gauge/family (tests, repeated bench runs).
+    void clear();
+
+    /// Emit {"counters": {...}, "gauges": {...}, "kernel_stats": {...}}.
+    void write_json(std::ostream& os) const;
+    std::string to_json() const;
+
+    /// Write the same three members into an already-open JSON object
+    /// (used by BenchReport to splice the snapshot into its document).
+    void write_json_members(JsonWriter& json) const;
+
+private:
+    struct Impl;
+    Impl* impl_;
+};
+
+/// Shorthand for Registry::global().add(...).
+inline void count(std::string_view counter, double delta = 1.0) {
+    Registry::global().add(counter, delta);
+}
+
+}  // namespace vbatch::obs

@@ -1,0 +1,308 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace vbatch::obs {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+struct ThreadBuffer {
+    std::mutex mutex;  // owner thread writes; exporters read
+    int tid = 0;
+    std::string name;
+    std::vector<TraceEvent> events;
+    std::uint32_t depth = 0;
+    size_type dropped = 0;
+};
+
+const char* phase_letter(EventPhase phase) {
+    switch (phase) {
+    case EventPhase::complete: return "X";
+    case EventPhase::instant: return "i";
+    case EventPhase::counter: return "C";
+    }
+    return "?";
+}
+
+const char* phase_word(EventPhase phase) {
+    switch (phase) {
+    case EventPhase::complete: return "region";
+    case EventPhase::instant: return "instant";
+    case EventPhase::counter: return "counter";
+    }
+    return "?";
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+    clock_type::time_point epoch = clock_type::now();
+    mutable std::mutex registry_mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    int next_tid = 1;
+
+    ThreadBuffer& local() {
+        thread_local ThreadBuffer* buffer = nullptr;
+        if (buffer == nullptr) {
+            auto owned = std::make_shared<ThreadBuffer>();
+            std::lock_guard<std::mutex> lock(registry_mutex);
+            owned->tid = next_tid++;
+            buffers.push_back(owned);
+            buffer = owned.get();
+        }
+        return *buffer;
+    }
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+
+Tracer& Tracer::instance() {
+    // Leaked singleton: worker threads and atexit hooks may record or
+    // export after static destructors would have run.
+    static Tracer* tracer = new Tracer();
+    return *tracer;
+}
+
+void Tracer::set_enabled(bool on) {
+    if (on) {
+        instance();  // materialize the epoch before the first event
+    }
+    detail::g_trace_on.store(on, std::memory_order_relaxed);
+}
+
+double Tracer::now_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(clock_type::now() -
+                                                     impl_->epoch)
+        .count();
+}
+
+void Tracer::record(const TraceEvent& event) {
+    if (!trace_on()) {
+        return;
+    }
+    auto& buffer = impl_->local();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    if (buffer.events.size() >= max_events_per_thread) {
+        ++buffer.dropped;
+        return;
+    }
+    buffer.events.push_back(event);
+}
+
+void Tracer::set_thread_name(std::string name) {
+    auto& buffer = impl_->local();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.name = std::move(name);
+}
+
+std::uint32_t Tracer::enter_region() noexcept {
+    return impl_->local().depth++;
+}
+
+void Tracer::exit_region() noexcept {
+    auto& buffer = impl_->local();
+    if (buffer.depth > 0) {
+        --buffer.depth;
+    }
+}
+
+std::vector<Tracer::ThreadTrace> Tracer::snapshot() const {
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+        buffers = impl_->buffers;
+    }
+    std::vector<ThreadTrace> out;
+    out.reserve(buffers.size());
+    for (const auto& buffer : buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        ThreadTrace trace;
+        trace.tid = buffer->tid;
+        trace.name = buffer->name;
+        trace.events = buffer->events;
+        trace.dropped = buffer->dropped;
+        out.push_back(std::move(trace));
+    }
+    return out;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+    const auto threads = snapshot();
+    JsonWriter json(os);
+    json.begin_object();
+    json.key("traceEvents");
+    json.begin_array();
+    for (const auto& thread : threads) {
+        if (!thread.name.empty()) {
+            json.begin_object();
+            json.key("name");
+            json.value("thread_name");
+            json.key("ph");
+            json.value("M");
+            json.key("pid");
+            json.value(std::int64_t{1});
+            json.key("tid");
+            json.value(static_cast<std::int64_t>(thread.tid));
+            json.key("args");
+            json.begin_object();
+            json.key("name");
+            json.value(thread.name);
+            json.end_object();
+            json.end_object();
+        }
+        for (const auto& event : thread.events) {
+            json.begin_object();
+            json.key("name");
+            json.value(event.name);
+            json.key("ph");
+            json.value(phase_letter(event.phase));
+            json.key("pid");
+            json.value(std::int64_t{1});
+            json.key("tid");
+            json.value(static_cast<std::int64_t>(thread.tid));
+            json.key("ts");
+            json.value(event.ts_us);
+            if (event.phase == EventPhase::complete) {
+                json.key("dur");
+                json.value(event.dur_us);
+                json.key("args");
+                json.begin_object();
+                json.key("depth");
+                json.value(static_cast<std::int64_t>(event.depth));
+                json.end_object();
+            } else if (event.phase == EventPhase::counter) {
+                json.key("args");
+                json.begin_object();
+                json.key("value");
+                json.value(event.value);
+                json.end_object();
+            }
+            json.end_object();
+        }
+    }
+    json.end_array();
+    json.key("displayTimeUnit");
+    json.value("ms");
+    json.end_object();
+    os << "\n";
+}
+
+void Tracer::write_ndjson(std::ostream& os) const {
+    for (const auto& thread : snapshot()) {
+        for (const auto& event : thread.events) {
+            JsonWriter json(os);
+            json.begin_object();
+            json.key("type");
+            json.value(phase_word(event.phase));
+            json.key("name");
+            json.value(event.name);
+            json.key("tid");
+            json.value(static_cast<std::int64_t>(thread.tid));
+            if (!thread.name.empty()) {
+                json.key("thread");
+                json.value(thread.name);
+            }
+            json.key("ts_us");
+            json.value(event.ts_us);
+            if (event.phase == EventPhase::complete) {
+                json.key("dur_us");
+                json.value(event.dur_us);
+                json.key("depth");
+                json.value(static_cast<std::int64_t>(event.depth));
+            } else if (event.phase == EventPhase::counter) {
+                json.key("value");
+                json.value(event.value);
+            }
+            json.end_object();
+            os << "\n";
+        }
+    }
+}
+
+bool Tracer::write_file(const std::string& path, TraceFormat format) const {
+    std::ofstream os(path);
+    if (!os) {
+        return false;
+    }
+    if (format == TraceFormat::chrome) {
+        write_chrome_trace(os);
+    } else {
+        write_ndjson(os);
+    }
+    return os.good();
+}
+
+void Tracer::clear() {
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+        buffers = impl_->buffers;
+    }
+    for (const auto& buffer : buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        buffer->events.clear();
+        buffer->dropped = 0;
+    }
+}
+
+size_type Tracer::total_dropped() const {
+    size_type dropped = 0;
+    for (const auto& thread : snapshot()) {
+        dropped += thread.dropped;
+    }
+    return dropped;
+}
+
+void set_thread_name(std::string name) {
+    Tracer::instance().set_thread_name(std::move(name));
+}
+
+namespace {
+
+/// Arms tracing from VBATCH_TRACE at startup and schedules the export.
+struct TraceEnvProbe {
+    TraceEnvProbe() {
+        const char* mode = std::getenv("VBATCH_TRACE");
+        if (mode == nullptr || mode[0] == '\0' ||
+            (mode[0] == '0' && mode[1] == '\0')) {
+            return;
+        }
+        Tracer::set_enabled(true);
+        set_thread_name("main");
+        std::atexit([] {
+            const char* mode_at_exit = std::getenv("VBATCH_TRACE");
+            const bool ndjson = mode_at_exit != nullptr &&
+                                std::strcmp(mode_at_exit, "ndjson") == 0;
+            const char* file = std::getenv("VBATCH_TRACE_FILE");
+            const std::string path =
+                file != nullptr && file[0] != '\0'
+                    ? std::string(file)
+                    : (ndjson ? "vbatch_trace.ndjson" : "vbatch_trace.json");
+            const auto& tracer = Tracer::instance();
+            if (tracer.write_file(path, ndjson ? TraceFormat::ndjson
+                                               : TraceFormat::chrome)) {
+                std::fprintf(stderr, "[vbatch-obs] trace written to %s\n",
+                             path.c_str());
+            } else {
+                std::fprintf(stderr,
+                             "[vbatch-obs] failed to write trace to %s\n",
+                             path.c_str());
+            }
+        });
+    }
+} trace_env_probe;
+
+}  // namespace
+
+}  // namespace vbatch::obs

@@ -1,0 +1,182 @@
+// Scoped-region tracing for the block-Jacobi pipeline.
+//
+// The tracer records nested named regions, instant markers and counter
+// samples into per-thread event buffers and exports them as newline-
+// delimited JSON or as the Chrome trace_event format (loadable in
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Cost model: tracing is dormant unless the environment variable
+// VBATCH_TRACE is set (or a test flips it programmatically). The dormant
+// check is a single relaxed atomic load -- region construction compiles
+// to a load + branch, so instrumentation can stay in hot-ish paths (one
+// region per batch launch / solver iteration, never per matrix element).
+//
+// Event names must be string literals (or otherwise outlive the process):
+// the tracer stores the pointer, not a copy, to keep recording cheap.
+//
+// Environment:
+//   VBATCH_TRACE       unset/"0" = off; "1"/"chrome" = Chrome trace at
+//                      exit; "ndjson" = newline-delimited JSON at exit
+//   VBATCH_TRACE_FILE  output path (default vbatch_trace.json / .ndjson)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace vbatch::obs {
+
+namespace detail {
+// Constant-initialized; flipped by Tracer::set_enabled / the env probe.
+inline std::atomic<bool> g_trace_on{false};
+}  // namespace detail
+
+/// The dormant check: true when events are being collected.
+inline bool trace_on() noexcept {
+    return detail::g_trace_on.load(std::memory_order_relaxed);
+}
+
+enum class EventPhase : std::uint8_t {
+    complete,  ///< a region with a start and a duration (Chrome "X")
+    instant,   ///< a point marker (Chrome "i")
+    counter,   ///< a named value sampled over time (Chrome "C")
+};
+
+struct TraceEvent {
+    const char* name = nullptr;  ///< literal; not owned
+    EventPhase phase = EventPhase::instant;
+    std::uint32_t depth = 0;  ///< region nesting depth at record time
+    double ts_us = 0.0;       ///< microseconds since tracer epoch
+    double dur_us = 0.0;      ///< complete events only
+    double value = 0.0;       ///< counter events only
+};
+
+/// Export flavor for write_file().
+enum class TraceFormat { chrome, ndjson };
+
+/// Process-wide trace collector with per-thread buffers.
+class Tracer {
+public:
+    /// Per-thread view of the collected events (tid is a small sequential
+    /// id assigned at first use; the main thread is usually 1).
+    struct ThreadTrace {
+        int tid = 0;
+        std::string name;
+        std::vector<TraceEvent> events;
+        size_type dropped = 0;
+    };
+
+    static Tracer& instance();
+
+    /// Programmatic on/off switch (tests); the VBATCH_TRACE environment
+    /// variable arms the same flag at startup.
+    static void set_enabled(bool on);
+
+    /// Append an event to the calling thread's buffer. No-op when
+    /// tracing is disabled.
+    void record(const TraceEvent& event);
+
+    /// Label the calling thread in the exported trace (Chrome metadata).
+    void set_thread_name(std::string name);
+
+    /// Microseconds since the tracer's epoch (process start-ish).
+    double now_us() const noexcept;
+
+    /// Region nesting bookkeeping for the calling thread. Returns the
+    /// depth *before* the increment (the depth the region runs at).
+    std::uint32_t enter_region() noexcept;
+    void exit_region() noexcept;
+
+    // -- export / inspection ------------------------------------------
+    std::vector<ThreadTrace> snapshot() const;
+    void write_chrome_trace(std::ostream& os) const;
+    void write_ndjson(std::ostream& os) const;
+    /// Write `format` to `path`; returns false if the file can't be
+    /// opened. Never throws.
+    bool write_file(const std::string& path, TraceFormat format) const;
+
+    /// Drop all collected events (buffers stay registered).
+    void clear();
+
+    /// Events discarded because a thread buffer hit its cap.
+    size_type total_dropped() const;
+
+    /// Upper bound on events retained per thread (drops beyond it).
+    static constexpr size_type max_events_per_thread = 1u << 22;
+
+private:
+    Tracer();
+    struct Impl;
+    Impl* impl_;  // leaked on purpose: threads may outlive static dtors
+};
+
+/// RAII region: records a complete event covering the enclosed scope.
+class TraceRegion {
+public:
+    explicit TraceRegion(const char* name) noexcept
+        : name_(name), armed_(trace_on()) {
+        if (armed_) {
+            auto& tracer = Tracer::instance();
+            depth_ = tracer.enter_region();
+            start_us_ = tracer.now_us();
+        }
+    }
+    TraceRegion(const TraceRegion&) = delete;
+    TraceRegion& operator=(const TraceRegion&) = delete;
+    ~TraceRegion() {
+        if (armed_) {
+            auto& tracer = Tracer::instance();
+            TraceEvent event;
+            event.name = name_;
+            event.phase = EventPhase::complete;
+            event.depth = depth_;
+            event.ts_us = start_us_;
+            event.dur_us = tracer.now_us() - start_us_;
+            tracer.record(event);
+            tracer.exit_region();
+        }
+    }
+
+private:
+    const char* name_;
+    bool armed_;
+    std::uint32_t depth_ = 0;
+    double start_us_ = 0.0;
+};
+
+/// Record a counter sample (e.g. the residual norm per iteration).
+inline void counter(const char* name, double value) {
+    if (!trace_on()) {
+        return;
+    }
+    auto& tracer = Tracer::instance();
+    TraceEvent event;
+    event.name = name;
+    event.phase = EventPhase::counter;
+    event.ts_us = tracer.now_us();
+    event.value = value;
+    tracer.record(event);
+}
+
+/// Record a point marker.
+inline void instant(const char* name) {
+    if (!trace_on()) {
+        return;
+    }
+    auto& tracer = Tracer::instance();
+    TraceEvent event;
+    event.name = name;
+    event.phase = EventPhase::instant;
+    event.ts_us = tracer.now_us();
+    tracer.record(event);
+}
+
+/// Label the calling thread in the exported trace. Safe to call with
+/// tracing disabled (the name sticks for a later enable).
+void set_thread_name(std::string name);
+
+}  // namespace vbatch::obs

@@ -5,6 +5,8 @@
 
 #include "base/thread_pool.hpp"
 #include "blas/lapack.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vbatch::precond {
 
@@ -23,39 +25,59 @@ template <typename T>
 BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
                             BlockJacobiOptions options)
     : options_(std::move(options)) {
+    obs::TraceRegion trace("block_jacobi::setup");
     Timer timer;
-    if (options_.layout) {
-        layout_ = options_.layout;
-    } else {
-        blocking::BlockingOptions bopts;
-        bopts.max_block_size = options_.max_block_size;
-        layout_ = blocking::supervariable_layout(a, bopts);
+    {
+        ScopedTimer phase(setup_phases_.blocking_seconds);
+        if (options_.layout) {
+            layout_ = options_.layout;
+        } else {
+            blocking::BlockingOptions bopts;
+            bopts.max_block_size = options_.max_block_size;
+            layout_ = blocking::supervariable_layout(a, bopts);
+        }
     }
-    factors_ = blocking::extract_diagonal_blocks(a, layout_);
-    pivots_ = core::BatchedPivots(layout_);
-
-    core::GetrfOptions fopts;
-    fopts.parallel = options_.parallel;
-    switch (options_.backend) {
-    case BlockJacobiBackend::lu:
-        core::getrf_batch(factors_, pivots_, fopts);
-        break;
-    case BlockJacobiBackend::gauss_huard:
-        core::gauss_huard_batch(factors_, pivots_,
-                                core::GhStorage::standard, fopts);
-        break;
-    case BlockJacobiBackend::gauss_huard_t:
-        core::gauss_huard_batch(factors_, pivots_,
-                                core::GhStorage::transposed, fopts);
-        break;
-    case BlockJacobiBackend::gje_inversion:
-        core::gauss_jordan_batch(factors_, fopts);
-        break;
-    case BlockJacobiBackend::cholesky:
-        core::potrf_batch(factors_, fopts);
-        break;
+    {
+        ScopedTimer phase(setup_phases_.extraction_seconds);
+        factors_ = blocking::extract_diagonal_blocks(a, layout_);
+        pivots_ = core::BatchedPivots(layout_);
+    }
+    {
+        obs::TraceRegion factor_trace("factorize_blocks");
+        ScopedTimer phase(setup_phases_.factorize_seconds);
+        core::GetrfOptions fopts;
+        fopts.parallel = options_.parallel;
+        switch (options_.backend) {
+        case BlockJacobiBackend::lu:
+            core::getrf_batch(factors_, pivots_, fopts);
+            break;
+        case BlockJacobiBackend::gauss_huard:
+            core::gauss_huard_batch(factors_, pivots_,
+                                    core::GhStorage::standard, fopts);
+            break;
+        case BlockJacobiBackend::gauss_huard_t:
+            core::gauss_huard_batch(factors_, pivots_,
+                                    core::GhStorage::transposed, fopts);
+            break;
+        case BlockJacobiBackend::gje_inversion:
+            core::gauss_jordan_batch(factors_, fopts);
+            break;
+        case BlockJacobiBackend::cholesky:
+            core::potrf_batch(factors_, fopts);
+            break;
+        }
     }
     setup_seconds_ = timer.seconds();
+    auto& registry = obs::Registry::global();
+    registry.add("block_jacobi.setups", 1.0);
+    registry.add("block_jacobi.blocking_seconds",
+                 setup_phases_.blocking_seconds);
+    registry.add("block_jacobi.extraction_seconds",
+                 setup_phases_.extraction_seconds);
+    registry.add("block_jacobi.factorize_seconds",
+                 setup_phases_.factorize_seconds);
+    registry.set("block_jacobi.num_blocks",
+                 static_cast<double>(layout_->count()));
 }
 
 template <typename T>
@@ -63,6 +85,24 @@ void BlockJacobi<T>::apply(std::span<const T> r, std::span<T> z) const {
     VBATCH_ENSURE_DIMS(static_cast<size_type>(r.size()) ==
                        layout_->total_rows());
     VBATCH_ENSURE_DIMS(r.size() == z.size());
+    obs::TraceRegion trace("block_jacobi::apply");
+    // Name the inner region after the per-block solve the backend runs.
+    const char* solve_kind = nullptr;
+    switch (options_.backend) {
+    case BlockJacobiBackend::lu:
+    case BlockJacobiBackend::cholesky:
+        solve_kind = "trsv_apply";
+        break;
+    case BlockJacobiBackend::gauss_huard:
+    case BlockJacobiBackend::gauss_huard_t:
+        solve_kind = "gauss_huard_apply";
+        break;
+    case BlockJacobiBackend::gje_inversion:
+        solve_kind = "gemv_apply";
+        break;
+    }
+    obs::TraceRegion solve_trace(solve_kind);
+    obs::count("block_jacobi.applies");
     const auto body = [&](size_type b) {
         const auto off = static_cast<std::size_t>(layout_->row_offset(b));
         const auto m = static_cast<std::size_t>(layout_->size(b));

@@ -61,6 +61,15 @@ public:
     double setup_seconds() const override { return setup_seconds_; }
     size_type num_blocks() const override { return layout_->count(); }
 
+    /// Per-phase breakdown of setup_seconds() (the paper's cost model
+    /// separates blocking, extraction and factorization; Figs. 4-9).
+    struct SetupPhases {
+        double blocking_seconds = 0.0;
+        double extraction_seconds = 0.0;
+        double factorize_seconds = 0.0;
+    };
+    const SetupPhases& setup_phases() const { return setup_phases_; }
+
     const core::BatchLayout& layout() const { return *layout_; }
     const BlockJacobiOptions& options() const { return options_; }
 
@@ -92,6 +101,7 @@ private:
     core::BatchedMatrices<T> factors_;
     core::BatchedPivots pivots_;
     double setup_seconds_ = 0.0;
+    SetupPhases setup_phases_;
 };
 
 }  // namespace vbatch::precond

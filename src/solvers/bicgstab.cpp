@@ -18,6 +18,7 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
     VBATCH_ENSURE_DIMS(b.size() == x.size());
     const auto nz = static_cast<std::size_t>(a.num_rows());
 
+    obs::TraceRegion trace("bicgstab::solve");
     Timer timer;
     SolveResult result;
 
@@ -31,9 +32,7 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
     T normr = blas::nrm2(std::span<const T>(r));
     result.initial_residual = static_cast<double>(normr);
     const T tol = static_cast<T>(opts.rel_tol) * normr;
-    if (opts.keep_residual_history) {
-        result.residual_history.push_back(static_cast<double>(normr));
-    }
+    record_residual(opts, result, static_cast<double>(normr));
 
     T rho_old{1}, alpha{1}, omega{1};
     blas::fill(std::span<T>(p), T{});
@@ -72,10 +71,7 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
             blas::copy(std::span<const T>(s), std::span<T>(r));
             normr = norms;
             converged = true;
-            if (opts.keep_residual_history) {
-                result.residual_history.push_back(
-                    static_cast<double>(normr));
-            }
+            record_residual(opts, result, static_cast<double>(normr));
             break;
         }
         prec.apply(std::span<const T>(s), std::span<T>(shat));
@@ -92,9 +88,7 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
             r[i] = s[i] - omega * t[i];
         }
         normr = blas::nrm2(std::span<const T>(r));
-        if (opts.keep_residual_history) {
-            result.residual_history.push_back(static_cast<double>(normr));
-        }
+        record_residual(opts, result, static_cast<double>(normr));
         converged = normr <= tol;
         rho_old = rho;
     }

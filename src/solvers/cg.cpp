@@ -17,6 +17,7 @@ SolveResult cg(const sparse::Csr<T>& a, std::span<const T> b, std::span<T> x,
     VBATCH_ENSURE_DIMS(b.size() == x.size());
     const auto nz = static_cast<std::size_t>(a.num_rows());
 
+    obs::TraceRegion trace("cg::solve");
     Timer timer;
     SolveResult result;
 
@@ -28,9 +29,7 @@ SolveResult cg(const sparse::Csr<T>& a, std::span<const T> b, std::span<T> x,
     T normr = blas::nrm2(std::span<const T>(r));
     result.initial_residual = static_cast<double>(normr);
     const T tol = static_cast<T>(opts.rel_tol) * normr;
-    if (opts.keep_residual_history) {
-        result.residual_history.push_back(static_cast<double>(normr));
-    }
+    record_residual(opts, result, static_cast<double>(normr));
 
     prec.apply(std::span<const T>(r), std::span<T>(z));
     blas::copy(std::span<const T>(z), std::span<T>(p));
@@ -50,9 +49,7 @@ SolveResult cg(const sparse::Csr<T>& a, std::span<const T> b, std::span<T> x,
         blas::axpy(alpha, std::span<const T>(p), std::span<T>(x));
         blas::axpy(-alpha, std::span<const T>(q), std::span<T>(r));
         normr = blas::nrm2(std::span<const T>(r));
-        if (opts.keep_residual_history) {
-            result.residual_history.push_back(static_cast<double>(normr));
-        }
+        record_residual(opts, result, static_cast<double>(normr));
         converged = normr <= tol;
         if (converged) {
             break;

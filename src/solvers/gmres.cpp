@@ -21,6 +21,7 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
     const auto nz = static_cast<std::size_t>(a.num_rows());
     const index_type m = opts.restart;
 
+    obs::TraceRegion trace("gmres::solve");
     Timer timer;
     SolveResult result;
 
@@ -38,9 +39,7 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
     T beta = compute_residual();
     result.initial_residual = static_cast<double>(beta);
     const T tol = static_cast<T>(opts.rel_tol) * beta;
-    if (opts.keep_residual_history) {
-        result.residual_history.push_back(static_cast<double>(beta));
-    }
+    record_residual(opts, result, static_cast<double>(beta));
 
     // Krylov basis (n x (m+1)) and Hessenberg ((m+1) x m).
     auto v = DenseMatrix<T>::zeros(a.num_rows(), m + 1);
@@ -117,9 +116,7 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
                 cs[static_cast<std::size_t>(j)] *
                 g[static_cast<std::size_t>(j)];
             const T res = std::abs(g[static_cast<std::size_t>(j) + 1]);
-            if (opts.keep_residual_history) {
-                result.residual_history.push_back(static_cast<double>(res));
-            }
+            record_residual(opts, result, static_cast<double>(res));
             if (res <= tol) {
                 converged = true;
                 ++j;

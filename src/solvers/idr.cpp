@@ -49,6 +49,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
     const index_type s = opts.s;
     const auto nz = static_cast<std::size_t>(n);
 
+    obs::TraceRegion trace("idr::solve");
     Timer timer;
     SolveResult result;
 
@@ -61,9 +62,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
     T normr = blas::nrm2(std::span<const T>(r));
     result.initial_residual = static_cast<double>(normr);
     const T tol = static_cast<T>(opts.rel_tol) * normr;
-    if (opts.keep_residual_history) {
-        result.residual_history.push_back(static_cast<double>(normr));
-    }
+    record_residual(opts, result, static_cast<double>(normr));
 
     // Random orthonormal shadow space P (n x s), fixed seed.
     auto p = DenseMatrix<T>::random(n, s, opts.shadow_seed);
@@ -191,10 +190,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
             normr = blas::nrm2(std::span<const T>(r));
             smooth();
             const T monitored = opts.smoothing ? norm_rs : normr;
-            if (opts.keep_residual_history) {
-                result.residual_history.push_back(
-                    static_cast<double>(monitored));
-            }
+            record_residual(opts, result, static_cast<double>(monitored));
             converged = monitored <= tol;
             for (index_type i = k + 1; i < s; ++i) {
                 f[static_cast<std::size_t>(i)] -= beta * mmat(i, k);
@@ -231,10 +227,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
         normr = blas::nrm2(std::span<const T>(r));
         smooth();
         const T monitored = opts.smoothing ? norm_rs : normr;
-        if (opts.keep_residual_history) {
-            result.residual_history.push_back(
-                static_cast<double>(monitored));
-        }
+        record_residual(opts, result, static_cast<double>(monitored));
         converged = monitored <= tol;
     }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/types.hpp"
+#include "obs/trace.hpp"
 
 namespace vbatch::solvers {
 
@@ -37,5 +38,18 @@ struct SolveResult {
                                       : final_residual;
     }
 };
+
+/// Record one residual sample: appends to the public residual_history
+/// when the caller asked for it, and emits a per-iteration trace counter
+/// when tracing is armed. All solvers funnel their per-iteration
+/// recording through this helper so the trace and the history stay
+/// consistent.
+inline void record_residual(const SolverOptions& opts, SolveResult& result,
+                            double normr) {
+    if (opts.keep_residual_history) {
+        result.residual_history.push_back(normr);
+    }
+    obs::counter("residual", normr);
+}
 
 }  // namespace vbatch::solvers

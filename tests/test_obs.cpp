@@ -1,0 +1,348 @@
+// Unit tests for the observability subsystem: scoped-region tracer,
+// metrics registry, JSON writer/parser and the bench-report schema.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/thread_pool.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "simt/kernel_stats.hpp"
+
+namespace vbatch {
+namespace {
+
+/// Arms the tracer for one test and restores the dormant state after.
+class TracerGuard {
+public:
+    TracerGuard() {
+        obs::Tracer::set_enabled(true);
+        obs::Tracer::instance().clear();
+    }
+    ~TracerGuard() {
+        obs::Tracer::instance().clear();
+        obs::Tracer::set_enabled(false);
+    }
+};
+
+/// All events of the calling process, flattened across threads.
+std::vector<obs::TraceEvent> all_events() {
+    std::vector<obs::TraceEvent> events;
+    for (const auto& thread : obs::Tracer::instance().snapshot()) {
+        events.insert(events.end(), thread.events.begin(),
+                      thread.events.end());
+    }
+    return events;
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------
+
+TEST(Tracer, RecordsNestedRegionsWithDepth) {
+    TracerGuard guard;
+    {
+        obs::TraceRegion outer("outer");
+        {
+            obs::TraceRegion inner("inner");
+        }
+    }
+    const auto events = all_events();
+    ASSERT_EQ(events.size(), 2u);
+    // Regions complete inner-first.
+    EXPECT_STREQ(events[0].name, "inner");
+    EXPECT_EQ(events[0].depth, 1u);
+    EXPECT_STREQ(events[1].name, "outer");
+    EXPECT_EQ(events[1].depth, 0u);
+    // The inner region's lifetime nests inside the outer one's.
+    EXPECT_GE(events[0].ts_us, events[1].ts_us);
+    EXPECT_LE(events[0].ts_us + events[0].dur_us,
+              events[1].ts_us + events[1].dur_us + 1e-6);
+}
+
+TEST(Tracer, DisabledModeRecordsNothing) {
+    obs::Tracer::set_enabled(false);
+    obs::Tracer::instance().clear();
+    {
+        obs::TraceRegion region("ghost");
+        obs::counter("ghost_counter", 42.0);
+        obs::instant("ghost_instant");
+    }
+    EXPECT_TRUE(all_events().empty());
+    EXPECT_FALSE(obs::trace_on());
+}
+
+TEST(Tracer, CountersAndInstantsCarryPayload) {
+    TracerGuard guard;
+    obs::counter("residual", 0.125);
+    obs::instant("checkpoint");
+    const auto events = all_events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].phase, obs::EventPhase::counter);
+    EXPECT_DOUBLE_EQ(events[0].value, 0.125);
+    EXPECT_EQ(events[1].phase, obs::EventPhase::instant);
+}
+
+TEST(Tracer, ThreadPoolWorkersRecordIntoOwnBuffers) {
+    TracerGuard guard;
+    constexpr size_type n = 256;
+    std::atomic<int> ran{0};
+    ThreadPool::global().parallel_for(
+        0, n,
+        [&](size_type) {
+            obs::TraceRegion region("pool_task");
+            ran.fetch_add(1, std::memory_order_relaxed);
+        },
+        1);
+    EXPECT_EQ(ran.load(), n);
+    size_type recorded = 0;
+    for (const auto& thread : obs::Tracer::instance().snapshot()) {
+        for (const auto& event : thread.events) {
+            if (std::string_view(event.name) == "pool_task") {
+                ++recorded;
+                EXPECT_EQ(event.depth, 0u);
+            }
+        }
+        EXPECT_EQ(thread.dropped, 0);
+    }
+    EXPECT_EQ(recorded, n);
+}
+
+TEST(Tracer, ChromeTraceRoundTrips) {
+    TracerGuard guard;
+    obs::set_thread_name("test-main");
+    {
+        obs::TraceRegion region("chrome_region");
+        obs::counter("chrome_counter", 7.0);
+    }
+    std::ostringstream os;
+    obs::Tracer::instance().write_chrome_trace(os);
+    const auto doc = obs::parse_json(os.str());
+    ASSERT_TRUE(doc.is_object());
+    const auto* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->is_array());
+    bool saw_region = false, saw_counter = false, saw_thread_name = false;
+    for (const auto& e : events->items) {
+        const auto* name = e.find("name");
+        const auto* ph = e.find("ph");
+        ASSERT_NE(name, nullptr);
+        ASSERT_NE(ph, nullptr);
+        if (name->string == "chrome_region" && ph->string == "X") {
+            saw_region = true;
+            EXPECT_NE(e.find("dur"), nullptr);
+            EXPECT_NE(e.find("ts"), nullptr);
+        }
+        if (name->string == "chrome_counter" && ph->string == "C") {
+            saw_counter = true;
+        }
+        if (name->string == "thread_name" && ph->string == "M") {
+            saw_thread_name = true;
+        }
+    }
+    EXPECT_TRUE(saw_region);
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_thread_name);
+}
+
+TEST(Tracer, NdjsonRoundTrips) {
+    TracerGuard guard;
+    {
+        obs::TraceRegion region("nd_region");
+    }
+    obs::counter("nd_counter", 3.5);
+    std::ostringstream os;
+    obs::Tracer::instance().write_ndjson(os);
+    std::istringstream in(os.str());
+    std::string line;
+    bool saw_region = false, saw_counter = false;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        const auto doc = obs::parse_json(line);  // throws on bad line
+        ASSERT_TRUE(doc.is_object());
+        const auto* type = doc.find("type");
+        const auto* name = doc.find("name");
+        ASSERT_NE(type, nullptr);
+        ASSERT_NE(name, nullptr);
+        if (name->string == "nd_region") {
+            saw_region = true;
+            EXPECT_EQ(type->string, "region");
+        }
+        if (name->string == "nd_counter") {
+            saw_counter = true;
+            EXPECT_EQ(type->string, "counter");
+            EXPECT_DOUBLE_EQ(doc.find("value")->number, 3.5);
+        }
+    }
+    EXPECT_TRUE(saw_region);
+    EXPECT_TRUE(saw_counter);
+}
+
+// ---------------------------------------------------------------------
+// JSON writer / parser
+// ---------------------------------------------------------------------
+
+TEST(JsonWriter, EmitsNestedStructures) {
+    std::ostringstream os;
+    obs::JsonWriter json(os);
+    json.begin_object();
+    json.key("a");
+    json.value(std::int64_t{1});
+    json.key("b");
+    json.begin_array();
+    json.value(true);
+    json.null();
+    json.value("x\"y");
+    json.end_array();
+    json.end_object();
+    EXPECT_EQ(os.str(), R"({"a":1,"b":[true,null,"x\"y"]})");
+}
+
+TEST(JsonWriter, RejectsValueWithoutKeyInObject) {
+    std::ostringstream os;
+    obs::JsonWriter json(os);
+    json.begin_object();
+    EXPECT_THROW(json.value(1.0), std::logic_error);
+}
+
+TEST(JsonParser, ParsesScalarsAndNesting) {
+    const auto doc =
+        obs::parse_json(R"({"n": -2.5e2, "s": "aA\n", "l": [1, {}]})");
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_DOUBLE_EQ(doc.find("n")->number, -250.0);
+    EXPECT_EQ(doc.find("s")->string, "aA\n");
+    ASSERT_TRUE(doc.find("l")->is_array());
+    ASSERT_EQ(doc.find("l")->items.size(), 2u);
+    EXPECT_TRUE(doc.find("l")->items[1].is_object());
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+    EXPECT_THROW(obs::parse_json("{"), obs::JsonError);
+    EXPECT_THROW(obs::parse_json("[1,]"), obs::JsonError);
+    EXPECT_THROW(obs::parse_json("{} trailing"), obs::JsonError);
+    EXPECT_THROW(obs::parse_json("\"unterminated"), obs::JsonError);
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------
+
+TEST(Registry, AggregatesCountersGaugesAndKernels) {
+    obs::Registry registry;
+    registry.add("launches", 1.0);
+    registry.add("launches", 2.0);
+    registry.set("blocks", 10.0);
+    registry.set("blocks", 12.0);
+    simt::KernelStats stats;
+    stats.fp_instructions = 5;
+    stats.useful_flops = 7;
+    registry.record_kernel("getrf", stats, 100, 0.25);
+    registry.record_kernel("getrf", stats, 50, 0.25);
+
+    EXPECT_DOUBLE_EQ(registry.counter_value("launches"), 3.0);
+    EXPECT_DOUBLE_EQ(registry.gauges().at("blocks"), 12.0);
+    const auto kernels = registry.kernels();
+    const auto& family = kernels.at("getrf");
+    EXPECT_EQ(family.launches, 2);
+    EXPECT_EQ(family.problems, 150);
+    EXPECT_EQ(family.stats.fp_instructions, 10);
+    EXPECT_EQ(family.stats.useful_flops, 14);
+    EXPECT_DOUBLE_EQ(family.modeled_seconds, 0.5);
+
+    registry.clear();
+    EXPECT_TRUE(registry.counters().empty());
+    EXPECT_TRUE(registry.kernels().empty());
+}
+
+TEST(Registry, JsonSnapshotRoundTrips) {
+    obs::Registry registry;
+    registry.add("c", 4.0);
+    registry.set("g", 9.0);
+    simt::KernelStats stats;
+    stats.load_transactions = 11;
+    registry.record_kernel("trsv", stats, 8);
+    const auto doc = obs::parse_json(registry.to_json());
+    EXPECT_DOUBLE_EQ(doc.find("counters")->find("c")->number, 4.0);
+    EXPECT_DOUBLE_EQ(doc.find("gauges")->find("g")->number, 9.0);
+    const auto* family = doc.find("kernel_stats")->find("trsv");
+    ASSERT_NE(family, nullptr);
+    EXPECT_DOUBLE_EQ(family->find("problems")->number, 8.0);
+    EXPECT_DOUBLE_EQ(family->find("load_transactions")->number, 11.0);
+}
+
+TEST(KernelStats, OperatorPlusSumsEveryField) {
+    using simt::KernelStats;
+    // KernelStats is a plain aggregate of size_type counters; treat it as
+    // an array so a newly added field that is missing from operator+=
+    // fails this test instead of silently dropping its contribution.
+    static_assert(sizeof(KernelStats) == 13 * sizeof(size_type),
+                  "field added to KernelStats: extend operator+= and the "
+                  "obs serializers, then update this test");
+    constexpr std::size_t n = sizeof(KernelStats) / sizeof(size_type);
+    KernelStats a, b;
+    auto* pa = reinterpret_cast<size_type*>(&a);
+    auto* pb = reinterpret_cast<size_type*>(&b);
+    for (std::size_t i = 0; i < n; ++i) {
+        pa[i] = static_cast<size_type>(i + 1);
+        pb[i] = static_cast<size_type>(100 * (i + 1));
+    }
+    const KernelStats sum = a + b;
+    const auto* ps = reinterpret_cast<const size_type*>(&sum);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(ps[i], static_cast<size_type>(101 * (i + 1)))
+            << "field index " << i << " not summed by operator+";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bench report
+// ---------------------------------------------------------------------
+
+TEST(BenchReport, EmitsSchemaV1) {
+    obs::BenchReport report("unit_test");
+    report.config("device", "emulated");
+    report.config("batch", size_type{40000});
+    report.config("quick", true);
+    report.phase("warmup", 0.5);
+    report.phase("warmup", 0.25);  // accumulates
+    report.series("gflops/lu", "batch", {{1000.0, 10.0}, {2000.0, 20.0}});
+
+    const auto doc = obs::parse_json(report.to_json());
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_DOUBLE_EQ(doc.find("schema_version")->number, 1.0);
+    EXPECT_EQ(doc.find("name")->string, "unit_test");
+    EXPECT_EQ(doc.find("config")->find("device")->string, "emulated");
+    EXPECT_DOUBLE_EQ(doc.find("config")->find("batch")->number, 40000.0);
+    EXPECT_TRUE(doc.find("config")->find("quick")->boolean);
+
+    const auto* phases = doc.find("phases");
+    ASSERT_TRUE(phases->is_array());
+    ASSERT_EQ(phases->items.size(), 1u);
+    EXPECT_DOUBLE_EQ(phases->items[0].find("seconds")->number, 0.75);
+
+    const auto* series = doc.find("series");
+    ASSERT_TRUE(series->is_array());
+    ASSERT_EQ(series->items.size(), 1u);
+    const auto& s = series->items[0];
+    EXPECT_EQ(s.find("name")->string, "gflops/lu");
+    EXPECT_EQ(s.find("unit")->string, "gflops");
+    ASSERT_EQ(s.find("points")->items.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.find("points")->items[1].items[0].number, 2000.0);
+    EXPECT_DOUBLE_EQ(s.find("points")->items[1].items[1].number, 20.0);
+
+    EXPECT_NE(doc.find("counters"), nullptr);
+    EXPECT_NE(doc.find("gauges"), nullptr);
+    EXPECT_NE(doc.find("kernel_stats"), nullptr);
+    EXPECT_GE(doc.find("wall_seconds")->number, 0.0);
+}
+
+}  // namespace
+}  // namespace vbatch

@@ -1,0 +1,146 @@
+// Schema validator for the BENCH_<name>.json artifacts the figure
+// benchmarks emit (obs::BenchReport, schema_version 1). Used by CTest
+// (bench_*_json_validate) and by hand:
+//
+//   VBATCH_BENCH_JSON=1 ./build/bench/bench_fig4_getrf_batch
+//   ./build/tests/validate_bench_json BENCH_fig4_getrf_batch.json
+//
+// Exits 0 when every file conforms, 1 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using vbatch::obs::JsonValue;
+
+int errors = 0;
+
+void fail(const std::string& path, const std::string& what) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), what.c_str());
+    ++errors;
+}
+
+const JsonValue* require(const std::string& path, const JsonValue& root,
+                         const char* key, JsonValue::Type type) {
+    const JsonValue* v = root.find(key);
+    if (v == nullptr) {
+        fail(path, std::string("missing key \"") + key + "\"");
+        return nullptr;
+    }
+    if (v->type != type) {
+        fail(path, std::string("key \"") + key + "\" has the wrong type");
+        return nullptr;
+    }
+    return v;
+}
+
+void check_series(const std::string& path, const JsonValue& series) {
+    for (const auto& s : series.items) {
+        if (!s.is_object()) {
+            fail(path, "series entry is not an object");
+            continue;
+        }
+        require(path, s, "name", JsonValue::Type::string);
+        require(path, s, "x_label", JsonValue::Type::string);
+        require(path, s, "unit", JsonValue::Type::string);
+        const auto* points =
+            require(path, s, "points", JsonValue::Type::array);
+        if (points == nullptr) {
+            continue;
+        }
+        for (const auto& p : points->items) {
+            if (!p.is_array() || p.items.size() != 2 ||
+                !p.items[0].is_number() || !p.items[1].is_number()) {
+                fail(path, "series point is not a [x, y] number pair");
+                break;
+            }
+        }
+    }
+}
+
+void check_phases(const std::string& path, const JsonValue& phases) {
+    for (const auto& p : phases.items) {
+        if (!p.is_object()) {
+            fail(path, "phase entry is not an object");
+            continue;
+        }
+        require(path, p, "name", JsonValue::Type::string);
+        require(path, p, "seconds", JsonValue::Type::number);
+    }
+}
+
+void check_kernel_stats(const std::string& path, const JsonValue& kernels) {
+    for (const auto& [family, stats] : kernels.members) {
+        if (!stats.is_object()) {
+            fail(path, "kernel_stats entry \"" + family +
+                           "\" is not an object");
+            continue;
+        }
+        require(path, stats, "launches", JsonValue::Type::number);
+        require(path, stats, "problems", JsonValue::Type::number);
+        require(path, stats, "modeled_seconds", JsonValue::Type::number);
+    }
+}
+
+void validate(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        fail(path, "cannot open file");
+        return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    JsonValue root;
+    try {
+        root = vbatch::obs::parse_json(buf.str());
+    } catch (const vbatch::obs::JsonError& e) {
+        fail(path, std::string("parse error: ") + e.what());
+        return;
+    }
+    if (!root.is_object()) {
+        fail(path, "top-level value is not an object");
+        return;
+    }
+    const auto* version =
+        require(path, root, "schema_version", JsonValue::Type::number);
+    if (version != nullptr && version->number != 1.0) {
+        fail(path, "unsupported schema_version");
+    }
+    require(path, root, "name", JsonValue::Type::string);
+    require(path, root, "config", JsonValue::Type::object);
+    require(path, root, "counters", JsonValue::Type::object);
+    require(path, root, "gauges", JsonValue::Type::object);
+    require(path, root, "wall_seconds", JsonValue::Type::number);
+    if (const auto* phases =
+            require(path, root, "phases", JsonValue::Type::array)) {
+        check_phases(path, *phases);
+    }
+    if (const auto* series =
+            require(path, root, "series", JsonValue::Type::array)) {
+        check_series(path, *series);
+    }
+    if (const auto* kernels =
+            require(path, root, "kernel_stats", JsonValue::Type::object)) {
+        check_kernel_stats(path, *kernels);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s BENCH_<name>.json...\n", argv[0]);
+        return 2;
+    }
+    for (int i = 1; i < argc; ++i) {
+        validate(argv[i]);
+    }
+    if (errors == 0) {
+        std::printf("%d file(s) conform to bench schema v1\n", argc - 1);
+    }
+    return errors == 0 ? 0 : 1;
+}
