@@ -1,0 +1,241 @@
+// Ablation: measured (host wall-clock) throughput of the interleaved SIMD
+// batch kernels against the scalar implicit-pivoting reference, single
+// thread, uniform batches of sizes 4..32.
+//
+// Two numbers are reported per ISA:
+//   kernel - persistent interleaved group (the block-Jacobi steady state:
+//            pack once, factorize/solve many times)
+//   e2e    - drop-in driver including pack + compute + unpack
+//
+// The acceptance bar of the vectorized backend is kernel >= 2x scalar on
+// the 8x8 and 16x16 uniform batches (in the widest available ISA).
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/vectorized.hpp"
+
+namespace vb = vbatch;
+
+namespace {
+
+constexpr int warmup_reps = 1;
+
+/// Best-of-N wall time of op(), with per-rep reset() excluded.
+template <typename Reset, typename Op>
+double best_seconds(int reps, Reset&& reset, Op&& op) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps + warmup_reps; ++rep) {
+        reset();
+        vb::Timer timer;
+        op();
+        const double t = timer.seconds();
+        if (rep >= warmup_reps) {
+            best = std::min(best, t);
+        }
+    }
+    return best;
+}
+
+struct Row {
+    vb::index_type m = 0;
+    double scalar_getrf = 0.0;  // GFLOPS
+    double scalar_getrs = 0.0;
+    std::vector<double> kernel_getrf;  // per ISA
+    std::vector<double> e2e_getrf;
+    std::vector<double> kernel_getrs;
+};
+
+template <typename T>
+void run_precision(vb::obs::BenchReport& report) {
+    const auto isas = vb::core::available_simd_isas();
+    const vb::size_type nb = vb::bench::quick_mode() ? 4096 : 32768;
+    const int reps = vb::bench::quick_mode() ? 3 : 7;
+    const std::string prec = vb::precision_name<T>();
+
+    vb::bench::print_header(
+        "Vectorized-backend ablation | " + prec + " precision | " +
+        std::to_string(static_cast<long long>(nb)) +
+        " uniform blocks | single thread | GFLOPS");
+    std::printf("%4s  %14s", "m", "scalar getrf");
+    for (const auto isa : isas) {
+        std::printf("  %11s-krn  %11s-e2e", vb::core::simd_isa_name(isa),
+                    vb::core::simd_isa_name(isa));
+    }
+    std::printf("\n");
+
+    std::vector<Row> rows;
+    for (const vb::index_type m : {4, 8, 16, 32}) {
+        Row row;
+        row.m = m;
+        const auto layout = vb::core::make_uniform_layout(nb, m);
+        const auto pristine =
+            vb::core::BatchedMatrices<T>::random_diagonally_dominant(
+                layout, 0xabc0 + static_cast<std::uint64_t>(m));
+        const double factor_flops =
+            vb::core::getrf_flops(m) * static_cast<double>(nb);
+        const double solve_flops =
+            vb::core::getrs_flops(m) * static_cast<double>(nb);
+
+        // --- scalar reference, single thread ---
+        auto work = pristine.clone();
+        vb::core::BatchedPivots perm(layout);
+        vb::core::GetrfOptions sopts;
+        sopts.parallel = false;
+        row.scalar_getrf =
+            factor_flops /
+            best_seconds(
+                reps, [&] { work = pristine.clone(); },
+                [&] { vb::core::getrf_batch(work, perm, sopts); }) *
+            1e-9;
+
+        const auto rhs0 = vb::core::BatchedVectors<T>::random(layout, 99);
+        auto rhs = rhs0.clone();
+        vb::core::TrsvOptions topts;
+        topts.parallel = false;
+        row.scalar_getrs =
+            solve_flops /
+            best_seconds(
+                reps, [&] { rhs = rhs0.clone(); },
+                [&] { vb::core::getrs_batch(work, perm, rhs, topts); }) *
+            1e-9;
+
+        // --- vectorized, per ISA ---
+        for (const auto isa : isas) {
+            vb::core::VectorizedOptions vopts;
+            vopts.isa = isa;
+            vopts.parallel = false;
+
+            // Persistent-group kernel timing: the packed values are reset
+            // from a pristine interleaved copy outside the timed section.
+            const auto idx = [&] {
+                std::vector<vb::size_type> v(static_cast<std::size_t>(nb));
+                for (vb::size_type i = 0; i < nb; ++i) {
+                    v[static_cast<std::size_t>(i)] = i;
+                }
+                return v;
+            }();
+            vb::core::InterleavedGroup<T> master(m, nb, isa);
+            master.pack_matrices(pristine, idx);
+            vb::core::InterleavedGroup<T> g(m, nb, isa);
+            const vb::size_type nvals =
+                static_cast<vb::size_type>(m) * m * g.lane_stride();
+            row.kernel_getrf.push_back(
+                factor_flops /
+                best_seconds(
+                    reps,
+                    [&] {
+                        std::copy(master.values(), master.values() + nvals,
+                                  g.values());
+                    },
+                    [&] { vb::core::getrf_interleaved(g, vopts); }) *
+                1e-9);
+
+            auto batch = pristine.clone();
+            vb::core::BatchedPivots vperm(layout);
+            row.e2e_getrf.push_back(
+                factor_flops /
+                best_seconds(
+                    reps, [&] { batch = pristine.clone(); },
+                    [&] {
+                        vb::core::getrf_batch_vectorized(batch, vperm,
+                                                         vopts);
+                    }) *
+                1e-9);
+
+            vb::core::InterleavedVectors<T> b(m, nb, isa);
+            vb::core::InterleavedVectors<T> bmaster(m, nb, isa);
+            bmaster.pack(rhs0, idx);
+            const vb::size_type nrhs =
+                static_cast<vb::size_type>(m) * b.lane_stride();
+            row.kernel_getrs.push_back(
+                solve_flops /
+                best_seconds(
+                    reps,
+                    [&] {
+                        std::copy(bmaster.values(),
+                                  bmaster.values() + nrhs, b.values());
+                    },
+                    [&] { vb::core::getrs_interleaved(g, b, vopts); }) *
+                1e-9);
+        }
+
+        std::printf("%4d  %14.2f", row.m, row.scalar_getrf);
+        for (std::size_t k = 0; k < isas.size(); ++k) {
+            std::printf("  %15.2f  %15.2f", row.kernel_getrf[k],
+                        row.e2e_getrf[k]);
+        }
+        std::printf("\n");
+        rows.push_back(std::move(row));
+    }
+
+    // Speedup summary + acceptance check against the widest ISA.
+    std::printf("\n%4s  %s kernel speedup over scalar getrf:\n", "",
+                prec.c_str());
+    bool meets_bar = true;
+    const std::size_t widest = isas.size() - 1;
+    for (const auto& row : rows) {
+        const double speedup = row.kernel_getrf[widest] / row.scalar_getrf;
+        std::printf("%4d  %6.2fx (%s)\n", row.m, speedup,
+                    vb::core::simd_isa_name(isas[widest]));
+        if ((row.m == 8 || row.m == 16) && speedup < 2.0) {
+            meets_bar = false;
+        }
+    }
+    if (isas.size() > 1) {
+        std::printf("  8x8/16x16 >= 2x bar: %s\n",
+                    meets_bar ? "PASS" : "FAIL");
+    }
+
+    // Series: x = block size, y = GFLOPS.
+    const auto record = [&](const std::string& series,
+                            double Row::* scalar_field) {
+        std::vector<std::pair<double, double>> pts;
+        for (const auto& row : rows) {
+            pts.emplace_back(static_cast<double>(row.m),
+                             row.*scalar_field);
+        }
+        report.series(prec + "/" + series, "m", std::move(pts));
+    };
+    record("getrf/scalar", &Row::scalar_getrf);
+    record("getrs/scalar", &Row::scalar_getrs);
+    for (std::size_t k = 0; k < isas.size(); ++k) {
+        const std::string isa = vb::core::simd_isa_name(isas[k]);
+        std::vector<std::pair<double, double>> krn, e2e, slv;
+        for (const auto& row : rows) {
+            krn.emplace_back(static_cast<double>(row.m),
+                             row.kernel_getrf[k]);
+            e2e.emplace_back(static_cast<double>(row.m), row.e2e_getrf[k]);
+            slv.emplace_back(static_cast<double>(row.m),
+                             row.kernel_getrs[k]);
+        }
+        report.series(prec + "/getrf/" + isa + "/kernel", "m",
+                      std::move(krn));
+        report.series(prec + "/getrf/" + isa + "/e2e", "m", std::move(e2e));
+        report.series(prec + "/getrs/" + isa + "/kernel", "m",
+                      std::move(slv));
+    }
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Vectorized batch-kernel ablation (measured host time, "
+                "dispatch default: %s).\n",
+                vb::core::simd_isa_name(vb::core::detect_simd_isa()));
+    vb::obs::BenchReport report("ablation_vectorized");
+    report.config("quick", vb::bench::quick_mode());
+    report.config("dispatch",
+                  vb::core::simd_isa_name(vb::core::detect_simd_isa()));
+    vb::Timer tf;
+    run_precision<float>(report);
+    report.phase("float", tf.seconds());
+    vb::Timer td;
+    run_precision<double>(report);
+    report.phase("double", td.seconds());
+    report.write_if_enabled();
+    return 0;
+}

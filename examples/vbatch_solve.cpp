@@ -5,7 +5,7 @@
 //                             convection-diffusion test problem)
 //     --suite <case-name>     use a case from the 48-matrix suite instead
 //     --solver idr|bicgstab|gmres|cg          (default idr)
-//     --precond none|jacobi|lu|gh|gh-t|gje|cholesky   (default lu)
+//     --precond none|jacobi|lu|lu-simd|gh|gh-t|gje|cholesky  (default lu)
 //     --block-size <1..32>    supervariable bound     (default 32)
 //     --rcm                   reverse Cuthill-McKee pre-ordering
 //     --tol <rel. residual>   stopping tolerance      (default 1e-6)
@@ -49,7 +49,7 @@ struct Options {
     std::printf(
         "usage: %s [--matrix f.mtx | --suite case] [--solver "
         "idr|bicgstab|gmres|cg] [--precond "
-        "none|jacobi|lu|gh|gh-t|gje|cholesky] [--block-size n] [--rcm] "
+        "none|jacobi|lu|lu-simd|gh|gh-t|gje|cholesky] [--block-size n] [--rcm] "
         "[--tol t] [--max-iters n] [--idr-s s]\n",
         argv0);
     std::exit(2);
@@ -134,6 +134,8 @@ int main(int argc, char** argv) {
             bj.max_block_size = opts.block_size;
             if (opts.precond == "lu") {
                 bj.backend = vb::precond::BlockJacobiBackend::lu;
+            } else if (opts.precond == "lu-simd") {
+                bj.backend = vb::precond::BlockJacobiBackend::lu_simd;
             } else if (opts.precond == "gh") {
                 bj.backend = vb::precond::BlockJacobiBackend::gauss_huard;
             } else if (opts.precond == "gh-t") {

@@ -18,6 +18,15 @@
 
 namespace vbatch {
 
+/// Shared parallel_for grain for loops whose iterations are single batch
+/// entries (one tiny factorization or solve each). Small enough to load-
+/// balance ragged batches, large enough that the per-chunk dispatch cost
+/// is amortized. Every batch-entry loop must pass this grain so the
+/// backends split work identically (getrf/trsv/block-Jacobi previously
+/// disagreed: the preconditioner used 64 while the kernel drivers fell
+/// back to the automatic n/(8*threads) choice).
+inline constexpr size_type batch_entry_grain = 64;
+
 class ThreadPool {
 public:
     /// Create a pool with `num_threads` workers; 0 means

@@ -1,0 +1,37 @@
+#include "blocking/size_classes.hpp"
+
+#include <algorithm>
+
+#include "base/macros.hpp"
+
+namespace vbatch::blocking {
+
+SizeClassPlan build_size_class_plan(const core::BatchLayout& layout,
+                                    index_type min_group) {
+    VBATCH_ENSURE(min_group >= 1, "min_group must be positive");
+    std::vector<std::vector<size_type>> buckets(
+        static_cast<std::size_t>(max_block_size) + 1);
+    for (size_type i = 0; i < layout.count(); ++i) {
+        buckets[static_cast<std::size_t>(layout.size(i))].push_back(i);
+    }
+
+    SizeClassPlan plan;
+    // Size-0 blocks carry no work; always leave them to the scalar path.
+    plan.scalar_indices = std::move(buckets[0]);
+    for (index_type m = 1; m <= max_block_size; ++m) {
+        auto& bucket = buckets[static_cast<std::size_t>(m)];
+        if (bucket.empty()) {
+            continue;
+        }
+        if (static_cast<index_type>(bucket.size()) >= min_group) {
+            plan.vector_groups.push_back({m, std::move(bucket)});
+        } else {
+            plan.scalar_indices.insert(plan.scalar_indices.end(),
+                                       bucket.begin(), bucket.end());
+        }
+    }
+    std::sort(plan.scalar_indices.begin(), plan.scalar_indices.end());
+    return plan;
+}
+
+}  // namespace vbatch::blocking

@@ -1,0 +1,46 @@
+// Size-class bucketing of a variable-size batch for the vectorized
+// (lane-parallel) backend.
+//
+// The interleaved SIMD kernels require every lane of a chunk to run the
+// same elimination steps, i.e. all matrices of a group must share one
+// order. Block-Jacobi layouts produced by supervariable agglomeration are
+// ragged but heavily clustered (most blocks hit max_block_size or a few
+// popular smaller orders), so bucketing by size recovers near-uniform
+// groups: each size class with at least `min_group` members becomes a
+// vector group, the rest fall back to the scalar per-block path.
+#pragma once
+
+#include <vector>
+
+#include "core/batch_layout.hpp"
+
+namespace vbatch::blocking {
+
+/// One same-size group routed to the vectorized kernels.
+struct SizeClassGroup {
+    index_type size = 0;
+    /// Batch indices of the member blocks, in ascending order.
+    std::vector<size_type> indices;
+};
+
+struct SizeClassPlan {
+    std::vector<SizeClassGroup> vector_groups;
+    /// Leftover blocks (size classes below min_group, and empty blocks).
+    std::vector<size_type> scalar_indices;
+
+    size_type vector_block_count() const noexcept {
+        size_type n = 0;
+        for (const auto& g : vector_groups) {
+            n += static_cast<size_type>(g.indices.size());
+        }
+        return n;
+    }
+};
+
+/// Bucket `layout` into same-size vector groups of at least `min_group`
+/// blocks (typically the SIMD lane count: any smaller class would leave
+/// most lanes padded) plus scalar leftovers.
+SizeClassPlan build_size_class_plan(const core::BatchLayout& layout,
+                                    index_type min_group);
+
+}  // namespace vbatch::blocking

@@ -101,7 +101,8 @@ FactorizeStatus potrf_batch(BatchedMatrices<T>& a, const GetrfOptions& opts) {
         }
     };
     if (opts.parallel) {
-        ThreadPool::global().parallel_for(0, a.count(), body);
+        ThreadPool::global().parallel_for(0, a.count(), body,
+                                          batch_entry_grain);
     } else {
         for (size_type i = 0; i < a.count(); ++i) {
             body(i);
@@ -126,7 +127,8 @@ void potrs_batch(const BatchedMatrices<T>& l, BatchedVectors<T>& b,
         potrs_single(l.view(i), b.span(i), opts.variant);
     };
     if (opts.parallel) {
-        ThreadPool::global().parallel_for(0, l.count(), body);
+        ThreadPool::global().parallel_for(0, l.count(), body,
+                                          batch_entry_grain);
     } else {
         for (size_type i = 0; i < l.count(); ++i) {
             body(i);

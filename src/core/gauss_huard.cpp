@@ -189,7 +189,8 @@ FactorizeStatus gauss_huard_batch(BatchedMatrices<T>& a, BatchedPivots& cperm,
         }
     };
     if (opts.parallel) {
-        ThreadPool::global().parallel_for(0, a.count(), body);
+        ThreadPool::global().parallel_for(0, a.count(), body,
+                                          batch_entry_grain);
     } else {
         for (size_type i = 0; i < a.count(); ++i) {
             body(i);
@@ -216,7 +217,8 @@ void gauss_huard_solve_batch(const BatchedMatrices<T>& f,
         gauss_huard_solve(f.view(i), cperm.span(i), b.span(i), storage);
     };
     if (parallel) {
-        ThreadPool::global().parallel_for(0, f.count(), body);
+        ThreadPool::global().parallel_for(0, f.count(), body,
+                                          batch_entry_grain);
     } else {
         for (size_type i = 0; i < f.count(); ++i) {
             body(i);

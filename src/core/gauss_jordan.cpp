@@ -98,7 +98,8 @@ FactorizeStatus gauss_jordan_batch(BatchedMatrices<T>& a,
         }
     };
     if (opts.parallel) {
-        ThreadPool::global().parallel_for(0, a.count(), body);
+        ThreadPool::global().parallel_for(0, a.count(), body,
+                                          batch_entry_grain);
     } else {
         for (size_type i = 0; i < a.count(); ++i) {
             body(i);
@@ -136,7 +137,8 @@ void apply_inverse_batch(const BatchedMatrices<T>& inv, BatchedVectors<T>& x,
         }
     };
     if (parallel) {
-        ThreadPool::global().parallel_for(0, inv.count(), body);
+        ThreadPool::global().parallel_for(0, inv.count(), body,
+                                          batch_entry_grain);
     } else {
         for (size_type i = 0; i < inv.count(); ++i) {
             body(i);

@@ -69,7 +69,7 @@ FactorizeStatus run_batch(BatchedMatrices<T>& a, BatchedPivots& perm,
         }
     };
     if (opts.parallel) {
-        ThreadPool::global().parallel_for(0, nb, body);
+        ThreadPool::global().parallel_for(0, nb, body, batch_entry_grain);
     } else {
         for (size_type i = 0; i < nb; ++i) {
             body(i);

@@ -1,0 +1,103 @@
+#include "core/simd_dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace vbatch::core {
+
+namespace {
+
+bool cpu_supports(SimdIsa isa) {
+#if defined(__x86_64__) || defined(__i386__)
+    switch (isa) {
+    case SimdIsa::scalar: return true;
+    case SimdIsa::sse2: return __builtin_cpu_supports("sse2");
+    case SimdIsa::avx2: return __builtin_cpu_supports("avx2");
+    }
+    return false;
+#else
+    return isa == SimdIsa::scalar;
+#endif
+}
+
+bool compiled_in(SimdIsa isa) {
+    switch (isa) {
+    case SimdIsa::scalar:
+        return true;
+    case SimdIsa::sse2:
+#if defined(__SSE2__)
+        return true;
+#else
+        return false;
+#endif
+    case SimdIsa::avx2:
+#if defined(VBATCH_HAVE_AVX2)
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+SimdIsa parse_override(const char* request, SimdIsa fallback) {
+    if (request == nullptr || std::strcmp(request, "auto") == 0 ||
+        request[0] == '\0') {
+        return fallback;
+    }
+    if (std::strcmp(request, "scalar") == 0) {
+        return SimdIsa::scalar;
+    }
+    if (std::strcmp(request, "sse2") == 0) {
+        return SimdIsa::sse2;
+    }
+    if (std::strcmp(request, "avx2") == 0) {
+        return SimdIsa::avx2;
+    }
+    return fallback;  // unknown value: ignore rather than abort
+}
+
+SimdIsa detect_uncached() {
+    SimdIsa best = SimdIsa::scalar;
+    for (const SimdIsa isa : {SimdIsa::sse2, SimdIsa::avx2}) {
+        if (simd_isa_available(isa)) {
+            best = isa;
+        }
+    }
+    const SimdIsa requested =
+        parse_override(std::getenv("VBATCH_SIMD"), best);
+    return simd_isa_available(requested) ? requested : best;
+}
+
+}  // namespace
+
+const char* simd_isa_name(SimdIsa isa) {
+    switch (isa) {
+    case SimdIsa::scalar: return "scalar";
+    case SimdIsa::sse2: return "sse2";
+    case SimdIsa::avx2: return "avx2";
+    }
+    return "unknown";
+}
+
+bool simd_isa_available(SimdIsa isa) {
+    return compiled_in(isa) && cpu_supports(isa);
+}
+
+SimdIsa detect_simd_isa() {
+    static const SimdIsa cached = detect_uncached();
+    return cached;
+}
+
+std::vector<SimdIsa> available_simd_isas() {
+    std::vector<SimdIsa> isas;
+    for (const SimdIsa isa :
+         {SimdIsa::scalar, SimdIsa::sse2, SimdIsa::avx2}) {
+        if (simd_isa_available(isa)) {
+            isas.push_back(isa);
+        }
+    }
+    return isas;
+}
+
+}  // namespace vbatch::core

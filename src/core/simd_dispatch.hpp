@@ -1,0 +1,53 @@
+// Runtime CPU-feature dispatch for the interleaved (lane-parallel) batch
+// kernels.
+//
+// The paper maps one tiny factorization onto each SIMT lane of a warp; the
+// CPU analogue implemented here assigns one matrix to each SIMD lane of a
+// vector register. Which vector width is available is a *runtime* property
+// of the machine the binary lands on, so the kernels are compiled once per
+// instruction set (scalar / SSE2 / AVX2) and selected through this module:
+//
+//   detect_simd_isa()  - widest ISA supported by both the compiler flags
+//                        this binary was built with and the CPU it runs on,
+//                        overridable with VBATCH_SIMD=scalar|sse2|avx2|auto
+//                        (requests above the supported level are clamped).
+//
+// Non-x86 builds degrade to the scalar implementation transparently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace vbatch::core {
+
+enum class SimdIsa { scalar, sse2, avx2 };
+
+/// Stable short name used in metrics, bench series and logs.
+const char* simd_isa_name(SimdIsa isa);
+
+/// True when `isa` was compiled in *and* the executing CPU supports it.
+bool simd_isa_available(SimdIsa isa);
+
+/// Widest available ISA, after applying the VBATCH_SIMD override (the
+/// override can narrow the choice; it never selects an unsupported ISA).
+/// The result is computed once and cached.
+SimdIsa detect_simd_isa();
+
+/// Every available ISA, narrowest first (always contains scalar).
+std::vector<SimdIsa> available_simd_isas();
+
+/// Matrices processed per vector instruction (SIMD lanes) for scalar type
+/// T under `isa`. Also the lane-padding granularity of interleaved groups.
+template <typename T>
+constexpr index_type simd_lanes(SimdIsa isa) {
+    switch (isa) {
+    case SimdIsa::scalar: return 1;
+    case SimdIsa::sse2: return static_cast<index_type>(16 / sizeof(T));
+    case SimdIsa::avx2: return static_cast<index_type>(32 / sizeof(T));
+    }
+    return 1;
+}
+
+}  // namespace vbatch::core

@@ -91,7 +91,8 @@ void getrs_batch(const BatchedMatrices<T>& lu, const BatchedPivots& perm,
         getrs_single(lu.view(i), perm.span(i), b.span(i), opts.variant);
     };
     if (opts.parallel) {
-        ThreadPool::global().parallel_for(0, lu.count(), body);
+        ThreadPool::global().parallel_for(0, lu.count(), body,
+                                          batch_entry_grain);
     } else {
         for (size_type i = 0; i < lu.count(); ++i) {
             body(i);

@@ -1,0 +1,232 @@
+#include "core/vectorized.hpp"
+
+#include <string>
+#include <vector>
+
+#include "base/macros.hpp"
+#include "base/thread_pool.hpp"
+#include "core/vectorized_kernels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vbatch::core {
+
+namespace {
+
+template <typename T>
+void run_getrf_chunk(SimdIsa isa, T* a, index_type* perm, index_type* info,
+                     index_type m, size_type stride) {
+    switch (isa) {
+    case SimdIsa::scalar:
+        getrf_chunk_scalar(a, perm, info, m, stride);
+        break;
+    case SimdIsa::sse2:
+        getrf_chunk_sse2(a, perm, info, m, stride);
+        break;
+    case SimdIsa::avx2:
+        getrf_chunk_avx2(a, perm, info, m, stride);
+        break;
+    }
+}
+
+template <typename T>
+void run_getrs_chunk(SimdIsa isa, const T* lu, const index_type* perm,
+                     T* b, index_type m, size_type stride) {
+    switch (isa) {
+    case SimdIsa::scalar:
+        getrs_chunk_scalar(lu, perm, b, m, stride);
+        break;
+    case SimdIsa::sse2:
+        getrs_chunk_sse2(lu, perm, b, m, stride);
+        break;
+    case SimdIsa::avx2:
+        getrs_chunk_avx2(lu, perm, b, m, stride);
+        break;
+    }
+}
+
+void record_launch(const char* op, SimdIsa isa, size_type problems) {
+    auto& registry = obs::Registry::global();
+    const std::string prefix =
+        std::string(op) + ".simd." + simd_isa_name(isa);
+    registry.add(prefix + ".launches", 1.0);
+    registry.add(prefix + ".problems", static_cast<double>(problems));
+}
+
+/// Requested ISA if this build/machine supports it, else the detected one.
+SimdIsa resolve_isa(SimdIsa requested) {
+    return simd_isa_available(requested) ? requested : detect_simd_isa();
+}
+
+/// Per-size index buckets of a (possibly ragged) batch layout.
+std::vector<std::vector<size_type>> size_buckets(const BatchLayout& layout) {
+    std::vector<std::vector<size_type>> buckets(
+        static_cast<std::size_t>(max_block_size) + 1);
+    for (size_type i = 0; i < layout.count(); ++i) {
+        buckets[static_cast<std::size_t>(layout.size(i))].push_back(i);
+    }
+    return buckets;
+}
+
+}  // namespace
+
+template <typename T>
+FactorizeStatus getrf_interleaved(InterleavedGroup<T>& g,
+                                  const VectorizedOptions& opts) {
+    obs::TraceRegion trace("getrf_interleaved");
+    record_launch("getrf", g.isa(), g.count());
+    const auto isa = g.isa();
+    const auto m = g.size();
+    const size_type lanes = g.lanes();
+    // Chunk-local layout: chunk c owns m*m*lanes contiguous values and
+    // m*lanes pivots; the in-chunk lane stride is the vector width.
+    const auto body = [&](size_type c) {
+        run_getrf_chunk(isa, g.values() + c * m * m * lanes,
+                        g.pivots() + c * m * lanes, g.info() + c * lanes,
+                        m, lanes);
+    };
+    if (opts.parallel) {
+        ThreadPool::global().parallel_for(0, g.chunks(), body, 1);
+    } else {
+        for (size_type c = 0; c < g.chunks(); ++c) {
+            body(c);
+        }
+    }
+
+    FactorizeStatus status;
+    index_type first_step = 0;
+    for (size_type l = 0; l < g.count(); ++l) {
+        if (g.info()[l] != 0) {
+            if (status.failures == 0) {
+                status.first_failure = l;
+                first_step = g.info()[l];
+            }
+            ++status.failures;
+        }
+    }
+    if (!status.ok() &&
+        opts.on_singular == SingularPolicy::throw_on_breakdown) {
+        throw SingularMatrix("batched LU breakdown: exact zero pivot",
+                             status.first_failure, first_step);
+    }
+    return status;
+}
+
+template <typename T>
+void getrs_interleaved(const InterleavedGroup<T>& g,
+                       InterleavedVectors<T>& b,
+                       const VectorizedOptions& opts) {
+    VBATCH_ENSURE(b.size() == g.size() &&
+                      b.lane_stride() == g.lane_stride(),
+                  "rhs group does not match the factor group");
+    obs::TraceRegion trace("getrs_interleaved");
+    record_launch("trsv", g.isa(), g.count());
+    const auto isa = g.isa();
+    const auto m = g.size();
+    const size_type lanes = g.lanes();
+    const auto body = [&](size_type c) {
+        run_getrs_chunk(isa, g.values() + c * m * m * lanes,
+                        g.pivots() + c * m * lanes,
+                        b.values() + c * m * lanes, m, lanes);
+    };
+    if (opts.parallel) {
+        ThreadPool::global().parallel_for(0, g.chunks(), body, 1);
+    } else {
+        for (size_type c = 0; c < g.chunks(); ++c) {
+            body(c);
+        }
+    }
+}
+
+template <typename T>
+FactorizeStatus getrf_batch_vectorized(BatchedMatrices<T>& a,
+                                       BatchedPivots& perm,
+                                       const VectorizedOptions& opts) {
+    VBATCH_ENSURE(a.layout() == perm.layout(),
+                  "matrix and pivot batch layouts differ");
+    obs::TraceRegion trace("getrf_batch_vectorized");
+    obs::count("getrf.launches");
+    obs::count("getrf.problems", static_cast<double>(a.count()));
+
+    FactorizeStatus status;
+    index_type first_step = 0;
+    const SimdIsa isa = resolve_isa(opts.isa);
+    VectorizedOptions group_opts = opts;
+    group_opts.on_singular = SingularPolicy::report;
+    for (const auto& bucket : size_buckets(a.layout())) {
+        if (bucket.empty() || a.size(bucket.front()) == 0) {
+            continue;
+        }
+        const index_type m = a.size(bucket.front());
+        InterleavedGroup<T> g(m, static_cast<size_type>(bucket.size()),
+                              isa);
+        g.pack_matrices(a, bucket);
+        const auto st = getrf_interleaved(g, group_opts);
+        g.unpack_matrices(a, bucket);
+        g.unpack_pivots(perm, bucket);
+        if (!st.ok()) {
+            const auto global_index =
+                bucket[static_cast<std::size_t>(st.first_failure)];
+            if (status.failures == 0 ||
+                global_index < status.first_failure) {
+                status.first_failure = global_index;
+                first_step = g.info()[st.first_failure];
+            }
+            status.failures += st.failures;
+        }
+    }
+    if (!status.ok() &&
+        opts.on_singular == SingularPolicy::throw_on_breakdown) {
+        throw SingularMatrix("batched LU breakdown: exact zero pivot",
+                             status.first_failure, first_step);
+    }
+    return status;
+}
+
+template <typename T>
+void getrs_batch_vectorized(const BatchedMatrices<T>& lu,
+                            const BatchedPivots& perm, BatchedVectors<T>& b,
+                            const VectorizedOptions& opts) {
+    VBATCH_ENSURE(lu.layout() == perm.layout() && lu.layout() == b.layout(),
+                  "batch layouts differ");
+    obs::TraceRegion trace("getrs_batch_vectorized");
+    obs::count("trsv.launches");
+    obs::count("trsv.problems", static_cast<double>(lu.count()));
+
+    const SimdIsa isa = resolve_isa(opts.isa);
+    for (const auto& bucket : size_buckets(lu.layout())) {
+        if (bucket.empty() || lu.size(bucket.front()) == 0) {
+            continue;
+        }
+        const index_type m = lu.size(bucket.front());
+        InterleavedGroup<T> g(m, static_cast<size_type>(bucket.size()),
+                              isa);
+        g.pack_matrices(lu, bucket);
+        g.pack_pivots(perm, bucket);
+        InterleavedVectors<T> rhs(m, static_cast<size_type>(bucket.size()),
+                                  isa);
+        rhs.pack(b, bucket);
+        getrs_interleaved(g, rhs, opts);
+        rhs.unpack(b, bucket);
+    }
+}
+
+#define VBATCH_INSTANTIATE_VECTORIZED(T)                                     \
+    template FactorizeStatus getrf_interleaved<T>(                           \
+        InterleavedGroup<T>&, const VectorizedOptions&);                     \
+    template void getrs_interleaved<T>(const InterleavedGroup<T>&,           \
+                                       InterleavedVectors<T>&,               \
+                                       const VectorizedOptions&);            \
+    template FactorizeStatus getrf_batch_vectorized<T>(                      \
+        BatchedMatrices<T>&, BatchedPivots&, const VectorizedOptions&);      \
+    template void getrs_batch_vectorized<T>(const BatchedMatrices<T>&,       \
+                                            const BatchedPivots&,            \
+                                            BatchedVectors<T>&,              \
+                                            const VectorizedOptions&)
+
+VBATCH_INSTANTIATE_VECTORIZED(float);
+VBATCH_INSTANTIATE_VECTORIZED(double);
+
+#undef VBATCH_INSTANTIATE_VECTORIZED
+
+}  // namespace vbatch::core

@@ -1,0 +1,65 @@
+// Vectorized (lane-parallel SIMD) batched LU / triangular-solve backend.
+//
+// Drop-in counterparts of getrf_batch / getrs_batch that route same-size
+// groups of the batch through the interleaved chunk kernels selected by
+// runtime CPU-feature dispatch (core/simd_dispatch.hpp):
+//
+//   getrf_interleaved / getrs_interleaved  - operate on an already-packed
+//       InterleavedGroup (the block-Jacobi preconditioner keeps its
+//       uniform size classes in this form across many applications).
+//
+//   getrf_batch_vectorized / getrs_batch_vectorized  - accept the
+//       standard packed batch containers, bucket the entries by size,
+//       pack each bucket, run the kernels and scatter the results back.
+//       Any batch (uniform or ragged) is accepted.
+//
+// Results are bitwise identical to the scalar implicit-pivoting reference
+// (getrf_batch / getrs_batch with the eager variant): every lane performs
+// the same IEEE operations in the same order, only `width` matrices at a
+// time. The solve path implements the paper's selected eager variant.
+#pragma once
+
+#include "core/getrf.hpp"
+#include "core/interleaved.hpp"
+
+namespace vbatch::core {
+
+struct VectorizedOptions {
+    /// ISA for packing/dispatch (drop-in drivers only; the group-level
+    /// entry points use the ISA the group was built for).
+    SimdIsa isa = detect_simd_isa();
+    SingularPolicy on_singular = SingularPolicy::throw_on_breakdown;
+    /// Distribute lane chunks over the global thread pool.
+    bool parallel = true;
+};
+
+/// Factorize every lane of `g` in place. Pivots and per-lane breakdown
+/// info are written into the group; the returned status aggregates them
+/// (failure indices are lane indices within the group).
+template <typename T>
+FactorizeStatus getrf_interleaved(InterleavedGroup<T>& g,
+                                  const VectorizedOptions& opts = {});
+
+/// Solve LU x = P b for every lane of `g`; `b` is overwritten with x.
+template <typename T>
+void getrs_interleaved(const InterleavedGroup<T>& g,
+                       InterleavedVectors<T>& b,
+                       const VectorizedOptions& opts = {});
+
+/// Drop-in vectorized getrf_batch: buckets `a` by block size, factorizes
+/// each bucket through the interleaved kernels and scatters factors +
+/// pivots back into the packed containers.
+template <typename T>
+FactorizeStatus getrf_batch_vectorized(BatchedMatrices<T>& a,
+                                       BatchedPivots& perm,
+                                       const VectorizedOptions& opts = {});
+
+/// Drop-in vectorized getrs_batch (eager variant). Packs factors and
+/// right-hand sides per bucket on every call; callers that solve with the
+/// same factors repeatedly should keep an InterleavedGroup instead.
+template <typename T>
+void getrs_batch_vectorized(const BatchedMatrices<T>& lu,
+                            const BatchedPivots& perm, BatchedVectors<T>& b,
+                            const VectorizedOptions& opts = {});
+
+}  // namespace vbatch::core

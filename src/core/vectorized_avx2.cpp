@@ -1,0 +1,46 @@
+// AVX2 (256-bit: 4 doubles / 8 floats per chunk) build of the interleaved
+// chunk kernels. This TU is compiled with -mavx2 when the compiler
+// supports it (CMake defines VBATCH_HAVE_AVX2 for the dispatcher in that
+// case); otherwise it degrades to the scalar algorithm, which the runtime
+// dispatcher then never selects.
+#include <cstddef>
+
+#include "core/vectorized_kernels.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define VBATCH_SIMD_IMPL_AVX2 1
+#else
+#define VBATCH_SIMD_IMPL_SCALAR 1
+#endif
+
+namespace vbatch::core {
+
+namespace avx2_impl {
+#include "core/interleaved_kernel_impl.inc"
+}  // namespace avx2_impl
+
+template <typename T>
+void getrf_chunk_avx2(T* a, index_type* perm, index_type* info,
+                      index_type m, size_type lane_stride) {
+    avx2_impl::getrf_chunk<T>(a, perm, info, m, lane_stride);
+}
+
+template <typename T>
+void getrs_chunk_avx2(const T* lu, const index_type* perm, T* b,
+                      index_type m, size_type lane_stride) {
+    avx2_impl::getrs_chunk<T>(lu, perm, b, m, lane_stride);
+}
+
+#define VBATCH_INSTANTIATE_AVX2_CHUNK(T)                                     \
+    template void getrf_chunk_avx2<T>(T*, index_type*, index_type*,          \
+                                      index_type, size_type);                \
+    template void getrs_chunk_avx2<T>(const T*, const index_type*, T*,       \
+                                      index_type, size_type)
+
+VBATCH_INSTANTIATE_AVX2_CHUNK(float);
+VBATCH_INSTANTIATE_AVX2_CHUNK(double);
+
+#undef VBATCH_INSTANTIATE_AVX2_CHUNK
+
+}  // namespace vbatch::core

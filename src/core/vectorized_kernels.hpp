@@ -1,0 +1,28 @@
+// Per-ISA entry points of the interleaved chunk kernels (internal).
+//
+// Each function factorizes / solves one full-width lane chunk of an
+// interleaved group; the implementations live in vectorized_{scalar,sse2,
+// avx2}.cpp, which compile the shared algorithm of
+// interleaved_kernel_impl.inc at the respective vector width. The public
+// dispatching drivers are in vectorized.hpp.
+#pragma once
+
+#include "base/types.hpp"
+
+namespace vbatch::core {
+
+#define VBATCH_DECLARE_CHUNK_KERNELS(suffix)                                 \
+    template <typename T>                                                    \
+    void getrf_chunk_##suffix(T* a, index_type* perm, index_type* info,      \
+                              index_type m, size_type lane_stride);          \
+    template <typename T>                                                    \
+    void getrs_chunk_##suffix(const T* lu, const index_type* perm, T* b,     \
+                              index_type m, size_type lane_stride)
+
+VBATCH_DECLARE_CHUNK_KERNELS(scalar);
+VBATCH_DECLARE_CHUNK_KERNELS(sse2);
+VBATCH_DECLARE_CHUNK_KERNELS(avx2);
+
+#undef VBATCH_DECLARE_CHUNK_KERNELS
+
+}  // namespace vbatch::core

@@ -1,0 +1,38 @@
+// Scalar (width-1) build of the interleaved chunk kernels: the portable
+// fallback and the reference the SIMD builds are tested against.
+#include <cstddef>
+
+#include "core/vectorized_kernels.hpp"
+
+namespace vbatch::core {
+
+namespace scalar_impl {
+#define VBATCH_SIMD_IMPL_SCALAR 1
+#include "core/interleaved_kernel_impl.inc"
+#undef VBATCH_SIMD_IMPL_SCALAR
+}  // namespace scalar_impl
+
+template <typename T>
+void getrf_chunk_scalar(T* a, index_type* perm, index_type* info,
+                        index_type m, size_type lane_stride) {
+    scalar_impl::getrf_chunk<T>(a, perm, info, m, lane_stride);
+}
+
+template <typename T>
+void getrs_chunk_scalar(const T* lu, const index_type* perm, T* b,
+                        index_type m, size_type lane_stride) {
+    scalar_impl::getrs_chunk<T>(lu, perm, b, m, lane_stride);
+}
+
+#define VBATCH_INSTANTIATE_SCALAR_CHUNK(T)                                   \
+    template void getrf_chunk_scalar<T>(T*, index_type*, index_type*,        \
+                                        index_type, size_type);              \
+    template void getrs_chunk_scalar<T>(const T*, const index_type*, T*,     \
+                                        index_type, size_type)
+
+VBATCH_INSTANTIATE_SCALAR_CHUNK(float);
+VBATCH_INSTANTIATE_SCALAR_CHUNK(double);
+
+#undef VBATCH_INSTANTIATE_SCALAR_CHUNK
+
+}  // namespace vbatch::core

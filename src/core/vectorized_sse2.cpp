@@ -1,0 +1,45 @@
+// SSE2 (128-bit: 2 doubles / 4 floats per chunk) build of the interleaved
+// chunk kernels. SSE2 is part of the x86-64 baseline, so this TU needs no
+// special compile flags; on other architectures it degrades to the scalar
+// algorithm (and the dispatcher never selects it there).
+#include <cstddef>
+
+#include "core/vectorized_kernels.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define VBATCH_SIMD_IMPL_SSE2 1
+#else
+#define VBATCH_SIMD_IMPL_SCALAR 1
+#endif
+
+namespace vbatch::core {
+
+namespace sse2_impl {
+#include "core/interleaved_kernel_impl.inc"
+}  // namespace sse2_impl
+
+template <typename T>
+void getrf_chunk_sse2(T* a, index_type* perm, index_type* info,
+                      index_type m, size_type lane_stride) {
+    sse2_impl::getrf_chunk<T>(a, perm, info, m, lane_stride);
+}
+
+template <typename T>
+void getrs_chunk_sse2(const T* lu, const index_type* perm, T* b,
+                      index_type m, size_type lane_stride) {
+    sse2_impl::getrs_chunk<T>(lu, perm, b, m, lane_stride);
+}
+
+#define VBATCH_INSTANTIATE_SSE2_CHUNK(T)                                     \
+    template void getrf_chunk_sse2<T>(T*, index_type*, index_type*,          \
+                                      index_type, size_type);                \
+    template void getrs_chunk_sse2<T>(const T*, const index_type*, T*,       \
+                                      index_type, size_type)
+
+VBATCH_INSTANTIATE_SSE2_CHUNK(float);
+VBATCH_INSTANTIATE_SSE2_CHUNK(double);
+
+#undef VBATCH_INSTANTIATE_SSE2_CHUNK
+
+}  // namespace vbatch::core

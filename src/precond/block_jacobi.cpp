@@ -13,6 +13,7 @@ namespace vbatch::precond {
 std::string backend_name(BlockJacobiBackend backend) {
     switch (backend) {
     case BlockJacobiBackend::lu: return "lu";
+    case BlockJacobiBackend::lu_simd: return "lu-simd";
     case BlockJacobiBackend::gauss_huard: return "gh";
     case BlockJacobiBackend::gauss_huard_t: return "gh-t";
     case BlockJacobiBackend::gje_inversion: return "gje-inv";
@@ -51,6 +52,9 @@ BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
         case BlockJacobiBackend::lu:
             core::getrf_batch(factors_, pivots_, fopts);
             break;
+        case BlockJacobiBackend::lu_simd:
+            factorize_simd();
+            break;
         case BlockJacobiBackend::gauss_huard:
             core::gauss_huard_batch(factors_, pivots_,
                                     core::GhStorage::standard, fopts);
@@ -69,6 +73,14 @@ BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
     }
     setup_seconds_ = timer.seconds();
     auto& registry = obs::Registry::global();
+    if (options_.backend == BlockJacobiBackend::lu_simd) {
+        registry.add("block_jacobi.simd_blocks",
+                     static_cast<double>(simd_block_count_));
+        registry.add("block_jacobi.simd_scalar_blocks",
+                     static_cast<double>(simd_scalar_blocks_.size()));
+        registry.add("block_jacobi.simd_groups",
+                     static_cast<double>(simd_groups_.size()));
+    }
     registry.add("block_jacobi.setups", 1.0);
     registry.add("block_jacobi.blocking_seconds",
                  setup_phases_.blocking_seconds);
@@ -81,6 +93,108 @@ BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
 }
 
 template <typename T>
+void BlockJacobi<T>::factorize_simd() {
+    // Clamp once so the kept groups, metrics and name() agree on the ISA
+    // actually executed.
+    if (!core::simd_isa_available(options_.simd)) {
+        options_.simd = core::detect_simd_isa();
+    }
+    const auto plan = blocking::build_size_class_plan(
+        *layout_, core::simd_lanes<T>(options_.simd));
+
+    core::VectorizedOptions vopts;
+    vopts.isa = options_.simd;
+    vopts.parallel = options_.parallel;
+    vopts.on_singular = core::SingularPolicy::report;
+
+    core::FactorizeStatus status;
+    index_type first_step = 0;
+    const auto note_failure = [&](size_type block, index_type step) {
+        if (status.failures == 0 || block < status.first_failure) {
+            status.first_failure = block;
+            first_step = step;
+        }
+        ++status.failures;
+    };
+
+    simd_groups_.clear();
+    simd_groups_.reserve(plan.vector_groups.size());
+    for (const auto& cls : plan.vector_groups) {
+        SimdGroup sg;
+        sg.indices = cls.indices;
+        sg.group = core::InterleavedGroup<T>(
+            cls.size, static_cast<size_type>(cls.indices.size()),
+            options_.simd);
+        sg.group.pack_matrices(factors_, sg.indices);
+        const auto st = core::getrf_interleaved(sg.group, vopts);
+        // Scatter factors and pivots back so factors()/pivots() and the
+        // diagnostics stay truthful regardless of the apply path taken.
+        sg.group.unpack_matrices(factors_, sg.indices);
+        sg.group.unpack_pivots(pivots_, sg.indices);
+        if (!st.ok()) {
+            for (size_type l = 0; l < sg.group.count(); ++l) {
+                if (sg.group.info()[l] != 0) {
+                    note_failure(
+                        sg.indices[static_cast<std::size_t>(l)],
+                        sg.group.info()[l]);
+                }
+            }
+        }
+        simd_groups_.push_back(std::move(sg));
+    }
+    simd_block_count_ = plan.vector_block_count();
+
+    simd_scalar_blocks_ = plan.scalar_indices;
+    for (const auto b : simd_scalar_blocks_) {
+        const auto step =
+            core::getrf_implicit(factors_.view(b), pivots_.span(b));
+        if (step != 0) {
+            note_failure(b, step);
+        }
+    }
+
+    if (!status.ok()) {
+        throw SingularMatrix(
+            "block-Jacobi setup: diagonal block factorization broke down",
+            status.first_failure, first_step);
+    }
+}
+
+template <typename T>
+void BlockJacobi<T>::apply_simd(std::span<const T> r, std::span<T> z) const {
+    core::VectorizedOptions vopts;
+    vopts.isa = options_.simd;
+    vopts.parallel = options_.parallel;
+    for (const auto& sg : simd_groups_) {
+        core::InterleavedVectors<T> rhs(sg.group.size(), sg.group.count(),
+                                        options_.simd);
+        rhs.pack_flat(r, *layout_, sg.indices);
+        core::getrs_interleaved(sg.group, rhs, vopts);
+        rhs.unpack_flat(z, *layout_, sg.indices);
+    }
+    const auto leftovers = static_cast<size_type>(simd_scalar_blocks_.size());
+    const auto body = [&](size_type i) {
+        const auto b = simd_scalar_blocks_[static_cast<std::size_t>(i)];
+        const auto off = static_cast<std::size_t>(layout_->row_offset(b));
+        const auto m = static_cast<std::size_t>(layout_->size(b));
+        const std::span<T> zb = z.subspan(off, m);
+        for (std::size_t k = 0; k < m; ++k) {
+            zb[k] = r[off + k];
+        }
+        core::getrs_single(factors_.view(b), pivots_.span(b), zb,
+                           core::TrsvVariant::eager);
+    };
+    if (options_.parallel) {
+        ThreadPool::global().parallel_for(0, leftovers, body,
+                                          batch_entry_grain);
+    } else {
+        for (size_type i = 0; i < leftovers; ++i) {
+            body(i);
+        }
+    }
+}
+
+template <typename T>
 void BlockJacobi<T>::apply(std::span<const T> r, std::span<T> z) const {
     VBATCH_ENSURE_DIMS(static_cast<size_type>(r.size()) ==
                        layout_->total_rows());
@@ -90,6 +204,7 @@ void BlockJacobi<T>::apply(std::span<const T> r, std::span<T> z) const {
     const char* solve_kind = nullptr;
     switch (options_.backend) {
     case BlockJacobiBackend::lu:
+    case BlockJacobiBackend::lu_simd:
     case BlockJacobiBackend::cholesky:
         solve_kind = "trsv_apply";
         break;
@@ -103,6 +218,10 @@ void BlockJacobi<T>::apply(std::span<const T> r, std::span<T> z) const {
     }
     obs::TraceRegion solve_trace(solve_kind);
     obs::count("block_jacobi.applies");
+    if (options_.backend == BlockJacobiBackend::lu_simd) {
+        apply_simd(r, z);
+        return;
+    }
     const auto body = [&](size_type b) {
         const auto off = static_cast<std::size_t>(layout_->row_offset(b));
         const auto m = static_cast<std::size_t>(layout_->size(b));
@@ -112,6 +231,7 @@ void BlockJacobi<T>::apply(std::span<const T> r, std::span<T> z) const {
         }
         switch (options_.backend) {
         case BlockJacobiBackend::lu:
+        case BlockJacobiBackend::lu_simd:  // handled above; unreachable
             core::getrs_single(factors_.view(b), pivots_.span(b), zb,
                                options_.trsv_variant);
             break;
@@ -145,7 +265,8 @@ void BlockJacobi<T>::apply(std::span<const T> r, std::span<T> z) const {
         }
     };
     if (options_.parallel) {
-        ThreadPool::global().parallel_for(0, layout_->count(), body, 64);
+        ThreadPool::global().parallel_for(0, layout_->count(), body,
+                                          batch_entry_grain);
     } else {
         for (size_type b = 0; b < layout_->count(); ++b) {
             body(b);
@@ -186,7 +307,12 @@ typename BlockJacobi<T>::Diagnostics BlockJacobi<T>::diagnostics(
 
 template <typename T>
 std::string BlockJacobi<T>::name() const {
-    return "block-jacobi(" + backend_name(options_.backend) + "," +
+    std::string backend = backend_name(options_.backend);
+    if (options_.backend == BlockJacobiBackend::lu_simd) {
+        backend += std::string("[") + core::simd_isa_name(options_.simd) +
+                   "]";
+    }
+    return "block-jacobi(" + backend + "," +
            std::to_string(options_.max_block_size) + ")";
 }
 

@@ -147,6 +147,28 @@ TEST(ThreadPool, SequentialFallbackWithOneThread) {
     }
 }
 
+TEST(ThreadPool, EveryGrainRunsEachIterationOnce) {
+    // The batched drivers all dispatch per-entry loops with the shared
+    // batch_entry_grain; whatever grain is chosen (explicit, automatic, or
+    // larger than the range) must execute every index exactly once.
+    ThreadPool pool(4);
+    for (const size_type grain :
+         {size_type{0}, size_type{1}, size_type{7}, batch_entry_grain,
+          size_type{1000}}) {
+        std::vector<std::atomic<int>> hits(500);
+        pool.parallel_for(
+            0, 500,
+            [&](size_type i) {
+                hits[static_cast<std::size_t>(i)].fetch_add(1);
+            },
+            grain);
+        for (const auto& h : hits) {
+            ASSERT_EQ(h.load(), 1) << "grain " << grain;
+        }
+    }
+    EXPECT_EQ(batch_entry_grain, 64);
+}
+
 TEST(ThreadPool, ReusableAcrossJobs) {
     ThreadPool pool(3);
     for (int round = 0; round < 20; ++round) {

@@ -86,9 +86,59 @@ TEST_P(BlockJacobiBackends, ApplyEqualsDenseBlockSolve) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, BlockJacobiBackends,
                          ::testing::Values(BlockJacobiBackend::lu,
+                                           BlockJacobiBackend::lu_simd,
                                            BlockJacobiBackend::gauss_huard,
                                            BlockJacobiBackend::gauss_huard_t,
                                            BlockJacobiBackend::gje_inversion));
+
+TEST(BlockJacobi, SimdBackendMatchesScalarLuBitwise) {
+    const auto a = sparse::fem_block_matrix<double>(60, 4, 12, 2, 0.2, 29);
+    const auto n = static_cast<std::size_t>(a.num_rows());
+    std::vector<double> r(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        r[i] = std::cos(0.3 * static_cast<double>(i));
+    }
+    BlockJacobiOptions lu_opts;
+    lu_opts.backend = BlockJacobiBackend::lu;
+    BlockJacobi<double> lu(a, lu_opts);
+    std::vector<double> z_lu(n);
+    lu.apply(std::span<const double>(r), std::span<double>(z_lu));
+
+    for (const auto isa : core::available_simd_isas()) {
+        BlockJacobiOptions simd_opts;
+        simd_opts.backend = BlockJacobiBackend::lu_simd;
+        simd_opts.simd = isa;
+        BlockJacobi<double> simd(a, simd_opts);
+        // Identical factors and pivots (implicit-pivoting LU is executed
+        // with the same operation order lane-parallel)...
+        ASSERT_EQ(simd.factors().count(), lu.factors().count());
+        for (size_type b = 0; b < lu.factors().count(); ++b) {
+            const auto va = lu.factors().view(b);
+            const auto vb = simd.factors().view(b);
+            for (index_type c = 0; c < va.cols(); ++c) {
+                for (index_type rr = 0; rr < va.rows(); ++rr) {
+                    ASSERT_EQ(va(rr, c), vb(rr, c))
+                        << core::simd_isa_name(isa) << " block " << b;
+                }
+            }
+            const auto pa = lu.pivots().span(b);
+            const auto pb = simd.pivots().span(b);
+            for (std::size_t k = 0; k < pa.size(); ++k) {
+                ASSERT_EQ(pa[k], pb[k]);
+            }
+        }
+        // ...and a bitwise-identical application.
+        std::vector<double> z_simd(n);
+        simd.apply(std::span<const double>(r), std::span<double>(z_simd));
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(z_lu[i], z_simd[i])
+                << core::simd_isa_name(isa) << " row " << i;
+        }
+        EXPECT_LE(simd.num_simd_blocks(), simd.num_blocks());
+        EXPECT_EQ(simd.name(), std::string("block-jacobi(lu-simd[") +
+                                   core::simd_isa_name(isa) + "],32)");
+    }
+}
 
 TEST(BlockJacobi, BackendsAgreeWithinRounding) {
     const auto a = sparse::fem_block_matrix<double>(40, 4, 12, 2, 0.2, 13);

@@ -1,0 +1,196 @@
+// Bench regression gate: compare a fresh BENCH_<name>.json artifact
+// against a committed baseline (bench/baselines/*.json) and fail when a
+// metric regressed beyond the tolerance.
+//
+//   check_bench_regression <baseline.json> <current.json> [--tolerance F]
+//
+// Every series/point present in the baseline must exist in the current
+// artifact (a vanished series is itself a failure: it usually means a
+// benchmark was renamed without refreshing the baseline). Throughput
+// units (GFLOPS, GB/s, ...) regress when the current value drops below
+// (1 - F) * baseline; time-like units ("seconds", "ms") regress when it
+// rises above (1 + F) * baseline. The default tolerance is deliberately
+// loose (0.25) because quick-mode runs on shared CI machines are noisy;
+// the gate exists to catch order-of-magnitude breakage (a kernel
+// silently falling back to scalar), not single-digit drift.
+//
+// Exits 0 when everything holds, 1 on regression or mismatch, 2 on
+// usage/parse errors.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using vbatch::obs::JsonValue;
+
+struct Point {
+    double x;
+    double y;
+};
+
+struct Series {
+    std::string name;
+    std::string unit;
+    std::vector<Point> points;
+};
+
+JsonValue parse_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        return vbatch::obs::parse_json(buf.str());
+    } catch (const vbatch::obs::JsonError& e) {
+        std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+        std::exit(2);
+    }
+}
+
+std::vector<Series> load_series(const std::string& path) {
+    const JsonValue root = parse_file(path);
+    const JsonValue* series = root.find("series");
+    if (series == nullptr || !series->is_array()) {
+        std::fprintf(stderr, "error: %s has no \"series\" array\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::vector<Series> out;
+    for (const auto& s : series->items) {
+        const JsonValue* name = s.find("name");
+        const JsonValue* unit = s.find("unit");
+        const JsonValue* points = s.find("points");
+        if (name == nullptr || !name->is_string() || points == nullptr ||
+            !points->is_array()) {
+            std::fprintf(stderr, "error: %s: malformed series entry\n",
+                         path.c_str());
+            std::exit(2);
+        }
+        Series entry;
+        entry.name = name->string;
+        entry.unit = unit != nullptr && unit->is_string() ? unit->string
+                                                          : std::string();
+        for (const auto& p : points->items) {
+            if (!p.is_array() || p.items.size() != 2 ||
+                !p.items[0].is_number() || !p.items[1].is_number()) {
+                std::fprintf(stderr,
+                             "error: %s: series \"%s\" has a malformed "
+                             "point\n",
+                             path.c_str(), entry.name.c_str());
+                std::exit(2);
+            }
+            entry.points.push_back({p.items[0].number, p.items[1].number});
+        }
+        out.push_back(std::move(entry));
+    }
+    return out;
+}
+
+const Series* find_series(const std::vector<Series>& all,
+                          const std::string& name) {
+    for (const auto& s : all) {
+        if (s.name == name) {
+            return &s;
+        }
+    }
+    return nullptr;
+}
+
+const Point* find_point(const Series& s, double x) {
+    for (const auto& p : s.points) {
+        if (std::abs(p.x - x) <= 1e-9 * std::max(1.0, std::abs(x))) {
+            return &p;
+        }
+    }
+    return nullptr;
+}
+
+/// Time-like units regress upward; everything else (GFLOPS, GB/s,
+/// iterations/s) regresses downward.
+bool lower_is_better(std::string_view unit) {
+    return unit.find("second") != std::string_view::npos ||
+           unit == "s" || unit == "ms" || unit == "us" || unit == "ns";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    double tolerance = 0.25;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--tolerance") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: --tolerance needs a value\n");
+                return 2;
+            }
+            tolerance = std::atof(argv[++i]);
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (paths.size() != 2 || tolerance < 0.0) {
+        std::fprintf(stderr,
+                     "usage: %s <baseline.json> <current.json> "
+                     "[--tolerance F]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    const auto baseline = load_series(paths[0]);
+    const auto current = load_series(paths[1]);
+
+    int failures = 0;
+    int compared = 0;
+    for (const auto& base : baseline) {
+        const Series* cur = find_series(current, base.name);
+        if (cur == nullptr) {
+            std::fprintf(stderr, "FAIL %s: series missing from %s\n",
+                         base.name.c_str(), paths[1].c_str());
+            ++failures;
+            continue;
+        }
+        const bool lower = lower_is_better(base.unit);
+        for (const auto& bp : base.points) {
+            const Point* cp = find_point(*cur, bp.x);
+            if (cp == nullptr) {
+                std::fprintf(stderr, "FAIL %s @ x=%g: point missing\n",
+                             base.name.c_str(), bp.x);
+                ++failures;
+                continue;
+            }
+            ++compared;
+            const double bound = lower ? bp.y * (1.0 + tolerance)
+                                       : bp.y * (1.0 - tolerance);
+            const bool bad = lower ? cp->y > bound : cp->y < bound;
+            if (bad) {
+                std::fprintf(stderr,
+                             "FAIL %s @ x=%g: %g %s vs baseline %g "
+                             "(tolerance %.0f%%)\n",
+                             base.name.c_str(), bp.x, cp->y,
+                             base.unit.c_str(), bp.y, tolerance * 100.0);
+                ++failures;
+            }
+        }
+    }
+
+    if (failures == 0) {
+        std::printf("OK: %d point(s) within %.0f%% of baseline %s\n",
+                    compared, tolerance * 100.0, paths[0].c_str());
+        return 0;
+    }
+    std::fprintf(stderr, "%d regression(s) against %s\n", failures,
+                 paths[0].c_str());
+    return 1;
+}
