@@ -31,9 +31,9 @@ int main() {
         for (const auto* c : cases) {
             const auto a = vb::sparse::build_suite_matrix(*c);
             const auto lu = vb::bench::run_block_jacobi(
-                a, vb::precond::BlockJacobiBackend::lu, bound);
+                a, "lu", bound);
             const auto gh = vb::bench::run_block_jacobi(
-                a, vb::precond::BlockJacobiBackend::gauss_huard, bound);
+                a, "gh", bound);
             if (!lu || !gh || !lu->converged || !gh->converged) {
                 continue;  // the paper drops non-converging cases too
             }

@@ -29,11 +29,11 @@ int main() {
         const auto a = vb::sparse::build_suite_matrix(*c);
         Row row{c, {}, {}, {}, 0.0};
         row.lu = vb::bench::run_block_jacobi(
-            a, vb::precond::BlockJacobiBackend::lu, 32);
+            a, "lu", 32);
         row.gh = vb::bench::run_block_jacobi(
-            a, vb::precond::BlockJacobiBackend::gauss_huard, 32);
+            a, "gh", 32);
         row.ght = vb::bench::run_block_jacobi(
-            a, vb::precond::BlockJacobiBackend::gauss_huard_t, 32);
+            a, "gh-t", 32);
         row.sort_key = row.lu && row.lu->converged
                            ? row.lu->total_seconds()
                            : 1e30;

@@ -42,7 +42,7 @@ int main() {
         std::printf(" %s", vb::bench::study_cell(jac).c_str());
         for (const vb::index_type bound : {8, 12, 16, 24, 32}) {
             const auto r = vb::bench::run_block_jacobi(
-                a, vb::precond::BlockJacobiBackend::lu, bound);
+                a, "lu", bound);
             tally(r, "bj" + std::to_string(bound), id);
             std::printf(" %s", vb::bench::study_cell(r).c_str());
         }

@@ -11,8 +11,7 @@
 #include <cstdlib>
 #include <vector>
 
-#include "precond/block_jacobi.hpp"
-#include "precond/scalar_jacobi.hpp"
+#include "precond/config.hpp"
 #include "solvers/idr.hpp"
 #include "sparse/generators.hpp"
 
@@ -22,7 +21,7 @@ namespace {
 
 void report(const char* name, const vb::solvers::SolveResult& result,
             double setup_seconds) {
-    if (result.converged) {
+    if (result.converged()) {
         std::printf(
             "%-26s %6d iterations   setup %7.2f ms   solve %8.2f ms   "
             "total %8.2f ms\n",
@@ -32,7 +31,7 @@ void report(const char* name, const vb::solvers::SolveResult& result,
     } else {
         std::printf("%-26s did not converge in %d iterations%s\n", name,
                     result.iterations,
-                    result.breakdown ? " (breakdown)" : "");
+                    result.breakdown() ? " (breakdown)" : "");
     }
 }
 
@@ -63,24 +62,24 @@ int main(int argc, char** argv) {
         static_cast<long long>(a.nnz()));
 
     {
-        const vb::precond::IdentityPreconditioner<double> prec;
-        report("unpreconditioned", solve_with(a, prec), 0.0);
+        const auto prec = vb::precond::make_preconditioner<double>(
+            a, {.backend = "none"});
+        report("unpreconditioned", solve_with(a, *prec), 0.0);
     }
     {
-        const vb::precond::ScalarJacobi<double> prec(a);
-        report("scalar Jacobi", solve_with(a, prec),
-               prec.setup_seconds());
+        const auto prec = vb::precond::make_preconditioner<double>(
+            a, {.backend = "jacobi"});
+        report("scalar Jacobi", solve_with(a, *prec),
+               prec->setup_seconds());
     }
-    for (const auto backend : {vb::precond::BlockJacobiBackend::lu,
-                               vb::precond::BlockJacobiBackend::gauss_huard,
-                               vb::precond::BlockJacobiBackend::gauss_huard_t,
-                               vb::precond::BlockJacobiBackend::gje_inversion}) {
-        vb::precond::BlockJacobiOptions opts;
-        opts.backend = backend;
-        opts.max_block_size = 32;
-        const vb::precond::BlockJacobi<double> prec(a, opts);
-        const auto name = prec.name();
-        report(name.c_str(), solve_with(a, prec), prec.setup_seconds());
+    for (const auto* backend : {"lu", "gh", "gh-t", "gje-inv"}) {
+        vb::precond::Config config;
+        config.backend = backend;
+        config.max_block_size = 32;
+        const auto prec = vb::precond::make_preconditioner<double>(a,
+                                                                   config);
+        const auto name = prec->name();
+        report(name.c_str(), solve_with(a, *prec), prec->setup_seconds());
     }
 
     std::printf(

@@ -5,22 +5,31 @@
 //                             convection-diffusion test problem)
 //     --suite <case-name>     use a case from the 48-matrix suite instead
 //     --solver idr|bicgstab|gmres|cg          (default idr)
-//     --precond none|jacobi|lu|lu-simd|gh|gh-t|gje|cholesky  (default lu)
-//     --block-size <1..32>    supervariable bound     (default 32)
+//     --precond <backend>     any registered preconditioner backend
+//                             (none|jacobi|lu|lu-simd|gh|gh-t|gje|
+//                              gje-inv|cholesky)        (default lu)
+//     --block-size <1..32>    supervariable bound       (default 32)
 //     --rcm                   reverse Cuthill-McKee pre-ordering
-//     --tol <rel. residual>   stopping tolerance      (default 1e-6)
-//     --max-iters <n>         iteration budget        (default 10000)
-//     --idr-s <s>             IDR shadow dimension    (default 4)
+//     --recovery strict|boost|full   breakdown policy   (default full)
+//     --inject-singular <n>   zero n diagonal blocks before the setup
+//                             (exercises the recovery pipeline)
+//     --tol <rel. residual>   stopping tolerance        (default 1e-6)
+//     --max-iters <n>         iteration budget          (default 10000)
+//     --idr-s <s>             IDR shadow dimension      (default 4)
 //
-// Prints a MAGMA-sparse-style convergence report.
+// Prints a MAGMA-sparse-style convergence report plus the per-block
+// recovery summary, and emits BENCH_vbatch_solve.json when
+// VBATCH_BENCH_JSON is set.
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "blocking/extraction.hpp"
 #include "blocking/rcm.hpp"
-#include "precond/block_jacobi.hpp"
-#include "precond/scalar_jacobi.hpp"
+#include "blocking/supervariable.hpp"
+#include "obs/bench_report.hpp"
+#include "precond/config.hpp"
 #include "solvers/bicgstab.hpp"
 #include "solvers/cg.hpp"
 #include "solvers/gmres.hpp"
@@ -38,20 +47,29 @@ struct Options {
     std::string suite_case;
     std::string solver = "idr";
     std::string precond = "lu";
+    std::string recovery = "full";
     vb::index_type block_size = 32;
     bool rcm = false;
+    vb::size_type inject_singular = 0;
     double tol = 1e-6;
     vb::index_type max_iters = 10000;
     vb::index_type idr_s = 4;
 };
 
 [[noreturn]] void usage(const char* argv0) {
+    std::string backends;
+    for (const auto& name : vb::precond::registered_backends()) {
+        if (!backends.empty()) {
+            backends += "|";
+        }
+        backends += name;
+    }
     std::printf(
         "usage: %s [--matrix f.mtx | --suite case] [--solver "
-        "idr|bicgstab|gmres|cg] [--precond "
-        "none|jacobi|lu|lu-simd|gh|gh-t|gje|cholesky] [--block-size n] [--rcm] "
-        "[--tol t] [--max-iters n] [--idr-s s]\n",
-        argv0);
+        "idr|bicgstab|gmres|cg] [--precond %s] [--block-size n] [--rcm] "
+        "[--recovery strict|boost|full] [--inject-singular n] [--tol t] "
+        "[--max-iters n] [--idr-s s]\n",
+        argv0, backends.c_str());
     std::exit(2);
 }
 
@@ -77,6 +95,11 @@ Options parse(int argc, char** argv) {
             o.block_size = std::atoi(next());
         } else if (arg == "--rcm") {
             o.rcm = true;
+        } else if (arg == "--recovery") {
+            o.recovery = next();
+        } else if (arg == "--inject-singular") {
+            o.inject_singular =
+                static_cast<vb::size_type>(std::atoi(next()));
         } else if (arg == "--tol") {
             o.tol = std::atof(next());
         } else if (arg == "--max-iters") {
@@ -90,10 +113,27 @@ Options parse(int argc, char** argv) {
     return o;
 }
 
+vb::precond::RecoveryPolicy recovery_policy(const Options& opts,
+                                            const char* argv0) {
+    if (opts.recovery == "strict") {
+        return vb::precond::RecoveryPolicy::strict();
+    }
+    if (opts.recovery == "boost") {
+        return vb::precond::RecoveryPolicy::boost_only();
+    }
+    if (opts.recovery == "full") {
+        return {};
+    }
+    usage(argv0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const auto opts = parse(argc, argv);
+    if (!vb::precond::backend_registered(opts.precond)) {
+        usage(argv[0]);
+    }
     try {
         // --- load / build the matrix ---
         vb::sparse::Csr<double> a = [&] {
@@ -123,35 +163,41 @@ int main(int argc, char** argv) {
         }
 
         // --- preconditioner ---
-        std::unique_ptr<vb::precond::Preconditioner<double>> prec;
-        if (opts.precond == "none") {
-            prec = std::make_unique<
-                vb::precond::IdentityPreconditioner<double>>();
-        } else if (opts.precond == "jacobi") {
-            prec = std::make_unique<vb::precond::ScalarJacobi<double>>(a);
-        } else {
-            vb::precond::BlockJacobiOptions bj;
-            bj.max_block_size = opts.block_size;
-            if (opts.precond == "lu") {
-                bj.backend = vb::precond::BlockJacobiBackend::lu;
-            } else if (opts.precond == "lu-simd") {
-                bj.backend = vb::precond::BlockJacobiBackend::lu_simd;
-            } else if (opts.precond == "gh") {
-                bj.backend = vb::precond::BlockJacobiBackend::gauss_huard;
-            } else if (opts.precond == "gh-t") {
-                bj.backend = vb::precond::BlockJacobiBackend::gauss_huard_t;
-            } else if (opts.precond == "gje") {
-                bj.backend = vb::precond::BlockJacobiBackend::gje_inversion;
-            } else if (opts.precond == "cholesky") {
-                bj.backend = vb::precond::BlockJacobiBackend::cholesky;
-            } else {
-                usage(argv[0]);
-            }
-            prec = std::make_unique<vb::precond::BlockJacobi<double>>(a, bj);
+        vb::precond::Config config;
+        config.backend = opts.precond;
+        config.max_block_size = opts.block_size;
+        config.recovery = recovery_policy(opts, argv[0]);
+
+        vb::size_type injected = 0;
+        if (opts.inject_singular > 0) {
+            // Zero the in-block values of evenly spaced diagonal blocks;
+            // the pattern (and with it the supervariable layout) is
+            // unchanged, so the setup sees genuinely singular blocks.
+            config.layout = vb::blocking::supervariable_layout(
+                a, vb::blocking::BlockingOptions{
+                       .max_block_size = opts.block_size});
+            injected = vb::blocking::make_blocks_singular(
+                a, *config.layout, opts.inject_singular);
+            std::printf("injected %lld singular diagonal blocks\n",
+                        static_cast<long long>(injected));
         }
+
+        const auto prec =
+            vb::precond::make_preconditioner<double>(a, config);
         std::printf("preconditioner: %s (setup %.3f ms, %lld blocks)\n",
                     prec->name().c_str(), prec->setup_seconds() * 1e3,
                     static_cast<long long>(prec->num_blocks()));
+        const auto recovery = prec->recovery_summary();
+        if (recovery.total() > 0) {
+            std::printf(
+                "recovery: %lld ok, %lld boosted, %lld fell back, "
+                "%lld singular (max pivot growth %.3g)\n",
+                static_cast<long long>(recovery.ok),
+                static_cast<long long>(recovery.boosted),
+                static_cast<long long>(recovery.fell_back),
+                static_cast<long long>(recovery.singular),
+                recovery.max_growth);
+        }
 
         // --- solve ---
         std::vector<double> b(static_cast<std::size_t>(a.num_rows()), 1.0);
@@ -188,12 +234,25 @@ int main(int argc, char** argv) {
 
         std::printf("%s: %s after %d iterations, ||r||/||r0|| = %.3e, "
                     "solve %.3f ms, total %.3f ms\n",
-                    opts.solver.c_str(),
-                    result.converged ? "converged" : "NOT converged",
+                    opts.solver.c_str(), to_string(result.status),
                     result.iterations, result.relative_residual(),
                     result.solve_seconds * 1e3,
                     (result.solve_seconds + prec->setup_seconds()) * 1e3);
-        return result.converged ? 0 : 1;
+
+        vb::obs::BenchReport report("vbatch_solve");
+        report.config("solver", opts.solver);
+        report.config("precond", opts.precond);
+        report.config("recovery", opts.recovery);
+        report.config("n", a.num_rows());
+        report.config("block_size", opts.block_size);
+        report.config("injected_singular", injected);
+        report.config("status", to_string(result.status));
+        report.config("iterations", result.iterations);
+        report.phase("setup", prec->setup_seconds());
+        report.phase("solve", result.solve_seconds);
+        report.write_if_enabled();
+
+        return result.converged() ? 0 : 1;
     } catch (const vb::Error& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;

@@ -186,13 +186,48 @@ SimtExtractionResult<T> extract_blocks_simt_shared(
     return result;
 }
 
+template <typename T>
+size_type make_blocks_singular(sparse::Csr<T>& a,
+                               const core::BatchLayout& layout,
+                               size_type count) {
+    VBATCH_ENSURE(layout.total_rows() == a.num_rows(),
+                  "block sizes must partition the matrix");
+    const auto nb = layout.count();
+    const auto n = std::min(count, nb);
+    if (n == 0) {
+        return 0;
+    }
+    const auto row_ptrs = a.row_ptrs();
+    const auto col_idxs = a.col_idxs();
+    auto values = a.values();
+    for (size_type k = 0; k < n; ++k) {
+        // Evenly spaced choice so the zeroed blocks spread over the
+        // matrix instead of clustering at the top.
+        const auto b = k * nb / n;
+        const auto r0 = static_cast<index_type>(layout.row_offset(b));
+        const index_type m = layout.size(b);
+        for (index_type i = 0; i < m; ++i) {
+            const auto row = static_cast<std::size_t>(r0 + i);
+            for (auto p = row_ptrs[row]; p < row_ptrs[row + 1]; ++p) {
+                const auto c = col_idxs[static_cast<std::size_t>(p)];
+                if (c >= r0 && c < r0 + m) {
+                    values[static_cast<std::size_t>(p)] = T{};
+                }
+            }
+        }
+    }
+    return n;
+}
+
 #define VBATCH_INSTANTIATE_EXTRACT(T)                                       \
     template core::BatchedMatrices<T> extract_diagonal_blocks<T>(           \
         const sparse::Csr<T>&, core::BatchLayoutPtr);                       \
     template SimtExtractionResult<T> extract_blocks_simt_row<T>(            \
         const sparse::Csr<T>&, core::BatchLayoutPtr);                       \
     template SimtExtractionResult<T> extract_blocks_simt_shared<T>(         \
-        const sparse::Csr<T>&, core::BatchLayoutPtr)
+        const sparse::Csr<T>&, core::BatchLayoutPtr);                       \
+    template size_type make_blocks_singular<T>(                             \
+        sparse::Csr<T>&, const core::BatchLayout&, size_type)
 
 VBATCH_INSTANTIATE_EXTRACT(float);
 VBATCH_INSTANTIATE_EXTRACT(double);

@@ -47,4 +47,15 @@ template <typename T>
 SimtExtractionResult<T> extract_blocks_simt_shared(
     const sparse::Csr<T>& a, core::BatchLayoutPtr layout);
 
+/// Test/bench helper: make `count` evenly spaced diagonal blocks of `a`
+/// exactly singular by zeroing the stored values that fall inside the
+/// block (rows and columns of the block's range). Only values change --
+/// the sparsity pattern stays intact, so a supervariable layout computed
+/// from the pattern remains valid. Returns the number of blocks zeroed
+/// (min(count, layout.count())).
+template <typename T>
+size_type make_blocks_singular(sparse::Csr<T>& a,
+                               const core::BatchLayout& layout,
+                               size_type count);
+
 }  // namespace vbatch::blocking

@@ -1,0 +1,133 @@
+// Per-block factorization outcome and pivot-growth monitoring.
+//
+// The batched kernels never abort mid-batch: each block either
+// factorizes cleanly or is recorded as broken down, and the recovery
+// pipeline in src/precond decides what to do with the survivors. The
+// monitor piggybacks on the implicit-pivoting magnitude comparisons the
+// kernels already perform (the pivot search computes max |a(i,k)| per
+// step anyway), so tracking the smallest/largest selected pivot and the
+// largest input entry costs a handful of scalar min/max updates per
+// step -- and nothing at all on the non-monitored fast path, which is
+// compiled separately.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace vbatch::core {
+
+/// What happened to one diagonal block during preconditioner setup.
+enum class BlockStatus : unsigned char {
+    /// Factorized cleanly with a healthy pivot sequence.
+    ok,
+    /// Refactorized after a scaled-identity diagonal shift (boosting).
+    boosted,
+    /// Degraded to scalar Jacobi (inverse-diagonal) application.
+    fell_back,
+    /// No usable information (all-zero/non-finite diagonal); the block
+    /// applies as identity.
+    singular,
+};
+
+const char* to_string(BlockStatus status) noexcept;
+
+/// Cheap conditioning estimate of one block's factorization, collected
+/// from the pivot magnitudes the implicit-pivoting search computes.
+struct FactorInfo {
+    /// 0 = clean, k = 1-based step at which the factorization broke down.
+    index_type step = 0;
+    /// False when a non-finite value was seen in the block or its pivots.
+    bool finite = true;
+    /// Smallest / largest selected pivot magnitude over the steps.
+    double min_pivot = std::numeric_limits<double>::infinity();
+    double max_pivot = 0.0;
+    /// Largest entry magnitude of the block on kernel entry.
+    double max_entry = 0.0;
+
+    bool ok() const noexcept { return step == 0; }
+
+    /// Pivot-growth estimate: largest pivot relative to the largest
+    /// input entry (>= 1 for a stable factorization; implicit partial
+    /// pivoting keeps it modest, Section II.C).
+    double growth() const noexcept {
+        return (max_pivot > 0.0 && max_entry > 0.0) ? max_pivot / max_entry
+                                                    : 0.0;
+    }
+
+    /// True when the block broke down, contains non-finite values, or
+    /// its smallest pivot is negligible relative to the block magnitude
+    /// (|p_min| <= rel_tol * max|a_ij|) -- i.e. the factors exist but
+    /// are numerically worthless.
+    bool degenerate(double rel_tol) const noexcept {
+        if (step != 0 || !finite) {
+            return true;
+        }
+        if (!std::isfinite(min_pivot)) {
+            return min_pivot != std::numeric_limits<double>::infinity() ||
+                   max_pivot != 0.0;  // inf/0 only for an empty block
+        }
+        return !(min_pivot > rel_tol * max_entry);
+    }
+};
+
+/// Aggregate per-status block counts of one preconditioner setup.
+struct RecoverySummary {
+    size_type ok = 0;
+    size_type boosted = 0;
+    size_type fell_back = 0;
+    size_type singular = 0;
+    /// Largest pivot-growth estimate over the usable factorizations.
+    double max_growth = 0.0;
+
+    size_type total() const noexcept {
+        return ok + boosted + fell_back + singular;
+    }
+    /// Blocks that do not apply their intended factorization.
+    size_type degraded() const noexcept {
+        return boosted + fell_back + singular;
+    }
+    void record(BlockStatus status) noexcept {
+        switch (status) {
+        case BlockStatus::ok: ++ok; break;
+        case BlockStatus::boosted: ++boosted; break;
+        case BlockStatus::fell_back: ++fell_back; break;
+        case BlockStatus::singular: ++singular; break;
+        }
+    }
+};
+
+/// Per-batch factorization outcome. The per-block vectors are filled
+/// only when GetrfOptions::monitor is set; the aggregate counters are
+/// always valid.
+struct FactorizeStatus {
+    /// Number of blocks whose factorization broke down (exact zero pivot).
+    size_type failures = 0;
+    /// First failed batch entry (-1 if none).
+    size_type first_failure = -1;
+    /// 1-based breakdown step of the first failed entry (0 if none).
+    index_type first_failure_step = 0;
+    /// Per-entry outcome and pivot statistics (monitor mode only).
+    std::vector<BlockStatus> block_status;
+    std::vector<FactorInfo> block_info;
+    /// Largest pivot-growth estimate over the clean entries (monitor
+    /// mode only).
+    double max_growth = 0.0;
+
+    bool ok() const noexcept { return failures == 0; }
+    bool monitored() const noexcept { return !block_info.empty(); }
+};
+
+inline const char* to_string(BlockStatus status) noexcept {
+    switch (status) {
+    case BlockStatus::ok: return "ok";
+    case BlockStatus::boosted: return "boosted";
+    case BlockStatus::fell_back: return "fell_back";
+    case BlockStatus::singular: return "singular";
+    }
+    return "unknown";
+}
+
+}  // namespace vbatch::core

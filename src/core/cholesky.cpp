@@ -1,11 +1,10 @@
 #include "core/cholesky.hpp"
 
 #include <array>
-#include <atomic>
 #include <cmath>
 
 #include "base/macros.hpp"
-#include "base/thread_pool.hpp"
+#include "core/batch_driver.hpp"
 
 namespace vbatch::core {
 
@@ -15,10 +14,22 @@ using simt::lane_range;
 using simt::Reg;
 using simt::Warp;
 
-template <typename T>
-index_type potrf_single(MatrixView<T> a) {
+namespace {
+
+/// Kernel body shared by the plain and monitored entry points (the
+/// monitor hooks compile away for NoPivotMonitor).
+template <typename T, typename Monitor>
+index_type potrf_single_impl(MatrixView<T> a, Monitor& mon) {
     VBATCH_ENSURE_DIMS(a.rows() == a.cols());
     const index_type m = a.rows();
+    if constexpr (Monitor::enabled) {
+        // Cholesky only reads the lower triangle.
+        for (index_type j = 0; j < m; ++j) {
+            for (index_type i = j; i < m; ++i) {
+                mon.entry(static_cast<double>(std::abs(a(i, j))));
+            }
+        }
+    }
     // Right-looking variant, mirroring the LU kernel's data flow: at step
     // k, scale column k by 1/sqrt(d) and rank-1 update the trailing
     // lower triangle.
@@ -26,6 +37,9 @@ index_type potrf_single(MatrixView<T> a) {
         const T d = a(k, k);
         if (!(d > T{})) {
             return k + 1;  // not positive definite (or NaN)
+        }
+        if constexpr (Monitor::enabled) {
+            mon.pivot(static_cast<double>(d));
         }
         const T s = std::sqrt(d);
         a(k, k) = s;
@@ -42,6 +56,22 @@ index_type potrf_single(MatrixView<T> a) {
         }
     }
     return 0;
+}
+
+}  // namespace
+
+template <typename T>
+index_type potrf_single(MatrixView<T> a) {
+    detail::NoPivotMonitor mon;
+    return potrf_single_impl(a, mon);
+}
+
+template <typename T>
+index_type potrf_single(MatrixView<T> a, FactorInfo& info) {
+    detail::PivotMonitor mon;
+    const index_type step = potrf_single_impl(a, mon);
+    info = mon.finish(step);
+    return step;
 }
 
 template <typename T>
@@ -87,36 +117,12 @@ void potrs_single(ConstMatrixView<T> l, std::span<T> b, TrsvVariant variant) {
 
 template <typename T>
 FactorizeStatus potrf_batch(BatchedMatrices<T>& a, const GetrfOptions& opts) {
-    std::atomic<size_type> failures{0};
-    std::atomic<size_type> first_failure{-1};
-    std::atomic<index_type> first_step{0};
-    const auto body = [&](size_type i) {
-        const index_type info = potrf_single(a.view(i));
-        if (info != 0) {
-            failures.fetch_add(1, std::memory_order_relaxed);
-            size_type expected = -1;
-            if (first_failure.compare_exchange_strong(expected, i)) {
-                first_step.store(info, std::memory_order_relaxed);
-            }
-        }
-    };
-    if (opts.parallel) {
-        ThreadPool::global().parallel_for(0, a.count(), body,
-                                          batch_entry_grain);
-    } else {
-        for (size_type i = 0; i < a.count(); ++i) {
-            body(i);
-        }
-    }
-    FactorizeStatus status;
-    status.failures = failures.load();
-    status.first_failure = first_failure.load();
-    if (!status.ok() &&
-        opts.on_singular == SingularPolicy::throw_on_breakdown) {
-        throw SingularMatrix("batched Cholesky: block not SPD",
-                             status.first_failure, first_step.load());
-    }
-    return status;
+    return detail::run_factorize_batch(
+        a.count(), opts, "batched Cholesky: block not SPD",
+        [&](size_type i, FactorInfo* info) {
+            return info != nullptr ? potrf_single(a.view(i), *info)
+                                   : potrf_single(a.view(i));
+        });
 }
 
 template <typename T>
@@ -261,6 +267,7 @@ SimtBatchResult potrs_batch_simt(const BatchedMatrices<T>& l,
 
 #define VBATCH_INSTANTIATE_CHOL(T)                                          \
     template index_type potrf_single<T>(MatrixView<T>);                     \
+    template index_type potrf_single<T>(MatrixView<T>, FactorInfo&);        \
     template void potrs_single<T>(ConstMatrixView<T>, std::span<T>,         \
                                   TrsvVariant);                             \
     template FactorizeStatus potrf_batch<T>(BatchedMatrices<T>&,            \

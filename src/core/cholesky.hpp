@@ -23,6 +23,12 @@ namespace vbatch::core {
 template <typename T>
 index_type potrf_single(MatrixView<T> a);
 
+/// Monitored variant: identical arithmetic, additionally fills `info`
+/// with the diagonal-pivot statistics (the pivots are the d_kk before
+/// the square root, so min_pivot/max_entry is on the matrix scale).
+template <typename T>
+index_type potrf_single(MatrixView<T> a, FactorInfo& info);
+
 /// Single-problem solve L L^T x = b from potrf_single factors; b is
 /// overwritten with x.
 template <typename T>

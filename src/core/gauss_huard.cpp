@@ -1,11 +1,10 @@
 #include "core/gauss_huard.hpp"
 
 #include <array>
-#include <atomic>
 #include <cmath>
 
 #include "base/macros.hpp"
-#include "base/thread_pool.hpp"
+#include "core/batch_driver.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -54,15 +53,22 @@ void complete_column_permutation(std::span<index_type> cperm,
     }
 }
 
-}  // namespace
-
-template <typename T>
-index_type gauss_huard_factorize(MatrixView<T> a,
-                                 std::span<index_type> cperm,
-                                 GhStorage storage) {
+/// Kernel body shared by the plain and monitored entry points (the
+/// monitor hooks compile away for NoPivotMonitor).
+template <typename T, typename Monitor>
+index_type gauss_huard_factorize_impl(MatrixView<T> a,
+                                      std::span<index_type> cperm,
+                                      GhStorage storage, Monitor& mon) {
     VBATCH_ENSURE_DIMS(a.rows() == a.cols());
     VBATCH_ENSURE_DIMS(static_cast<index_type>(cperm.size()) >= a.rows());
     const index_type m = a.rows();
+    if constexpr (Monitor::enabled) {
+        for (index_type j = 0; j < m; ++j) {
+            for (index_type i = 0; i < m; ++i) {
+                mon.entry(static_cast<double>(std::abs(a(i, j))));
+            }
+        }
+    }
     std::array<index_type, max_block_size> cstate;
     cstate.fill(-1);
 
@@ -99,6 +105,9 @@ index_type gauss_huard_factorize(MatrixView<T> a,
                 cperm, {cstate.data(), static_cast<std::size_t>(m)}, k);
             return k + 1;
         }
+        if constexpr (Monitor::enabled) {
+            mon.pivot(static_cast<double>(best));
+        }
         cperm[k] = piv;
         cstate[piv] = k;
 
@@ -122,6 +131,27 @@ index_type gauss_huard_factorize(MatrixView<T> a,
     apply_column_gather(a, cperm.subspan(0, static_cast<std::size_t>(m)),
                         storage);
     return 0;
+}
+
+}  // namespace
+
+template <typename T>
+index_type gauss_huard_factorize(MatrixView<T> a,
+                                 std::span<index_type> cperm,
+                                 GhStorage storage) {
+    detail::NoPivotMonitor mon;
+    return gauss_huard_factorize_impl(a, cperm, storage, mon);
+}
+
+template <typename T>
+index_type gauss_huard_factorize(MatrixView<T> a,
+                                 std::span<index_type> cperm,
+                                 GhStorage storage, FactorInfo& info) {
+    detail::PivotMonitor mon;
+    const index_type step = gauss_huard_factorize_impl(a, cperm, storage,
+                                                       mon);
+    info = mon.finish(step);
+    return step;
 }
 
 template <typename T>
@@ -174,37 +204,15 @@ FactorizeStatus gauss_huard_batch(BatchedMatrices<T>& a, BatchedPivots& cperm,
     obs::TraceRegion trace("gauss_huard_batch");
     obs::count("gauss_huard.launches");
     obs::count("gauss_huard.problems", static_cast<double>(a.count()));
-    std::atomic<size_type> failures{0};
-    std::atomic<size_type> first_failure{-1};
-    std::atomic<index_type> first_step{0};
-    const auto body = [&](size_type i) {
-        const index_type info =
-            gauss_huard_factorize(a.view(i), cperm.span(i), storage);
-        if (info != 0) {
-            failures.fetch_add(1, std::memory_order_relaxed);
-            size_type expected = -1;
-            if (first_failure.compare_exchange_strong(expected, i)) {
-                first_step.store(info, std::memory_order_relaxed);
-            }
-        }
-    };
-    if (opts.parallel) {
-        ThreadPool::global().parallel_for(0, a.count(), body,
-                                          batch_entry_grain);
-    } else {
-        for (size_type i = 0; i < a.count(); ++i) {
-            body(i);
-        }
-    }
-    FactorizeStatus status;
-    status.failures = failures.load();
-    status.first_failure = first_failure.load();
-    if (!status.ok() &&
-        opts.on_singular == SingularPolicy::throw_on_breakdown) {
-        throw SingularMatrix("batched Gauss-Huard breakdown",
-                             status.first_failure, first_step.load());
-    }
-    return status;
+    return detail::run_factorize_batch(
+        a.count(), opts, "batched Gauss-Huard breakdown",
+        [&](size_type i, FactorInfo* info) {
+            return info != nullptr
+                       ? gauss_huard_factorize(a.view(i), cperm.span(i),
+                                               storage, *info)
+                       : gauss_huard_factorize(a.view(i), cperm.span(i),
+                                               storage);
+        });
 }
 
 template <typename T>
@@ -229,6 +237,8 @@ void gauss_huard_solve_batch(const BatchedMatrices<T>& f,
 #define VBATCH_INSTANTIATE_GH(T)                                             \
     template index_type gauss_huard_factorize<T>(                            \
         MatrixView<T>, std::span<index_type>, GhStorage);                    \
+    template index_type gauss_huard_factorize<T>(                            \
+        MatrixView<T>, std::span<index_type>, GhStorage, FactorInfo&);       \
     template void gauss_huard_solve<T>(ConstMatrixView<T>,                   \
                                        std::span<const index_type>,          \
                                        std::span<T>, GhStorage);             \

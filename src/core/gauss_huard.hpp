@@ -37,6 +37,12 @@ template <typename T>
 index_type gauss_huard_factorize(MatrixView<T> a, std::span<index_type> cperm,
                                  GhStorage storage = GhStorage::standard);
 
+/// Monitored variant: identical arithmetic, additionally fills `info`
+/// with the column-pivot statistics.
+template <typename T>
+index_type gauss_huard_factorize(MatrixView<T> a, std::span<index_type> cperm,
+                                 GhStorage storage, FactorInfo& info);
+
 /// Single-problem GH application: solves D x = b from the factors;
 /// b is overwritten with x (including the unknown re-ordering).
 template <typename T>

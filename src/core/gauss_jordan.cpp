@@ -1,18 +1,28 @@
 #include "core/gauss_jordan.hpp"
 
 #include <array>
-#include <atomic>
 #include <cmath>
 
 #include "base/macros.hpp"
-#include "base/thread_pool.hpp"
+#include "core/batch_driver.hpp"
 
 namespace vbatch::core {
 
-template <typename T>
-index_type gauss_jordan_invert(MatrixView<T> a) {
+namespace {
+
+/// Kernel body shared by the plain and monitored entry points (the
+/// monitor hooks compile away for NoPivotMonitor).
+template <typename T, typename Monitor>
+index_type gauss_jordan_invert_impl(MatrixView<T> a, Monitor& mon) {
     VBATCH_ENSURE_DIMS(a.rows() == a.cols());
     const index_type m = a.rows();
+    if constexpr (Monitor::enabled) {
+        for (index_type j = 0; j < m; ++j) {
+            for (index_type i = 0; i < m; ++i) {
+                mon.entry(static_cast<double>(std::abs(a(i, j))));
+            }
+        }
+    }
     std::array<index_type, max_block_size> pstate;
     std::array<index_type, max_block_size> perm;
     pstate.fill(-1);
@@ -33,6 +43,9 @@ index_type gauss_jordan_invert(MatrixView<T> a) {
         }
         if (best == T{}) {
             return k + 1;
+        }
+        if constexpr (Monitor::enabled) {
+            mon.pivot(static_cast<double>(best));
         }
         perm[k] = piv;
         pstate[piv] = k;
@@ -81,39 +94,31 @@ index_type gauss_jordan_invert(MatrixView<T> a) {
     return 0;
 }
 
+}  // namespace
+
+template <typename T>
+index_type gauss_jordan_invert(MatrixView<T> a) {
+    detail::NoPivotMonitor mon;
+    return gauss_jordan_invert_impl(a, mon);
+}
+
+template <typename T>
+index_type gauss_jordan_invert(MatrixView<T> a, FactorInfo& info) {
+    detail::PivotMonitor mon;
+    const index_type step = gauss_jordan_invert_impl(a, mon);
+    info = mon.finish(step);
+    return step;
+}
+
 template <typename T>
 FactorizeStatus gauss_jordan_batch(BatchedMatrices<T>& a,
                                    const GetrfOptions& opts) {
-    std::atomic<size_type> failures{0};
-    std::atomic<size_type> first_failure{-1};
-    std::atomic<index_type> first_step{0};
-    const auto body = [&](size_type i) {
-        const index_type info = gauss_jordan_invert(a.view(i));
-        if (info != 0) {
-            failures.fetch_add(1, std::memory_order_relaxed);
-            size_type expected = -1;
-            if (first_failure.compare_exchange_strong(expected, i)) {
-                first_step.store(info, std::memory_order_relaxed);
-            }
-        }
-    };
-    if (opts.parallel) {
-        ThreadPool::global().parallel_for(0, a.count(), body,
-                                          batch_entry_grain);
-    } else {
-        for (size_type i = 0; i < a.count(); ++i) {
-            body(i);
-        }
-    }
-    FactorizeStatus status;
-    status.failures = failures.load();
-    status.first_failure = first_failure.load();
-    if (!status.ok() &&
-        opts.on_singular == SingularPolicy::throw_on_breakdown) {
-        throw SingularMatrix("batched Gauss-Jordan breakdown",
-                             status.first_failure, first_step.load());
-    }
-    return status;
+    return detail::run_factorize_batch(
+        a.count(), opts, "batched Gauss-Jordan breakdown",
+        [&](size_type i, FactorInfo* info) {
+            return info != nullptr ? gauss_jordan_invert(a.view(i), *info)
+                                   : gauss_jordan_invert(a.view(i));
+        });
 }
 
 template <typename T>
@@ -148,6 +153,7 @@ void apply_inverse_batch(const BatchedMatrices<T>& inv, BatchedVectors<T>& x,
 
 #define VBATCH_INSTANTIATE_GJE(T)                                           \
     template index_type gauss_jordan_invert<T>(MatrixView<T>);              \
+    template index_type gauss_jordan_invert<T>(MatrixView<T>, FactorInfo&); \
     template FactorizeStatus gauss_jordan_batch<T>(BatchedMatrices<T>&,     \
                                                    const GetrfOptions&);    \
     template void apply_inverse_batch<T>(const BatchedMatrices<T>&,         \

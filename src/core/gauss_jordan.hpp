@@ -21,6 +21,12 @@ namespace vbatch::core {
 template <typename T>
 index_type gauss_jordan_invert(MatrixView<T> a);
 
+/// Monitored variant: identical arithmetic, additionally fills `info`
+/// with the pivot statistics (the explicit inverse erases the pivots, so
+/// post-hoc monitoring is impossible for this backend).
+template <typename T>
+index_type gauss_jordan_invert(MatrixView<T> a, FactorInfo& info);
+
 /// Batched in-place inversion.
 template <typename T>
 FactorizeStatus gauss_jordan_batch(BatchedMatrices<T>& a,

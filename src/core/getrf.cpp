@@ -1,11 +1,10 @@
 #include "core/getrf.hpp"
 
 #include <array>
-#include <atomic>
 #include <cmath>
 
 #include "base/macros.hpp"
-#include "base/thread_pool.hpp"
+#include "core/batch_driver.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -46,54 +45,22 @@ void complete_permutation(std::span<index_type> perm,
     }
 }
 
-template <typename T>
-FactorizeStatus run_batch(BatchedMatrices<T>& a, BatchedPivots& perm,
-                          const GetrfOptions& opts,
-                          index_type (*kernel)(MatrixView<T>,
-                                               std::span<index_type>)) {
-    VBATCH_ENSURE(a.layout() == perm.layout(),
-                  "matrix and pivot batch layouts differ");
-    const size_type nb = a.count();
-    std::atomic<size_type> failures{0};
-    std::atomic<size_type> first_failure{-1};
-    std::atomic<index_type> first_failure_step{0};
-
-    const auto body = [&](size_type i) {
-        const index_type info = kernel(a.view(i), perm.span(i));
-        if (info != 0) {
-            failures.fetch_add(1, std::memory_order_relaxed);
-            size_type expected = -1;
-            if (first_failure.compare_exchange_strong(expected, i)) {
-                first_failure_step.store(info, std::memory_order_relaxed);
-            }
-        }
-    };
-    if (opts.parallel) {
-        ThreadPool::global().parallel_for(0, nb, body, batch_entry_grain);
-    } else {
-        for (size_type i = 0; i < nb; ++i) {
-            body(i);
-        }
-    }
-
-    FactorizeStatus status;
-    status.failures = failures.load();
-    status.first_failure = first_failure.load();
-    if (!status.ok() && opts.on_singular == SingularPolicy::throw_on_breakdown) {
-        throw SingularMatrix(
-            "batched LU breakdown: exact zero pivot",
-            status.first_failure, first_failure_step.load());
-    }
-    return status;
-}
-
-}  // namespace
-
-template <typename T>
-index_type getrf_implicit(MatrixView<T> a, std::span<index_type> perm) {
+/// Kernel body shared by the plain and monitored entry points. The
+/// monitor hooks vanish for NoPivotMonitor, so the default
+/// instantiation compiles to exactly the pre-monitor kernel.
+template <typename T, typename Monitor>
+index_type getrf_implicit_impl(MatrixView<T> a, std::span<index_type> perm,
+                               Monitor& mon) {
     VBATCH_ENSURE_DIMS(a.rows() == a.cols());
     VBATCH_ENSURE_DIMS(static_cast<index_type>(perm.size()) >= a.rows());
     const index_type m = a.rows();
+    if constexpr (Monitor::enabled) {
+        for (index_type j = 0; j < m; ++j) {
+            for (index_type i = 0; i < m; ++i) {
+                mon.entry(static_cast<double>(std::abs(a(i, j))));
+            }
+        }
+    }
     // pstate[i] = step at which row i was chosen as pivot, or -1.
     std::array<index_type, max_block_size> pstate;
     pstate.fill(-1);
@@ -116,6 +83,9 @@ index_type getrf_implicit(MatrixView<T> a, std::span<index_type> perm) {
             complete_permutation(perm, {pstate.data(),
                                         static_cast<std::size_t>(m)}, k);
             return k + 1;
+        }
+        if constexpr (Monitor::enabled) {
+            mon.pivot(static_cast<double>(best));
         }
         perm[k] = piv;
         pstate[piv] = k;
@@ -143,6 +113,23 @@ index_type getrf_implicit(MatrixView<T> a, std::span<index_type> perm) {
     // Combined row swap, fused with the writeback on the GPU.
     apply_row_gather(a, perm.subspan(0, static_cast<std::size_t>(m)));
     return 0;
+}
+
+}  // namespace
+
+template <typename T>
+index_type getrf_implicit(MatrixView<T> a, std::span<index_type> perm) {
+    detail::NoPivotMonitor mon;
+    return getrf_implicit_impl(a, perm, mon);
+}
+
+template <typename T>
+index_type getrf_implicit(MatrixView<T> a, std::span<index_type> perm,
+                          FactorInfo& info) {
+    detail::PivotMonitor mon;
+    const index_type step = getrf_implicit_impl(a, perm, mon);
+    info = mon.finish(step);
+    return step;
 }
 
 template <typename T>
@@ -197,23 +184,43 @@ index_type getrf_explicit(MatrixView<T> a, std::span<index_type> perm) {
 template <typename T>
 FactorizeStatus getrf_batch(BatchedMatrices<T>& a, BatchedPivots& perm,
                             const GetrfOptions& opts) {
+    VBATCH_ENSURE(a.layout() == perm.layout(),
+                  "matrix and pivot batch layouts differ");
     obs::TraceRegion trace("getrf_batch");
     obs::count("getrf.launches");
     obs::count("getrf.problems", static_cast<double>(a.count()));
-    return run_batch(a, perm, opts, &getrf_implicit<T>);
+    return detail::run_factorize_batch(
+        a.count(), opts, "batched LU breakdown: exact zero pivot",
+        [&](size_type i, FactorInfo* info) {
+            return info != nullptr
+                       ? getrf_implicit(a.view(i), perm.span(i), *info)
+                       : getrf_implicit(a.view(i), perm.span(i));
+        });
 }
 
 template <typename T>
 FactorizeStatus getrf_batch_explicit(BatchedMatrices<T>& a,
                                      BatchedPivots& perm,
                                      const GetrfOptions& opts) {
+    VBATCH_ENSURE(a.layout() == perm.layout(),
+                  "matrix and pivot batch layouts differ");
     obs::TraceRegion trace("getrf_batch_explicit");
-    return run_batch(a, perm, opts, &getrf_explicit<T>);
+    return detail::run_factorize_batch(
+        a.count(), opts, "batched LU breakdown: exact zero pivot",
+        [&](size_type i, FactorInfo* info) {
+            // The explicit-pivot ablation kernel reports breakdown only;
+            // monitoring is the implicit kernel's feature.
+            (void)info;
+            return getrf_explicit(a.view(i), perm.span(i));
+        });
 }
 
 #define VBATCH_INSTANTIATE_GETRF(T)                                          \
     template index_type getrf_implicit<T>(MatrixView<T>,                     \
                                           std::span<index_type>);            \
+    template index_type getrf_implicit<T>(MatrixView<T>,                     \
+                                          std::span<index_type>,             \
+                                          FactorInfo&);                      \
     template index_type getrf_explicit<T>(MatrixView<T>,                     \
                                           std::span<index_type>);            \
     template FactorizeStatus getrf_batch<T>(BatchedMatrices<T>&,             \

@@ -29,6 +29,7 @@
 #pragma once
 
 #include "core/batch_storage.hpp"
+#include "core/block_status.hpp"
 
 namespace vbatch::core {
 
@@ -41,20 +42,14 @@ enum class SingularPolicy {
     report,
 };
 
-/// Per-batch factorization outcome.
-struct FactorizeStatus {
-    /// Number of blocks whose factorization broke down (exact zero pivot).
-    size_type failures = 0;
-    /// First failed batch entry (-1 if none).
-    size_type first_failure = -1;
-
-    bool ok() const noexcept { return failures == 0; }
-};
-
 struct GetrfOptions {
     SingularPolicy on_singular = SingularPolicy::throw_on_breakdown;
     /// Run batch entries on the global thread pool.
     bool parallel = true;
+    /// Collect per-block BlockStatus + FactorInfo (pivot growth, smallest
+    /// pivot) in the returned FactorizeStatus. The monitored kernels are
+    /// compiled separately, so the default fast path is unchanged.
+    bool monitor = false;
 };
 
 /// Batched LU with implicit partial pivoting (the paper's kernel).
@@ -77,6 +72,12 @@ FactorizeStatus getrf_batch_explicit(BatchedMatrices<T>& a,
 /// Returns 0 on success or the 1-based step of breakdown.
 template <typename T>
 index_type getrf_implicit(MatrixView<T> a, std::span<index_type> perm);
+
+/// Monitored variant: identical arithmetic (same pivots, same rounding),
+/// additionally fills `info` with the pivot statistics.
+template <typename T>
+index_type getrf_implicit(MatrixView<T> a, std::span<index_type> perm,
+                          FactorInfo& info);
 
 /// Single-problem explicit-pivoting LU producing the same output
 /// convention (permuted factors + gather indices).

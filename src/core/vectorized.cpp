@@ -1,5 +1,7 @@
 #include "core/vectorized.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -78,6 +80,38 @@ FactorizeStatus getrf_interleaved(InterleavedGroup<T>& g,
     const auto isa = g.isa();
     const auto m = g.size();
     const size_type lanes = g.lanes();
+
+    FactorizeStatus status;
+    if (opts.monitor) {
+        status.block_status.assign(static_cast<std::size_t>(g.count()),
+                                   BlockStatus::ok);
+        status.block_info.resize(static_cast<std::size_t>(g.count()));
+        // Entry prepass: the chunk kernels factorize in place, so the
+        // input magnitudes must be taken before the launches.
+        const auto prescan = [&](size_type l) {
+            auto& info = status.block_info[static_cast<std::size_t>(l)];
+            for (index_type c = 0; c < m; ++c) {
+                for (index_type r = 0; r < m; ++r) {
+                    const double v = std::abs(static_cast<double>(
+                        g.values()[g.value_index(r, c, l)]));
+                    if (!std::isfinite(v)) {
+                        info.finite = false;
+                    } else if (v > info.max_entry) {
+                        info.max_entry = v;
+                    }
+                }
+            }
+        };
+        if (opts.parallel) {
+            ThreadPool::global().parallel_for(0, g.count(), prescan,
+                                              batch_entry_grain);
+        } else {
+            for (size_type l = 0; l < g.count(); ++l) {
+                prescan(l);
+            }
+        }
+    }
+
     // Chunk-local layout: chunk c owns m*m*lanes contiguous values and
     // m*lanes pivots; the in-chunk lane stride is the vector width.
     const auto body = [&](size_type c) {
@@ -93,21 +127,45 @@ FactorizeStatus getrf_interleaved(InterleavedGroup<T>& g,
         }
     }
 
-    FactorizeStatus status;
-    index_type first_step = 0;
     for (size_type l = 0; l < g.count(); ++l) {
         if (g.info()[l] != 0) {
             if (status.failures == 0) {
                 status.first_failure = l;
-                first_step = g.info()[l];
+                status.first_failure_step = g.info()[l];
             }
             ++status.failures;
+            if (opts.monitor) {
+                auto& info = status.block_info[static_cast<std::size_t>(l)];
+                info.step = g.info()[l];
+                info.min_pivot = 0.0;
+                status.block_status[static_cast<std::size_t>(l)] =
+                    BlockStatus::singular;
+            }
+        } else if (opts.monitor) {
+            // Post-hoc pivot scan: after the gathered writeback the U
+            // diagonal of a clean lane is the sequence of selected pivots.
+            auto& info = status.block_info[static_cast<std::size_t>(l)];
+            for (index_type k = 0; k < m; ++k) {
+                const double p = std::abs(static_cast<double>(
+                    g.values()[g.value_index(k, k, l)]));
+                if (!std::isfinite(p)) {
+                    info.finite = false;
+                } else {
+                    info.min_pivot = std::min(info.min_pivot, p);
+                    info.max_pivot = std::max(info.max_pivot, p);
+                }
+            }
+            if (info.ok()) {
+                status.max_growth = std::max(status.max_growth,
+                                             info.growth());
+            }
         }
     }
     if (!status.ok() &&
         opts.on_singular == SingularPolicy::throw_on_breakdown) {
         throw SingularMatrix("batched LU breakdown: exact zero pivot",
-                             status.first_failure, first_step);
+                             status.first_failure,
+                             status.first_failure_step);
     }
     return status;
 }
@@ -149,7 +207,11 @@ FactorizeStatus getrf_batch_vectorized(BatchedMatrices<T>& a,
     obs::count("getrf.problems", static_cast<double>(a.count()));
 
     FactorizeStatus status;
-    index_type first_step = 0;
+    if (opts.monitor) {
+        status.block_status.assign(static_cast<std::size_t>(a.count()),
+                                   BlockStatus::ok);
+        status.block_info.resize(static_cast<std::size_t>(a.count()));
+    }
     const SimdIsa isa = resolve_isa(opts.isa);
     VectorizedOptions group_opts = opts;
     group_opts.on_singular = SingularPolicy::report;
@@ -164,13 +226,21 @@ FactorizeStatus getrf_batch_vectorized(BatchedMatrices<T>& a,
         const auto st = getrf_interleaved(g, group_opts);
         g.unpack_matrices(a, bucket);
         g.unpack_pivots(perm, bucket);
+        if (opts.monitor) {
+            for (std::size_t l = 0; l < bucket.size(); ++l) {
+                const auto gi = static_cast<std::size_t>(bucket[l]);
+                status.block_status[gi] = st.block_status[l];
+                status.block_info[gi] = st.block_info[l];
+            }
+            status.max_growth = std::max(status.max_growth, st.max_growth);
+        }
         if (!st.ok()) {
             const auto global_index =
                 bucket[static_cast<std::size_t>(st.first_failure)];
             if (status.failures == 0 ||
                 global_index < status.first_failure) {
                 status.first_failure = global_index;
-                first_step = g.info()[st.first_failure];
+                status.first_failure_step = st.first_failure_step;
             }
             status.failures += st.failures;
         }
@@ -178,7 +248,8 @@ FactorizeStatus getrf_batch_vectorized(BatchedMatrices<T>& a,
     if (!status.ok() &&
         opts.on_singular == SingularPolicy::throw_on_breakdown) {
         throw SingularMatrix("batched LU breakdown: exact zero pivot",
-                             status.first_failure, first_step);
+                             status.first_failure,
+                             status.first_failure_step);
     }
     return status;
 }

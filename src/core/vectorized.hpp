@@ -31,6 +31,14 @@ struct VectorizedOptions {
     SingularPolicy on_singular = SingularPolicy::throw_on_breakdown;
     /// Distribute lane chunks over the global thread pool.
     bool parallel = true;
+    /// Fill FactorizeStatus::block_status / block_info. The interleaved
+    /// kernels stay untouched: the entry statistics come from a prepass
+    /// over the packed lanes and the pivot statistics from the U diagonal
+    /// after the factorization (the implicit-pivoting writeback gathers
+    /// rows into pivot order, so the diagonal holds exactly the selected
+    /// pivot magnitudes -- identical values to the scalar in-kernel
+    /// monitor).
+    bool monitor = false;
 };
 
 /// Factorize every lane of `g` in place. Pivots and per-lane breakdown

@@ -1,5 +1,6 @@
 #include "precond/block_jacobi.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -43,33 +44,51 @@ BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
         factors_ = blocking::extract_diagonal_blocks(a, layout_);
         pivots_ = core::BatchedPivots(layout_);
     }
+    const bool strict =
+        options_.recovery.mode == RecoveryPolicy::Mode::strict;
+    core::FactorizeStatus status;
     {
         obs::TraceRegion factor_trace("factorize_blocks");
         ScopedTimer phase(setup_phases_.factorize_seconds);
         core::GetrfOptions fopts;
         fopts.parallel = options_.parallel;
+        // Non-strict setup: never abort mid-batch -- collect per-block
+        // outcomes and let recover() decide what survives.
+        fopts.monitor = !strict;
+        if (!strict) {
+            fopts.on_singular = core::SingularPolicy::report;
+        }
         switch (options_.backend) {
         case BlockJacobiBackend::lu:
-            core::getrf_batch(factors_, pivots_, fopts);
+            status = core::getrf_batch(factors_, pivots_, fopts);
             break;
         case BlockJacobiBackend::lu_simd:
-            factorize_simd();
+            status = factorize_simd(fopts.monitor);
             break;
         case BlockJacobiBackend::gauss_huard:
-            core::gauss_huard_batch(factors_, pivots_,
-                                    core::GhStorage::standard, fopts);
+            status = core::gauss_huard_batch(
+                factors_, pivots_, core::GhStorage::standard, fopts);
             break;
         case BlockJacobiBackend::gauss_huard_t:
-            core::gauss_huard_batch(factors_, pivots_,
-                                    core::GhStorage::transposed, fopts);
+            status = core::gauss_huard_batch(
+                factors_, pivots_, core::GhStorage::transposed, fopts);
             break;
         case BlockJacobiBackend::gje_inversion:
-            core::gauss_jordan_batch(factors_, fopts);
+            status = core::gauss_jordan_batch(factors_, fopts);
             break;
         case BlockJacobiBackend::cholesky:
-            core::potrf_batch(factors_, fopts);
+            status = core::potrf_batch(factors_, fopts);
             break;
         }
+    }
+    if (strict) {
+        // The factorization either threw or every block is clean.
+        block_status_.assign(static_cast<std::size_t>(layout_->count()),
+                             core::BlockStatus::ok);
+        recovery_.ok = layout_->count();
+    } else {
+        ScopedTimer phase(setup_phases_.recovery_seconds);
+        recover(a, status);
     }
     setup_seconds_ = timer.seconds();
     auto& registry = obs::Registry::global();
@@ -88,12 +107,23 @@ BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
                  setup_phases_.extraction_seconds);
     registry.add("block_jacobi.factorize_seconds",
                  setup_phases_.factorize_seconds);
+    registry.add("block_jacobi.recovery_seconds",
+                 setup_phases_.recovery_seconds);
+    registry.add("block_jacobi.blocks_ok",
+                 static_cast<double>(recovery_.ok));
+    registry.add("block_jacobi.blocks_boosted",
+                 static_cast<double>(recovery_.boosted));
+    registry.add("block_jacobi.blocks_fell_back",
+                 static_cast<double>(recovery_.fell_back));
+    registry.add("block_jacobi.blocks_singular",
+                 static_cast<double>(recovery_.singular));
+    registry.set("block_jacobi.max_pivot_growth", recovery_.max_growth);
     registry.set("block_jacobi.num_blocks",
                  static_cast<double>(layout_->count()));
 }
 
 template <typename T>
-void BlockJacobi<T>::factorize_simd() {
+core::FactorizeStatus BlockJacobi<T>::factorize_simd(bool monitor) {
     // Clamp once so the kept groups, metrics and name() agree on the ISA
     // actually executed.
     if (!core::simd_isa_available(options_.simd)) {
@@ -106,13 +136,20 @@ void BlockJacobi<T>::factorize_simd() {
     vopts.isa = options_.simd;
     vopts.parallel = options_.parallel;
     vopts.on_singular = core::SingularPolicy::report;
+    vopts.monitor = monitor;
 
     core::FactorizeStatus status;
-    index_type first_step = 0;
+    if (monitor) {
+        status.block_status.assign(
+            static_cast<std::size_t>(layout_->count()),
+            core::BlockStatus::ok);
+        status.block_info.resize(
+            static_cast<std::size_t>(layout_->count()));
+    }
     const auto note_failure = [&](size_type block, index_type step) {
         if (status.failures == 0 || block < status.first_failure) {
             status.first_failure = block;
-            first_step = step;
+            status.first_failure_step = step;
         }
         ++status.failures;
     };
@@ -131,6 +168,13 @@ void BlockJacobi<T>::factorize_simd() {
         // diagnostics stay truthful regardless of the apply path taken.
         sg.group.unpack_matrices(factors_, sg.indices);
         sg.group.unpack_pivots(pivots_, sg.indices);
+        if (monitor) {
+            for (std::size_t l = 0; l < sg.indices.size(); ++l) {
+                const auto gi = static_cast<std::size_t>(sg.indices[l]);
+                status.block_status[gi] = st.block_status[l];
+                status.block_info[gi] = st.block_info[l];
+            }
+        }
         if (!st.ok()) {
             for (size_type l = 0; l < sg.group.count(); ++l) {
                 if (sg.group.info()[l] != 0) {
@@ -146,17 +190,207 @@ void BlockJacobi<T>::factorize_simd() {
 
     simd_scalar_blocks_ = plan.scalar_indices;
     for (const auto b : simd_scalar_blocks_) {
-        const auto step =
-            core::getrf_implicit(factors_.view(b), pivots_.span(b));
+        index_type step;
+        if (monitor) {
+            step = core::getrf_implicit(
+                factors_.view(b), pivots_.span(b),
+                status.block_info[static_cast<std::size_t>(b)]);
+            if (step != 0) {
+                status.block_status[static_cast<std::size_t>(b)] =
+                    core::BlockStatus::singular;
+            }
+        } else {
+            step = core::getrf_implicit(factors_.view(b), pivots_.span(b));
+        }
         if (step != 0) {
             note_failure(b, step);
         }
     }
 
-    if (!status.ok()) {
+    if (!monitor && !status.ok()) {
         throw SingularMatrix(
             "block-Jacobi setup: diagonal block factorization broke down",
-            status.first_failure, first_step);
+            status.first_failure, status.first_failure_step);
+    }
+    return status;
+}
+
+template <typename T>
+index_type BlockJacobi<T>::refactor_single(size_type b,
+                                           core::FactorInfo& info) {
+    switch (options_.backend) {
+    case BlockJacobiBackend::lu:
+    case BlockJacobiBackend::lu_simd:
+        // The scalar implicit-pivoting kernel rounds identically to the
+        // interleaved lanes, so a boosted block can stay on the SIMD
+        // apply path after a repack.
+        return core::getrf_implicit(factors_.view(b), pivots_.span(b),
+                                    info);
+    case BlockJacobiBackend::gauss_huard:
+        return core::gauss_huard_factorize(factors_.view(b),
+                                           pivots_.span(b),
+                                           core::GhStorage::standard, info);
+    case BlockJacobiBackend::gauss_huard_t:
+        return core::gauss_huard_factorize(factors_.view(b),
+                                           pivots_.span(b),
+                                           core::GhStorage::transposed,
+                                           info);
+    case BlockJacobiBackend::gje_inversion:
+        return core::gauss_jordan_invert(factors_.view(b), info);
+    case BlockJacobiBackend::cholesky:
+        return core::potrf_single(factors_.view(b), info);
+    }
+    return 0;
+}
+
+template <typename T>
+void BlockJacobi<T>::set_identity_block(size_type b) {
+    auto v = factors_.view(b);
+    const index_type m = v.rows();
+    for (index_type j = 0; j < m; ++j) {
+        for (index_type i = 0; i < m; ++i) {
+            v(i, j) = i == j ? T{1} : T{};
+        }
+    }
+    auto p = pivots_.span(b);
+    for (index_type k = 0; k < m; ++k) {
+        p[static_cast<std::size_t>(k)] = k;
+    }
+}
+
+template <typename T>
+void BlockJacobi<T>::recover(const sparse::Csr<T>& a,
+                             core::FactorizeStatus& status) {
+    const size_type nb = layout_->count();
+    block_status_ = std::move(status.block_status);
+    const auto& infos = status.block_info;
+    const auto& policy = options_.recovery;
+    const double tol = policy.effective_tol(
+        static_cast<double>(std::numeric_limits<T>::epsilon()));
+
+    std::vector<size_type> bad;
+    for (size_type b = 0; b < nb; ++b) {
+        const auto& fi = infos[static_cast<std::size_t>(b)];
+        if (fi.degenerate(tol)) {
+            bad.push_back(b);
+        } else {
+            recovery_.max_growth =
+                std::max(recovery_.max_growth, fi.growth());
+        }
+    }
+    if (bad.empty()) {
+        recovery_.ok = nb;
+        return;
+    }
+
+    // The failed blocks' storage holds partial factors; re-extract the
+    // pristine data once for the restore/boost attempts and the
+    // inverse-diagonal fallback.
+    const auto pristine = blocking::extract_diagonal_blocks(a, layout_);
+    for (const auto b : bad) {
+        const auto& fi0 = infos[static_cast<std::size_t>(b)];
+        const index_type m = layout_->size(b);
+        const auto src = pristine.view(b);
+        // Boosting needs a finite magnitude to scale the shift by; an
+        // all-zero or non-finite block goes straight to the fallback.
+        const double scale =
+            (fi0.finite && fi0.max_entry > 0.0) ? fi0.max_entry : 0.0;
+        bool recovered = false;
+        core::FactorInfo fi;
+        if (scale > 0.0) {
+            double tau = policy.boost_scale * scale;
+            for (index_type attempt = 0; attempt < policy.max_boosts;
+                 ++attempt, tau *= policy.boost_growth) {
+                auto dst = factors_.view(b);
+                for (index_type j = 0; j < m; ++j) {
+                    for (index_type i = 0; i < m; ++i) {
+                        dst(i, j) = src(i, j);
+                    }
+                }
+                const T shift = static_cast<T>(tau);
+                for (index_type k = 0; k < m; ++k) {
+                    dst(k, k) += shift;
+                }
+                fi = {};
+                if (refactor_single(b, fi) == 0 && !fi.degenerate(tol)) {
+                    recovered = true;
+                    break;
+                }
+            }
+        }
+        if (recovered) {
+            block_status_[static_cast<std::size_t>(b)] =
+                core::BlockStatus::boosted;
+            recovery_.max_growth =
+                std::max(recovery_.max_growth, fi.growth());
+            continue;
+        }
+        if (policy.mode == RecoveryPolicy::Mode::boost) {
+            throw SingularMatrix(
+                "block-Jacobi setup: diagonal block unrecoverable after "
+                "boosting",
+                b, fi0.step);
+        }
+        // Scalar-Jacobi fallback from the pristine diagonal; rows whose
+        // diagonal is zero or non-finite apply as identity.
+        if (fallback_inv_diag_.empty()) {
+            fallback_inv_diag_.assign(
+                static_cast<std::size_t>(layout_->total_rows()), T{1});
+        }
+        const auto off = static_cast<std::size_t>(layout_->row_offset(b));
+        bool any_diag = false;
+        for (index_type i = 0; i < m; ++i) {
+            const T d = src(i, i);
+            if (std::isfinite(static_cast<double>(d)) && d != T{}) {
+                fallback_inv_diag_[off + static_cast<std::size_t>(i)] =
+                    T{1} / d;
+                any_diag = true;
+            } else {
+                fallback_inv_diag_[off + static_cast<std::size_t>(i)] =
+                    T{1};
+            }
+        }
+        block_status_[static_cast<std::size_t>(b)] =
+            any_diag ? core::BlockStatus::fell_back
+                     : core::BlockStatus::singular;
+        // Keep the factored-path state finite even for degraded blocks.
+        set_identity_block(b);
+        degraded_blocks_.push_back(b);
+    }
+
+    for (const auto s : block_status_) {
+        recovery_.record(s);
+    }
+
+    // lu_simd: every bad block was restored/refactorized through the
+    // scalar kernel, but the interleaved groups still hold the pre-boost
+    // lanes; repack the groups that contain one. Boosted blocks stay on
+    // the SIMD apply path (scalar and lane kernels round identically).
+    if (options_.backend == BlockJacobiBackend::lu_simd) {
+        std::vector<char> dirty(static_cast<std::size_t>(nb), 0);
+        for (const auto b : bad) {
+            dirty[static_cast<std::size_t>(b)] = 1;
+        }
+        for (auto& sg : simd_groups_) {
+            const bool needs_repack = std::any_of(
+                sg.indices.begin(), sg.indices.end(), [&](size_type idx) {
+                    return dirty[static_cast<std::size_t>(idx)] != 0;
+                });
+            if (needs_repack) {
+                sg.group.pack_matrices(factors_, sg.indices);
+                sg.group.pack_pivots(pivots_, sg.indices);
+            }
+        }
+    }
+}
+
+template <typename T>
+void BlockJacobi<T>::apply_fallback_block(size_type b, std::span<const T> r,
+                                          std::span<T> z) const {
+    const auto off = static_cast<std::size_t>(layout_->row_offset(b));
+    const auto m = static_cast<std::size_t>(layout_->size(b));
+    for (std::size_t i = 0; i < m; ++i) {
+        z[off + i] = r[off + i] * fallback_inv_diag_[off + i];
     }
 }
 
@@ -192,6 +426,12 @@ void BlockJacobi<T>::apply_simd(std::span<const T> r, std::span<T> z) const {
             body(i);
         }
     }
+    // Degraded blocks route through the inverse-diagonal fallback; the
+    // fix-up pass overwrites whatever the group/leftover solve produced
+    // for them (the few degraded blocks do not justify a lane path).
+    for (const auto b : degraded_blocks_) {
+        apply_fallback_block(b, r, z);
+    }
 }
 
 template <typename T>
@@ -223,6 +463,14 @@ void BlockJacobi<T>::apply(std::span<const T> r, std::span<T> z) const {
         return;
     }
     const auto body = [&](size_type b) {
+        if (!degraded_blocks_.empty()) {
+            const auto s = block_status_[static_cast<std::size_t>(b)];
+            if (s == core::BlockStatus::fell_back ||
+                s == core::BlockStatus::singular) {
+                apply_fallback_block(b, r, z);
+                return;
+            }
+        }
         const auto off = static_cast<std::size_t>(layout_->row_offset(b));
         const auto m = static_cast<std::size_t>(layout_->size(b));
         const std::span<T> zb = z.subspan(off, m);

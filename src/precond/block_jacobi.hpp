@@ -32,6 +32,7 @@
 #include "core/trsv.hpp"
 #include "core/vectorized.hpp"
 #include "precond/preconditioner.hpp"
+#include "precond/recovery.hpp"
 #include "sparse/csr.hpp"
 
 namespace vbatch::precond {
@@ -57,13 +58,21 @@ struct BlockJacobiOptions {
     /// Reuse a precomputed block structure instead of running
     /// supervariable blocking (empty = detect).
     core::BatchLayoutPtr layout;
+    /// Per-block breakdown handling. The default (Mode::full) makes the
+    /// setup total: it never throws, and degraded blocks are recorded in
+    /// block_status() / recovery_summary(). RecoveryPolicy::strict()
+    /// restores the old throwing behavior.
+    RecoveryPolicy recovery;
 };
 
 template <typename T>
 class BlockJacobi final : public Preconditioner<T> {
 public:
-    /// Setup: blocking + extraction + batched factorization/inversion.
-    /// Throws vbatch::SingularMatrix if a diagonal block breaks down.
+    /// Setup: blocking + extraction + batched factorization/inversion +
+    /// per-block breakdown recovery. Under the default RecoveryPolicy the
+    /// setup is total (degraded blocks are boosted or fall back, see
+    /// recovery.hpp); under RecoveryPolicy::strict() it throws
+    /// vbatch::SingularMatrix if a diagonal block breaks down.
     BlockJacobi(const sparse::Csr<T>& a, BlockJacobiOptions options);
 
     void apply(std::span<const T> r, std::span<T> z) const override;
@@ -78,8 +87,19 @@ public:
         double blocking_seconds = 0.0;
         double extraction_seconds = 0.0;
         double factorize_seconds = 0.0;
+        /// Degeneracy scan + boosting/fallback work (0 when no block
+        /// needed recovery or under the strict policy).
+        double recovery_seconds = 0.0;
     };
     const SetupPhases& setup_phases() const { return setup_phases_; }
+
+    /// Per-block setup outcome (one entry per diagonal block).
+    const std::vector<core::BlockStatus>& block_status() const {
+        return block_status_;
+    }
+    core::RecoverySummary recovery_summary() const override {
+        return recovery_;
+    }
 
     const core::BatchLayout& layout() const { return *layout_; }
     const BlockJacobiOptions& options() const { return options_; }
@@ -117,8 +137,19 @@ private:
         std::vector<size_type> indices;
     };
 
-    void factorize_simd();
+    core::FactorizeStatus factorize_simd(bool monitor);
     void apply_simd(std::span<const T> r, std::span<T> z) const;
+    /// Degeneracy scan + boost/fallback pipeline (non-strict setup only).
+    void recover(const sparse::Csr<T>& a, core::FactorizeStatus& status);
+    /// Re-run the backend's factorization on one (already restored and
+    /// possibly shifted) block; fills the pivot statistics.
+    index_type refactor_single(size_type b, core::FactorInfo& info);
+    /// Overwrite a degraded block's factors/pivots with the identity so
+    /// factors()/pivots() and any stray factored-path application of the
+    /// block stay finite.
+    void set_identity_block(size_type b);
+    void apply_fallback_block(size_type b, std::span<const T> r,
+                              std::span<T> z) const;
 
     BlockJacobiOptions options_;
     core::BatchLayoutPtr layout_;
@@ -129,6 +160,15 @@ private:
     size_type simd_block_count_ = 0;
     double setup_seconds_ = 0.0;
     SetupPhases setup_phases_;
+    /// Per-block outcomes; all `ok` under the strict policy.
+    std::vector<core::BlockStatus> block_status_;
+    core::RecoverySummary recovery_;
+    /// Row-wise inverse diagonal used by fell_back/singular blocks
+    /// (1 where the pristine diagonal was zero/non-finite); empty when
+    /// no block fell back.
+    std::vector<T> fallback_inv_diag_;
+    /// Blocks applied through fallback_inv_diag_ instead of the factors.
+    std::vector<size_type> degraded_blocks_;
 };
 
 }  // namespace vbatch::precond

@@ -1,11 +1,14 @@
 // Preconditioner interface for the Krylov solvers.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <string>
 
+#include "base/macros.hpp"
 #include "base/types.hpp"
+#include "core/block_status.hpp"
 
 namespace vbatch::precond {
 
@@ -25,6 +28,12 @@ public:
 
     /// Number of diagonal blocks (1 for scalar/identity preconditioners).
     virtual size_type num_blocks() const = 0;
+
+    /// Per-status block counts of the setup. Preconditioners without a
+    /// per-block recovery pipeline report an empty (all-zero) summary;
+    /// block-Jacobi reports what happened to every diagonal block, so
+    /// the solver can flag degraded preconditioning in its SolveStatus.
+    virtual core::RecoverySummary recovery_summary() const { return {}; }
 };
 
 /// No preconditioning: z := r.
@@ -32,9 +41,9 @@ template <typename T>
 class IdentityPreconditioner final : public Preconditioner<T> {
 public:
     void apply(std::span<const T> r, std::span<T> z) const override {
-        for (std::size_t i = 0; i < r.size(); ++i) {
-            z[i] = r[i];
-        }
+        VBATCH_ENSURE_DIMS(r.size() == z.size());
+        VBATCH_ASSERT(r.data() != z.data());
+        std::copy(r.begin(), r.end(), z.begin());
     }
     std::string name() const override { return "identity"; }
     double setup_seconds() const override { return 0.0; }

@@ -39,12 +39,13 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
     blas::fill(std::span<T>(v), T{});
 
     index_type iters = 0;
+    bool broke_down = false;
     bool converged = normr <= tol;
     while (!converged && iters < opts.max_iters) {
         const T rho = blas::dot(std::span<const T>(r0),
                                 std::span<const T>(r));
         if (rho == T{} || omega == T{}) {
-            result.breakdown = true;
+            broke_down = true;
             break;
         }
         const T beta = (rho / rho_old) * (alpha / omega);
@@ -58,7 +59,7 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
         const T r0v = blas::dot(std::span<const T>(r0),
                                 std::span<const T>(v));
         if (r0v == T{}) {
-            result.breakdown = true;
+            broke_down = true;
             break;
         }
         alpha = rho / r0v;
@@ -79,7 +80,7 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
         ++iters;
         const T tt = blas::dot(std::span<const T>(t), std::span<const T>(t));
         if (tt == T{}) {
-            result.breakdown = true;
+            broke_down = true;
             break;
         }
         omega = blas::dot(std::span<const T>(t), std::span<const T>(s)) / tt;
@@ -93,7 +94,7 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
         rho_old = rho;
     }
 
-    result.converged = converged;
+    finalize_result(result, converged, broke_down, prec);
     result.iterations = iters;
     result.final_residual = static_cast<double>(normr);
     result.solve_seconds = timer.seconds();

@@ -36,13 +36,14 @@ SolveResult cg(const sparse::Csr<T>& a, std::span<const T> b, std::span<T> x,
     T rz = blas::dot(std::span<const T>(r), std::span<const T>(z));
 
     index_type iters = 0;
+    bool broke_down = false;
     bool converged = normr <= tol;
     while (!converged && iters < opts.max_iters) {
         a.spmv(std::span<const T>(p), std::span<T>(q));
         ++iters;
         const T pq = blas::dot(std::span<const T>(p), std::span<const T>(q));
         if (pq == T{}) {
-            result.breakdown = true;
+            broke_down = true;
             break;
         }
         const T alpha = rz / pq;
@@ -58,7 +59,7 @@ SolveResult cg(const sparse::Csr<T>& a, std::span<const T> b, std::span<T> x,
         const T rz_new = blas::dot(std::span<const T>(r),
                                    std::span<const T>(z));
         if (rz == T{}) {
-            result.breakdown = true;
+            broke_down = true;
             break;
         }
         const T beta = rz_new / rz;
@@ -66,7 +67,7 @@ SolveResult cg(const sparse::Csr<T>& a, std::span<const T> b, std::span<T> x,
         rz = rz_new;
     }
 
-    result.converged = converged;
+    finalize_result(result, converged, broke_down, prec);
     result.iterations = iters;
     result.final_residual = static_cast<double>(normr);
     result.solve_seconds = timer.seconds();

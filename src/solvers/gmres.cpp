@@ -54,8 +54,9 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
     };
 
     index_type iters = 0;
+    bool broke_down = false;
     bool converged = beta <= tol;
-    while (!converged && iters < opts.max_iters && !result.breakdown) {
+    while (!converged && iters < opts.max_iters && !broke_down) {
         // Start/restart the Arnoldi process from the current residual.
         if (beta == T{}) {
             converged = true;
@@ -101,7 +102,7 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
             const T denom = std::sqrt(h(j, j) * h(j, j) +
                                       h(j + 1, j) * h(j + 1, j));
             if (denom == T{}) {
-                result.breakdown = true;
+                broke_down = true;
                 ++j;
                 break;
             }
@@ -139,7 +140,7 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
         converged = beta <= tol;
     }
 
-    result.converged = converged;
+    finalize_result(result, converged, broke_down, prec);
     result.iterations = iters;
     result.final_residual = static_cast<double>(beta);
     result.solve_seconds = timer.seconds();

@@ -119,8 +119,9 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
     };
 
     index_type iters = 0;
+    bool broke_down = false;
     bool converged = normr <= tol;
-    while (!converged && iters < opts.max_iters && !result.breakdown) {
+    while (!converged && iters < opts.max_iters && !broke_down) {
         // f = P^T r
         for (index_type i = 0; i < s; ++i) {
             f[static_cast<std::size_t>(i)] =
@@ -141,7 +142,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
                                 std::span<T>(c.data(),
                                              static_cast<std::size_t>(sk))) !=
                 0) {
-                result.breakdown = true;
+                broke_down = true;
                 break;
             }
             // v = r - sum_i c_i g_{k+i}
@@ -181,7 +182,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
                 mmat(i, k) = blas::dot(pcol(i), std::span<const T>(gcol(k)));
             }
             if (mmat(k, k) == T{}) {
-                result.breakdown = true;
+                broke_down = true;
                 break;
             }
             const T beta = f[static_cast<std::size_t>(k)] / mmat(k, k);
@@ -199,7 +200,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
                 break;
             }
         }
-        if (converged || result.breakdown || iters >= opts.max_iters) {
+        if (converged || broke_down || iters >= opts.max_iters) {
             break;
         }
         // Dimension-reduction step: r in G_j -> r in G_{j+1}.
@@ -209,7 +210,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
         const T tt = blas::dot(std::span<const T>(t), std::span<const T>(t));
         const T tr = blas::dot(std::span<const T>(t), std::span<const T>(r));
         if (tt == T{}) {
-            result.breakdown = true;
+            broke_down = true;
             break;
         }
         om = tr / tt;
@@ -219,7 +220,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
             om *= static_cast<T>(opts.kappa) / rho;
         }
         if (om == T{}) {
-            result.breakdown = true;
+            broke_down = true;
             break;
         }
         blas::axpy(om, std::span<const T>(vhat), std::span<T>(x));
@@ -235,7 +236,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
         blas::copy(std::span<const T>(xs), std::span<T>(x));
         normr = norm_rs;
     }
-    result.converged = converged;
+    finalize_result(result, converged, broke_down, prec);
     result.iterations = iters;
     result.final_residual = static_cast<double>(normr);
     result.solve_seconds = timer.seconds();

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "base/types.hpp"
+#include "core/block_status.hpp"
 #include "obs/trace.hpp"
+#include "precond/preconditioner.hpp"
 
 namespace vbatch::solvers {
 
@@ -19,8 +21,33 @@ struct SolverOptions {
     bool keep_residual_history = false;
 };
 
+/// Why the iteration stopped.
+enum class SolveStatus {
+    /// Reached the relative-residual tolerance.
+    converged,
+    /// Exhausted the iteration budget.
+    max_iters,
+    /// The method broke down (division by a vanishing inner product)
+    /// before reaching the tolerance.
+    breakdown,
+    /// Did not converge, and the preconditioner reported degraded blocks
+    /// during its setup (boosted/fallback/identity) -- the likely cause.
+    preconditioner_degraded,
+};
+
+inline const char* to_string(SolveStatus status) noexcept {
+    switch (status) {
+    case SolveStatus::converged: return "converged";
+    case SolveStatus::max_iters: return "max_iters";
+    case SolveStatus::breakdown: return "breakdown";
+    case SolveStatus::preconditioner_degraded:
+        return "preconditioner_degraded";
+    }
+    return "unknown";
+}
+
 struct SolveResult {
-    bool converged = false;
+    SolveStatus status = SolveStatus::max_iters;
     /// Consumed iterations. One iteration = one operator (SpMV)
     /// application, the convention MAGMA-sparse reports.
     index_type iterations = 0;
@@ -28,10 +55,17 @@ struct SolveResult {
     double final_residual = 0.0;
     /// Wall time of the iterative phase (excludes preconditioner setup).
     double solve_seconds = 0.0;
-    /// True if the method broke down (division by a vanishing inner
-    /// product) before reaching the tolerance.
-    bool breakdown = false;
+    /// Per-status block counts of the preconditioner setup (all zero for
+    /// preconditioners without a recovery pipeline).
+    core::RecoverySummary preconditioner;
     std::vector<double> residual_history;
+
+    bool converged() const noexcept {
+        return status == SolveStatus::converged;
+    }
+    bool breakdown() const noexcept {
+        return status == SolveStatus::breakdown;
+    }
 
     double relative_residual() const {
         return initial_residual > 0.0 ? final_residual / initial_residual
@@ -50,6 +84,25 @@ inline void record_residual(const SolverOptions& opts, SolveResult& result,
         result.residual_history.push_back(normr);
     }
     obs::counter("residual", normr);
+}
+
+/// Resolve the final SolveStatus from what the iteration observed, in
+/// precedence order: converged > breakdown > preconditioner_degraded >
+/// max_iters. Also snapshots the preconditioner's recovery summary so
+/// callers can see what they iterated with.
+template <typename T>
+void finalize_result(SolveResult& result, bool converged, bool broke_down,
+                     const precond::Preconditioner<T>& prec) {
+    result.preconditioner = prec.recovery_summary();
+    if (converged) {
+        result.status = SolveStatus::converged;
+    } else if (broke_down) {
+        result.status = SolveStatus::breakdown;
+    } else if (result.preconditioner.degraded() > 0) {
+        result.status = SolveStatus::preconditioner_degraded;
+    } else {
+        result.status = SolveStatus::max_iters;
+    }
 }
 
 }  // namespace vbatch::solvers

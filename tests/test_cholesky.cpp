@@ -202,7 +202,7 @@ TEST(CholeskyBlockJacobi, AcceleratesCgOnSpdProblem) {
     std::vector<double> x1(b.size(), 0.0);
     const auto r_chol = solvers::cg(a, std::span<const double>(b),
                                     std::span<double>(x1), chol);
-    ASSERT_TRUE(r_chol.converged);
+    ASSERT_TRUE(r_chol.converged());
 
     // Same preconditioner via LU: identical math, so iteration counts are
     // essentially equal; Cholesky just does less setup work.
@@ -213,7 +213,7 @@ TEST(CholeskyBlockJacobi, AcceleratesCgOnSpdProblem) {
     std::vector<double> x2(b.size(), 0.0);
     const auto r_lu = solvers::cg(a, std::span<const double>(b),
                                   std::span<double>(x2), lu);
-    ASSERT_TRUE(r_lu.converged);
+    ASSERT_TRUE(r_lu.converged());
     EXPECT_NEAR(r_chol.iterations, r_lu.iterations, 3);
 
     // And it beats scalar Jacobi.
@@ -224,7 +224,7 @@ TEST(CholeskyBlockJacobi, AcceleratesCgOnSpdProblem) {
     EXPECT_LT(r_chol.iterations, r_jac.iterations);
 }
 
-TEST(CholeskyBlockJacobi, ThrowsOnIndefiniteBlocks) {
+TEST(CholeskyBlockJacobi, ThrowsOnIndefiniteBlocksUnderStrictPolicy) {
     // A diagonal block with a negative eigenvalue defeats Cholesky.
     auto a = sparse::Csr<double>::from_triplets(
         4, 4,
@@ -233,7 +233,23 @@ TEST(CholeskyBlockJacobi, ThrowsOnIndefiniteBlocks) {
     precond::BlockJacobiOptions opts;
     opts.backend = precond::BlockJacobiBackend::cholesky;
     opts.layout = core::make_layout({1, 1, 2});
+    opts.recovery = precond::RecoveryPolicy::strict();
     EXPECT_THROW((precond::BlockJacobi<double>(a, opts)), SingularMatrix);
+}
+
+TEST(CholeskyBlockJacobi, IndefiniteBlockBoostsByDefault) {
+    auto a = sparse::Csr<double>::from_triplets(
+        4, 4,
+        {{0, 0, 2.0}, {1, 1, 2.0}, {2, 2, -1.0}, {2, 3, 0.5},
+         {3, 2, 0.5}, {3, 3, 2.0}});
+    precond::BlockJacobiOptions opts;
+    opts.backend = precond::BlockJacobiBackend::cholesky;
+    opts.layout = core::make_layout({1, 1, 2});
+    const precond::BlockJacobi<double> prec(a, opts);
+    const auto summary = prec.recovery_summary();
+    EXPECT_EQ(summary.boosted, 1);
+    EXPECT_EQ(summary.ok, 2);
+    EXPECT_EQ(prec.block_status()[2], core::BlockStatus::boosted);
 }
 
 }  // namespace

@@ -55,7 +55,7 @@ TEST(FloatPath, BlockJacobiIdrConverges) {
     so.rel_tol = 1e-4;  // single precision headroom
     const auto r = solvers::idr(a, std::span<const float>(b),
                                 std::span<float>(x), prec, so);
-    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.converged());
 }
 
 TEST(Gmres, RestartBoundaryExactlyHitsSolution) {
@@ -70,8 +70,8 @@ TEST(Gmres, RestartBoundaryExactlyHitsSolution) {
     opts.max_iters = 5000;
     const auto r = solvers::gmres(a, std::span<const double>(b),
                                   std::span<double>(x), prec, opts);
-    EXPECT_TRUE(r.converged || r.iterations == 5000);
-    if (r.converged) {
+    EXPECT_TRUE(r.converged() || r.iterations == 5000);
+    if (r.converged()) {
         EXPECT_LT(r.relative_residual(), 1e-6);
     }
 }
@@ -99,7 +99,7 @@ TEST(Bicgstab, ImmediateConvergenceOnExactGuess) {
     precond::IdentityPreconditioner<double> prec;
     const auto r = solvers::bicgstab(a, std::span<const double>(b),
                                      std::span<double>(x), prec);
-    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.converged());
     EXPECT_EQ(r.iterations, 0);
 }
 
@@ -116,7 +116,7 @@ TEST(Cg, BreaksDownGracefullyOnIndefiniteSystem) {
     opts.max_iters = 50;
     const auto r = solvers::cg(a, std::span<const double>(b),
                                std::span<double>(x), prec, opts);
-    if (r.converged) {
+    if (r.converged()) {
         std::vector<double> t(2);
         a.spmv(std::span<const double>(x), std::span<double>(t));
         EXPECT_NEAR(t[0], b[0], 1e-6);
@@ -149,7 +149,7 @@ TEST(Idr, LargerShadowSpaceWorks) {
     opts.s = 8;
     const auto r = solvers::idr(a, std::span<const double>(b),
                                 std::span<double>(x), prec, opts);
-    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.converged());
 }
 
 TEST(BlockJacobi, SizeOneBlocksEqualScalarJacobi) {

@@ -35,7 +35,7 @@ TEST(Integration, FemBlockProblemFullPipeline) {
     const auto a = sparse::build_suite_matrix(
         sparse::suite_case_by_name("fem_d4_s"));
     const auto result = run_idr(a, precond::BlockJacobiBackend::lu, 32);
-    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.converged());
     EXPECT_LT(result.relative_residual(), 1e-6);
     EXPECT_GT(result.iterations, 0);
 }
@@ -48,8 +48,8 @@ TEST(Integration, LuAndGhPreconditionersAreComparable) {
     const auto r_lu = run_idr(a, precond::BlockJacobiBackend::lu, 24);
     const auto r_gh =
         run_idr(a, precond::BlockJacobiBackend::gauss_huard, 24);
-    ASSERT_TRUE(r_lu.converged);
-    ASSERT_TRUE(r_gh.converged);
+    ASSERT_TRUE(r_lu.converged());
+    ASSERT_TRUE(r_gh.converged());
     const double ratio = static_cast<double>(r_lu.iterations) /
                          static_cast<double>(r_gh.iterations);
     EXPECT_GT(ratio, 0.5);
@@ -65,7 +65,7 @@ TEST(Integration, GhAndGhtGiveIdenticalIterationCounts) {
         run_idr(a, precond::BlockJacobiBackend::gauss_huard, 16);
     const auto r_ght =
         run_idr(a, precond::BlockJacobiBackend::gauss_huard_t, 16);
-    ASSERT_TRUE(r_gh.converged);
+    ASSERT_TRUE(r_gh.converged());
     EXPECT_EQ(r_gh.iterations, r_ght.iterations);
 }
 
@@ -76,8 +76,8 @@ TEST(Integration, LargerBlocksTypicallyHelp) {
         sparse::suite_case_by_name("fem_d12_s"));
     const auto r8 = run_idr(a, precond::BlockJacobiBackend::lu, 8);
     const auto r32 = run_idr(a, precond::BlockJacobiBackend::lu, 32);
-    ASSERT_TRUE(r8.converged);
-    ASSERT_TRUE(r32.converged);
+    ASSERT_TRUE(r8.converged());
+    ASSERT_TRUE(r32.converged());
     EXPECT_LE(r32.iterations, r8.iterations);
 }
 
@@ -86,7 +86,7 @@ TEST(Integration, InversionBackendAlsoWorks) {
         sparse::suite_case_by_name("lap3d_d2"));
     const auto result =
         run_idr(a, precond::BlockJacobiBackend::gje_inversion, 16);
-    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.converged());
 }
 
 TEST(Integration, HardCaseStressesTheSolver) {
@@ -96,7 +96,7 @@ TEST(Integration, HardCaseStressesTheSolver) {
         sparse::suite_case_by_name("hard_shift_high"));
     const auto result = run_idr(a, precond::BlockJacobiBackend::lu, 32,
                                 600);
-    if (result.converged) {
+    if (result.converged()) {
         EXPECT_GT(result.iterations, 50);
     } else {
         SUCCEED();
@@ -107,7 +107,7 @@ TEST(Integration, CircuitMatrixExtractionAndSolve) {
     const auto a = sparse::build_suite_matrix(
         sparse::suite_case_by_name("circuit_s"));
     const auto result = run_idr(a, precond::BlockJacobiBackend::lu, 16);
-    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.converged());
 }
 
 TEST(Integration, SetupTimeIsAccounted) {

@@ -181,22 +181,39 @@ TEST(BlockJacobi, AcceptsPrecomputedLayout) {
     EXPECT_EQ(prec.layout().size(0), 8);
 }
 
-TEST(BlockJacobi, SingularBlockThrows) {
-    // A structurally zero 2x2 diagonal block.
-    auto a = sparse::Csr<double>::from_triplets(
-        4, 4,
-        {{0, 0, 1.0}, {1, 1, 1.0}, {2, 3, 1.0}, {3, 2, 1.0},
-         {2, 0, 1.0}, {3, 0, 1.0}});
-    // Block {2,3} has zero diagonal block [[0,1],[1,0]]... actually that
-    // one is invertible; make it singular: rows 2 and 3 identical inside
-    // the block.
-    a = sparse::Csr<double>::from_triplets(
+TEST(BlockJacobi, SingularBlockThrowsUnderStrictPolicy) {
+    // Block {2,3} is [[1,1],[1,1]]: rows identical inside the block,
+    // exactly singular.
+    const auto a = sparse::Csr<double>::from_triplets(
         4, 4,
         {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}, {2, 3, 1.0}, {3, 2, 1.0},
          {3, 3, 1.0}});
     BlockJacobiOptions opts;
     opts.layout = core::make_layout({1, 1, 2});
+    opts.recovery = RecoveryPolicy::strict();
     EXPECT_THROW((BlockJacobi<double>(a, opts)), SingularMatrix);
+}
+
+TEST(BlockJacobi, SingularBlockRecoversByDefault) {
+    const auto a = sparse::Csr<double>::from_triplets(
+        4, 4,
+        {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}, {2, 3, 1.0}, {3, 2, 1.0},
+         {3, 3, 1.0}});
+    BlockJacobiOptions opts;
+    opts.layout = core::make_layout({1, 1, 2});
+    const BlockJacobi<double> precond(a, opts);
+    const auto summary = precond.recovery_summary();
+    EXPECT_EQ(summary.total(), 3);
+    EXPECT_EQ(summary.ok, 2);
+    EXPECT_EQ(summary.boosted, 1);
+    EXPECT_EQ(precond.block_status()[2], core::BlockStatus::boosted);
+    // The boosted preconditioner must produce finite output.
+    const std::vector<double> r{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> z(4, 0.0);
+    precond.apply(r, z);
+    for (const auto v : z) {
+        EXPECT_TRUE(std::isfinite(v));
+    }
 }
 
 TEST(BlockJacobi, NameAndSetupTime) {

@@ -48,7 +48,7 @@ TEST(Cg, SolvesSpdSystem) {
     precond::IdentityPreconditioner<double> prec;
     const auto result = cg(p.a, std::span<const double>(p.b),
                            std::span<double>(p.x), prec);
-    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.converged());
     EXPECT_LT(true_residual(p.a, p.b, p.x), 1e-5);
     EXPECT_GT(result.iterations, 0);
     EXPECT_LT(result.relative_residual(), 1e-6);
@@ -79,7 +79,7 @@ TEST(Cg, JacobiPreconditioningReducesIterations) {
                        std::span<double>(p1.x), ident);
     const auto r2 = cg(p2.a, std::span<const double>(p2.b),
                        std::span<double>(p2.x), jac);
-    EXPECT_TRUE(r2.converged);
+    EXPECT_TRUE(r2.converged());
     EXPECT_LT(r2.iterations, r1.iterations);
 }
 
@@ -89,7 +89,7 @@ TEST(Bicgstab, SolvesNonsymmetricSystem) {
     precond::IdentityPreconditioner<double> prec;
     const auto result = bicgstab(p.a, std::span<const double>(p.b),
                                  std::span<double>(p.x), prec);
-    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.converged());
     EXPECT_LT(true_residual(p.a, p.b, p.x), 1e-5);
 }
 
@@ -101,7 +101,7 @@ TEST(Gmres, SolvesNonsymmetricSystem) {
     opts.restart = 40;
     const auto result = gmres(p.a, std::span<const double>(p.b),
                               std::span<double>(p.x), prec, opts);
-    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.converged());
     EXPECT_LT(true_residual(p.a, p.b, p.x), 1e-5);
 }
 
@@ -111,8 +111,8 @@ TEST(Idr, SolvesNonsymmetricSystem) {
     precond::IdentityPreconditioner<double> prec;
     const auto result = idr(p.a, std::span<const double>(p.b),
                             std::span<double>(p.x), prec);
-    EXPECT_TRUE(result.converged);
-    EXPECT_FALSE(result.breakdown);
+    EXPECT_TRUE(result.converged());
+    EXPECT_FALSE(result.breakdown());
     EXPECT_LT(true_residual(p.a, p.b, p.x), 1e-5);
 }
 
@@ -133,8 +133,8 @@ TEST(Idr, ShadowDimensionHelps) {
                         std::span<double>(p1.x), prec, o1);
     const auto r4 = idr(p4.a, std::span<const double>(p4.b),
                         std::span<double>(p4.x), prec, o4);
-    ASSERT_TRUE(r4.converged);
-    if (r1.converged) {
+    ASSERT_TRUE(r4.converged());
+    if (r1.converged()) {
         EXPECT_LT(r4.iterations, r1.iterations + 50);
     }
 }
@@ -151,7 +151,7 @@ TEST(Idr, BlockJacobiBeatsIdentityOnBlockProblem) {
                         std::span<double>(p1.x), ident);
     const auto r2 = idr(p2.a, std::span<const double>(p2.b),
                         std::span<double>(p2.x), bj);
-    ASSERT_TRUE(r2.converged);
+    ASSERT_TRUE(r2.converged());
     EXPECT_LT(r2.iterations, r1.iterations);
     EXPECT_LT(true_residual(p2.a, p2.b, p2.x), 1e-5);
 }
@@ -164,7 +164,7 @@ TEST(Idr, RespectsMaxIterations) {
     opts.max_iters = 7;
     const auto result = idr(p.a, std::span<const double>(p.b),
                             std::span<double>(p.x), prec, opts);
-    EXPECT_FALSE(result.converged);
+    EXPECT_FALSE(result.converged());
     EXPECT_LE(result.iterations, 7);
 }
 
@@ -175,7 +175,7 @@ TEST(Idr, RecordsResidualHistory) {
     opts.keep_residual_history = true;
     const auto result = idr(p.a, std::span<const double>(p.b),
                             std::span<double>(p.x), prec, opts);
-    ASSERT_TRUE(result.converged);
+    ASSERT_TRUE(result.converged());
     ASSERT_GT(result.residual_history.size(), 1u);
     EXPECT_DOUBLE_EQ(result.residual_history.front(),
                      result.initial_residual);
@@ -190,7 +190,7 @@ TEST(Idr, ZeroRhsConvergesImmediately) {
     precond::IdentityPreconditioner<double> prec;
     const auto result = idr(a, std::span<const double>(b),
                             std::span<double>(x), prec);
-    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.converged());
     EXPECT_EQ(result.iterations, 0);
 }
 
@@ -203,7 +203,7 @@ TEST(Idr, NonzeroInitialGuess) {
     precond::IdentityPreconditioner<double> prec;
     const auto result = idr(p.a, std::span<const double>(p.b),
                             std::span<double>(p.x), prec);
-    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.converged());
     EXPECT_LT(true_residual(p.a, p.b, p.x), 1e-5);
 }
 
@@ -225,15 +225,15 @@ TEST(Solvers, AllAgreeOnTheSolution) {
     iopts.rel_tol = 1e-10;
     ASSERT_TRUE(idr(a, std::span<const double>(b), std::span<double>(x1),
                     prec, iopts)
-                    .converged);
+                    .converged());
     ASSERT_TRUE(bicgstab(a, std::span<const double>(b),
                          std::span<double>(x2), prec, opts)
-                    .converged);
+                    .converged());
     GmresOptions gopts;
     gopts.rel_tol = 1e-10;
     ASSERT_TRUE(gmres(a, std::span<const double>(b), std::span<double>(x3),
                       prec, gopts)
-                    .converged);
+                    .converged());
     for (std::size_t i = 0; i < n; i += 17) {
         EXPECT_NEAR(x1[i], x_ref[i], 1e-6);
         EXPECT_NEAR(x2[i], x_ref[i], 1e-6);
@@ -250,7 +250,7 @@ TEST(Idr, SmoothingMonotoneAndCorrect) {
     opts.keep_residual_history = true;
     const auto result = idr(p.a, std::span<const double>(p.b),
                             std::span<double>(p.x), prec, opts);
-    ASSERT_TRUE(result.converged);
+    ASSERT_TRUE(result.converged());
     EXPECT_LT(true_residual(p.a, p.b, p.x), 1e-5);
     // The smoothed residual history is monotonically non-increasing.
     for (std::size_t i = 1; i < result.residual_history.size(); ++i) {
@@ -271,8 +271,8 @@ TEST(Idr, SmoothingAgreesWithPlainIdr) {
                         std::span<double>(p1.x), prec, plain);
     const auto r2 = idr(p2.a, std::span<const double>(p2.b),
                         std::span<double>(p2.x), prec, smooth);
-    ASSERT_TRUE(r1.converged);
-    ASSERT_TRUE(r2.converged);
+    ASSERT_TRUE(r1.converged());
+    ASSERT_TRUE(r2.converged());
     // Both solve the system; iteration counts are in the same ballpark.
     EXPECT_LT(true_residual(p2.a, p2.b, p2.x), 1e-5);
     EXPECT_LT(std::abs(r1.iterations - r2.iterations),

@@ -86,6 +86,23 @@ void check_kernel_stats(const std::string& path, const JsonValue& kernels) {
     }
 }
 
+// Any run that set up a block-Jacobi preconditioner must account for
+// every diagonal block: the recovery pipeline exports one counter per
+// BlockStatus, and they have to be present (and numeric) alongside the
+// setup counter.
+void check_recovery_counters(const std::string& path,
+                             const JsonValue& counters) {
+    if (counters.find("block_jacobi.setups") == nullptr) {
+        return;
+    }
+    for (const char* key :
+         {"block_jacobi.blocks_ok", "block_jacobi.blocks_boosted",
+          "block_jacobi.blocks_fell_back",
+          "block_jacobi.blocks_singular"}) {
+        require(path, counters, key, JsonValue::Type::number);
+    }
+}
+
 void validate(const std::string& path) {
     std::ifstream in(path);
     if (!in) {
@@ -112,7 +129,10 @@ void validate(const std::string& path) {
     }
     require(path, root, "name", JsonValue::Type::string);
     require(path, root, "config", JsonValue::Type::object);
-    require(path, root, "counters", JsonValue::Type::object);
+    if (const auto* counters =
+            require(path, root, "counters", JsonValue::Type::object)) {
+        check_recovery_counters(path, *counters);
+    }
     require(path, root, "gauges", JsonValue::Type::object);
     require(path, root, "wall_seconds", JsonValue::Type::number);
     if (const auto* phases =
