@@ -1,0 +1,49 @@
+// Non-owning, non-allocating callable reference (a minimal
+// std::function_ref until the library catches up with P0792).
+//
+// ThreadPool::parallel_for historically took a const std::function& --
+// which meant every call site paid a type-erasure heap allocation to
+// build the std::function *before* the pool could even decide to run the
+// range inline. For the solver hot path (thousands of tiny dispatches per
+// solve) that allocation was pure overhead. FunctionRef erases the type
+// through two raw pointers instead; the referenced callable must outlive
+// the call, which every parallel_for call site satisfies trivially (the
+// lambda lives in the caller's frame for the duration of the blocking
+// call).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace vbatch {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+public:
+    FunctionRef() = delete;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                  std::is_invocable_r_v<R, F&, Args...>>>
+    FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+        : obj_(const_cast<void*>(
+              static_cast<const void*>(std::addressof(f)))),
+          call_([](void* obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F>*>(obj))(
+                  std::forward<Args>(args)...);
+          }) {}
+
+    R operator()(Args... args) const {
+        return call_(obj_, std::forward<Args>(args)...);
+    }
+
+private:
+    void* obj_;
+    R (*call_)(void*, Args...);
+};
+
+}  // namespace vbatch

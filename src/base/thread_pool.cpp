@@ -1,12 +1,36 @@
 #include "base/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 
 #include "base/macros.hpp"
 #include "obs/trace.hpp"
 
 namespace vbatch {
+
+namespace {
+
+/// Set while the current thread runs a parallel_for body (worker or
+/// participating caller); nested parallel_for calls observe it and run
+/// inline instead of touching the single job slot.
+thread_local bool t_in_parallel_body = false;
+
+/// VBATCH_THREADS: positive integer = exact pool size for the global
+/// pool; unset/invalid = hardware_concurrency().
+unsigned env_thread_count() {
+    const char* env = std::getenv("VBATCH_THREADS");
+    if (env == nullptr || env[0] == '\0') {
+        return 0;
+    }
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed <= 0 || parsed > 1024) {
+        return 0;
+    }
+    return static_cast<unsigned>(parsed);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads) {
     if (num_threads == 0) {
@@ -34,12 +58,23 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPool& ThreadPool::global() {
-    static ThreadPool pool;
+    static ThreadPool pool(env_thread_count());
     return pool;
+}
+
+bool ThreadPool::in_worker() noexcept { return t_in_parallel_body; }
+
+size_type ThreadPool::check_range(size_type begin, size_type end) {
+    (void)begin;
+    (void)end;
+    VBATCH_ENSURE(false, "empty or reversed range");
+    std::abort();  // unreachable; ENSURE throws
 }
 
 void ThreadPool::drain(ParallelJob& job) {
     const size_type grain = job.grain;
+    const bool was_in_body = t_in_parallel_body;
+    t_in_parallel_body = true;
     for (;;) {
         const size_type i = job.next.fetch_add(grain,
                                                std::memory_order_relaxed);
@@ -48,9 +83,10 @@ void ThreadPool::drain(ParallelJob& job) {
         }
         const size_type hi = std::min(i + grain, job.end);
         for (size_type k = i; k < hi; ++k) {
-            (*job.body)(k);
+            (*job.body)(job.begin + k);
         }
     }
+    t_in_parallel_body = was_in_body;
 }
 
 void ThreadPool::worker_loop() {
@@ -78,33 +114,17 @@ void ThreadPool::worker_loop() {
     }
 }
 
-void ThreadPool::parallel_for(size_type begin, size_type end,
-                              const std::function<void(size_type)>& body,
+void ThreadPool::run_parallel(size_type begin, size_type end,
+                              FunctionRef<void(size_type)> body,
                               size_type grain) {
-    VBATCH_ENSURE(begin <= end, "empty or reversed range");
-    const size_type n = end - begin;
-    if (n == 0) {
-        return;
-    }
-    if (grain <= 0) {
-        // Aim for ~8 chunks per participant to balance load without
-        // excessive atomic traffic.
-        grain = std::max<size_type>(1, n / (8 * size()));
-    }
-    if (workers_.empty() || n <= grain) {
-        for (size_type i = begin; i < end; ++i) {
-            body(i);
-        }
-        return;
-    }
-
-    // Shift the job to operate on [0, n) internally and offset in the body.
-    const std::function<void(size_type)> shifted = [&](size_type i) {
-        body(begin + i);
-    };
+    // The inline fast paths (empty pool, single grain, nested call) were
+    // taken by the parallel_for template; here the range is worth real
+    // dispatch. The job operates on [0, n) internally; drain offsets by
+    // `begin` so no wrapper callable is needed.
     ParallelJob job;
-    job.body = &shifted;
-    job.end = n;
+    job.body = &body;
+    job.begin = begin;
+    job.end = end - begin;
     job.grain = grain;
     job.active_workers.store(static_cast<int>(workers_.size()),
                              std::memory_order_relaxed);

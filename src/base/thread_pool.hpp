@@ -5,15 +5,26 @@
 // pool never exposes raw threads. Tasks must not share writable state --
 // the batched kernels satisfy this by construction because every batch
 // entry owns a disjoint slice of the storage.
+//
+// Hot-path properties of parallel_for:
+//  - Ranges at or below one grain run inline on the calling thread: no
+//    mutex, no condition variable, no type-erasure allocation. Small
+//    per-block solves therefore cost exactly the loop body.
+//  - The callable is passed by FunctionRef, so no std::function is ever
+//    constructed (the old signature heap-allocated one per call).
+//  - Calls nested inside a worker body run inline as well; the pool has a
+//    single job slot and is not reentrant, so nested parallelism must
+//    degrade to sequential execution instead of deadlocking.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "base/function_ref.hpp"
 #include "base/types.hpp"
 
 namespace vbatch {
@@ -46,22 +57,64 @@ public:
     /// are done. Iterations are distributed in contiguous chunks of
     /// `grain` (0 = choose automatically). The calling thread participates.
     /// body must be safe to invoke concurrently for distinct i.
-    void parallel_for(size_type begin, size_type end,
-                      const std::function<void(size_type)>& body,
-                      size_type grain = 0);
+    ///
+    /// Ranges that fit in one grain -- and any call made from inside a
+    /// pool worker -- execute inline on the calling thread without paying
+    /// for dispatch.
+    template <typename F>
+    void parallel_for(size_type begin, size_type end, const F& body,
+                      size_type grain = 0) {
+        const size_type n = end >= begin ? end - begin
+                                         : check_range(begin, end);
+        if (n == 0) {
+            return;
+        }
+        if (grain <= 0) {
+            // Aim for ~8 chunks per participant to balance load without
+            // excessive atomic traffic; never chop finer than a handful of
+            // iterations, which would be pure dispatch overhead.
+            grain = std::max<size_type>(auto_grain_floor,
+                                        n / (8 * size()));
+        }
+        if (workers_.empty() || n <= grain || in_worker()) {
+            for (size_type i = begin; i < end; ++i) {
+                body(i);
+            }
+            return;
+        }
+        run_parallel(begin, end, FunctionRef<void(size_type)>(body), grain);
+    }
 
-    /// The process-wide default pool (sized to the hardware).
+    /// The process-wide default pool. Sized by the VBATCH_THREADS
+    /// environment variable when set to a positive integer, else to the
+    /// hardware. Results of every vbatch parallel kernel are bitwise
+    /// independent of this size (deterministic chunked reductions), so
+    /// VBATCH_THREADS only trades latency, never accuracy.
     static ThreadPool& global();
 
+    /// True while the calling thread is executing a parallel_for body on
+    /// behalf of this process's pools (nested calls run inline).
+    static bool in_worker() noexcept;
+
 private:
+    /// Floor for the automatically chosen grain: below this many
+    /// iterations per chunk the fetch_add + cache-miss cost of claiming a
+    /// chunk rivals the work itself.
+    static constexpr size_type auto_grain_floor = 16;
+
     struct ParallelJob {
-        const std::function<void(size_type)>* body = nullptr;
+        const FunctionRef<void(size_type)>* body = nullptr;
+        size_type begin = 0;
         std::atomic<size_type> next{0};
         size_type end = 0;
         size_type grain = 1;
         std::atomic<int> active_workers{0};
     };
 
+    [[noreturn]] static size_type check_range(size_type begin,
+                                              size_type end);
+    void run_parallel(size_type begin, size_type end,
+                      FunctionRef<void(size_type)> body, size_type grain);
     void worker_loop();
     static void drain(ParallelJob& job);
 

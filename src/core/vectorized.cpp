@@ -171,6 +171,16 @@ FactorizeStatus getrf_interleaved(InterleavedGroup<T>& g,
 }
 
 template <typename T>
+void getrs_interleaved_chunk(const InterleavedGroup<T>& g,
+                             InterleavedVectors<T>& b, size_type chunk) {
+    const auto m = static_cast<size_type>(g.size());
+    const size_type lanes = g.lanes();
+    run_getrs_chunk(g.isa(), g.values() + chunk * m * m * lanes,
+                    g.pivots() + chunk * m * lanes,
+                    b.values() + chunk * m * lanes, g.size(), lanes);
+}
+
+template <typename T>
 void getrs_interleaved(const InterleavedGroup<T>& g,
                        InterleavedVectors<T>& b,
                        const VectorizedOptions& opts) {
@@ -179,13 +189,8 @@ void getrs_interleaved(const InterleavedGroup<T>& g,
                   "rhs group does not match the factor group");
     obs::TraceRegion trace("getrs_interleaved");
     record_launch("trsv", g.isa(), g.count());
-    const auto isa = g.isa();
-    const auto m = g.size();
-    const size_type lanes = g.lanes();
     const auto body = [&](size_type c) {
-        run_getrs_chunk(isa, g.values() + c * m * m * lanes,
-                        g.pivots() + c * m * lanes,
-                        b.values() + c * m * lanes, m, lanes);
+        getrs_interleaved_chunk(g, b, c);
     };
     if (opts.parallel) {
         ThreadPool::global().parallel_for(0, g.chunks(), body, 1);
@@ -288,6 +293,9 @@ void getrs_batch_vectorized(const BatchedMatrices<T>& lu,
     template void getrs_interleaved<T>(const InterleavedGroup<T>&,           \
                                        InterleavedVectors<T>&,               \
                                        const VectorizedOptions&);            \
+    template void getrs_interleaved_chunk<T>(const InterleavedGroup<T>&,     \
+                                             InterleavedVectors<T>&,         \
+                                             size_type);                     \
     template FactorizeStatus getrf_batch_vectorized<T>(                      \
         BatchedMatrices<T>&, BatchedPivots&, const VectorizedOptions&);      \
     template void getrs_batch_vectorized<T>(const BatchedMatrices<T>&,       \

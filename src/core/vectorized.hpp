@@ -54,6 +54,15 @@ void getrs_interleaved(const InterleavedGroup<T>& g,
                        InterleavedVectors<T>& b,
                        const VectorizedOptions& opts = {});
 
+/// Solve one chunk (`lanes()` adjacent lanes) of the group, inline on the
+/// calling thread -- no pool dispatch, no tracing, no option plumbing.
+/// Building block for callers that schedule chunks themselves (the
+/// allocation-free block-Jacobi apply fuses gather/solve/scatter per
+/// chunk and drives all groups' chunks through one parallel loop).
+template <typename T>
+void getrs_interleaved_chunk(const InterleavedGroup<T>& g,
+                             InterleavedVectors<T>& b, size_type chunk);
+
 /// Drop-in vectorized getrf_batch: buckets `a` by block size, factorizes
 /// each bucket through the interleaved kernels and scatters factors +
 /// pivots back into the packed containers.

@@ -75,6 +75,11 @@ public:
     /// vbatch::SingularMatrix if a diagonal block breaks down.
     BlockJacobi(const sparse::Csr<T>& a, BlockJacobiOptions options);
 
+    /// z := M^{-1} r. Performs no heap allocation: the lu_simd path runs
+    /// on persistent per-group workspaces and precomputed row-offset maps
+    /// built at setup. Consequently apply is NOT safe to call concurrently
+    /// on the same object (distinct objects are fine); the Krylov solvers
+    /// apply strictly one at a time.
     void apply(std::span<const T> r, std::span<T> z) const override;
 
     std::string name() const override;
@@ -135,9 +140,28 @@ private:
     struct SimdGroup {
         core::InterleavedGroup<T> group;
         std::vector<size_type> indices;
+        /// Persistent right-hand-side workspace, sized once at setup; the
+        /// chunk tasks gather into / scatter out of it on every apply so
+        /// no InterleavedVectors is ever constructed per application.
+        /// mutable: apply is logically const but stages data here. Owned
+        /// exclusively by the chunk tasks of this group, each of which
+        /// touches a disjoint chunk.
+        mutable core::InterleavedVectors<T> rhs;
+        /// row_offsets[l] = flat row offset of lane l's block -- the
+        /// layout->row_offset indirection resolved once at setup.
+        std::vector<size_type> row_offsets;
+    };
+
+    /// One unit of apply work: chunk `chunk` of simd_groups_[group].
+    struct ApplyChunk {
+        size_type group;
+        size_type chunk;
     };
 
     core::FactorizeStatus factorize_simd(bool monitor);
+    /// Build the persistent rhs workspaces, offset maps and the flat
+    /// chunk-task list apply_simd dispatches over (setup-time only).
+    void build_apply_workspaces();
     void apply_simd(std::span<const T> r, std::span<T> z) const;
     /// Degeneracy scan + boost/fallback pipeline (non-strict setup only).
     void recover(const sparse::Csr<T>& a, core::FactorizeStatus& status);
@@ -157,7 +181,14 @@ private:
     core::BatchedPivots pivots_;
     std::vector<SimdGroup> simd_groups_;
     std::vector<size_type> simd_scalar_blocks_;
+    /// Every group's chunks flattened into one task list so a single
+    /// parallel_for spreads all groups (and the scalar leftovers appended
+    /// behind them) over the pool.
+    std::vector<ApplyChunk> apply_chunks_;
     size_type simd_block_count_ = 0;
+    /// Bytes one apply streams (factors + r + z), precomputed at setup
+    /// and fed to the metrics registry per application.
+    double apply_bytes_ = 0.0;
     double setup_seconds_ = 0.0;
     SetupPhases setup_phases_;
     /// Per-block outcomes; all `ok` under the strict policy.

@@ -6,6 +6,7 @@
 #include "base/macros.hpp"
 #include "base/timer.hpp"
 #include "blas/blas1.hpp"
+#include "blas/fused.hpp"
 
 namespace vbatch::solvers {
 
@@ -25,11 +26,8 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
     std::vector<T> r(nz), r0(nz), p(nz), v(nz), s(nz), t(nz), phat(nz),
         shat(nz);
     a.spmv(std::span<const T>(x), std::span<T>(r));
-    for (std::size_t i = 0; i < nz; ++i) {
-        r[i] = b[i] - r[i];
-    }
+    T normr = blas::fused_residual_norm2(b, std::span<T>(r));
     blas::copy(std::span<const T>(r), std::span<T>(r0));
-    T normr = blas::nrm2(std::span<const T>(r));
     result.initial_residual = static_cast<double>(normr);
     const T tol = static_cast<T>(opts.rel_tol) * normr;
     record_residual(opts, result, static_cast<double>(normr));
@@ -49,10 +47,8 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
             break;
         }
         const T beta = (rho / rho_old) * (alpha / omega);
-        // p = r + beta * (p - omega * v)
-        for (std::size_t i = 0; i < nz; ++i) {
-            p[i] = r[i] + beta * (p[i] - omega * v[i]);
-        }
+        blas::fused_bicg_p_update(beta, omega, std::span<const T>(r),
+                                  std::span<const T>(v), std::span<T>(p));
         prec.apply(std::span<const T>(p), std::span<T>(phat));
         a.spmv(std::span<const T>(phat), std::span<T>(v));
         ++iters;
@@ -63,10 +59,10 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
             break;
         }
         alpha = rho / r0v;
-        for (std::size_t i = 0; i < nz; ++i) {
-            s[i] = r[i] - alpha * v[i];
-        }
-        const T norms = blas::nrm2(std::span<const T>(s));
+        // s = r - alpha v and ||s|| in one sweep.
+        const T norms = blas::fused_sub_axpy_norm2(
+            alpha, std::span<const T>(r), std::span<const T>(v),
+            std::span<T>(s));
         if (norms <= tol) {
             blas::axpy(alpha, std::span<const T>(phat), std::span<T>(x));
             blas::copy(std::span<const T>(s), std::span<T>(r));
@@ -78,17 +74,20 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
         prec.apply(std::span<const T>(s), std::span<T>(shat));
         a.spmv(std::span<const T>(shat), std::span<T>(t));
         ++iters;
-        const T tt = blas::dot(std::span<const T>(t), std::span<const T>(t));
+        // (t, t) and (t, s) from a single pass over t.
+        const auto [tt, ts] = blas::fused_dot2(std::span<const T>(t),
+                                               std::span<const T>(t),
+                                               std::span<const T>(s));
         if (tt == T{}) {
             broke_down = true;
             break;
         }
-        omega = blas::dot(std::span<const T>(t), std::span<const T>(s)) / tt;
-        for (std::size_t i = 0; i < nz; ++i) {
-            x[i] += alpha * phat[i] + omega * shat[i];
-            r[i] = s[i] - omega * t[i];
-        }
-        normr = blas::nrm2(std::span<const T>(r));
+        omega = ts / tt;
+        // x += alpha phat + omega shat; r = s - omega t; ||r|| fused.
+        normr = blas::fused_bicg_xr_update(
+            alpha, std::span<const T>(phat), omega,
+            std::span<const T>(shat), std::span<const T>(s),
+            std::span<const T>(t), x, std::span<T>(r));
         record_residual(opts, result, static_cast<double>(normr));
         converged = normr <= tol;
         rho_old = rho;

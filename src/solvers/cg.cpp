@@ -5,6 +5,7 @@
 #include "base/macros.hpp"
 #include "base/timer.hpp"
 #include "blas/blas1.hpp"
+#include "blas/fused.hpp"
 
 namespace vbatch::solvers {
 
@@ -23,10 +24,7 @@ SolveResult cg(const sparse::Csr<T>& a, std::span<const T> b, std::span<T> x,
 
     std::vector<T> r(nz), z(nz), p(nz), q(nz);
     a.spmv(std::span<const T>(x), std::span<T>(r));
-    for (std::size_t i = 0; i < nz; ++i) {
-        r[i] = b[i] - r[i];
-    }
-    T normr = blas::nrm2(std::span<const T>(r));
+    T normr = blas::fused_residual_norm2(b, std::span<T>(r));
     result.initial_residual = static_cast<double>(normr);
     const T tol = static_cast<T>(opts.rel_tol) * normr;
     record_residual(opts, result, static_cast<double>(normr));
@@ -47,9 +45,10 @@ SolveResult cg(const sparse::Csr<T>& a, std::span<const T> b, std::span<T> x,
             break;
         }
         const T alpha = rz / pq;
-        blas::axpy(alpha, std::span<const T>(p), std::span<T>(x));
-        blas::axpy(-alpha, std::span<const T>(q), std::span<T>(r));
-        normr = blas::nrm2(std::span<const T>(r));
+        // x += alpha p; r -= alpha q; ||r|| -- one sweep instead of three.
+        normr = blas::fused_cg_update(alpha, std::span<const T>(p),
+                                      std::span<const T>(q), x,
+                                      std::span<T>(r));
         record_residual(opts, result, static_cast<double>(normr));
         converged = normr <= tol;
         if (converged) {

@@ -7,6 +7,7 @@
 #include "base/timer.hpp"
 #include "blas/blas1.hpp"
 #include "blas/dense_matrix.hpp"
+#include "blas/fused.hpp"
 
 namespace vbatch::solvers {
 
@@ -29,9 +30,7 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
     // Left-preconditioned residual: z = M^{-1}(b - A x).
     const auto compute_residual = [&] {
         a.spmv(std::span<const T>(x), std::span<T>(w));
-        for (std::size_t i = 0; i < nz; ++i) {
-            w[i] = b[i] - w[i];
-        }
+        blas::xpby(b, T{-1}, std::span<T>(w));
         prec.apply(std::span<const T>(w), std::span<T>(r));
         return blas::nrm2(std::span<const T>(r));
     };
@@ -47,6 +46,11 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
     std::vector<T> cs(static_cast<std::size_t>(m)),
         sn(static_cast<std::size_t>(m)), g(static_cast<std::size_t>(m) + 1),
         y(static_cast<std::size_t>(m));
+    // Projection coefficients of one Arnoldi step: first-pass h column,
+    // reorthogonalization correction, and their negation for multi_axpy.
+    std::vector<T> hcol(static_cast<std::size_t>(m) + 1),
+        corr(static_cast<std::size_t>(m) + 1),
+        neg(static_cast<std::size_t>(m) + 1);
     const auto vcol = [&](index_type j) {
         return std::span<T>{v.data() + static_cast<size_type>(j) *
                                            a.num_rows(),
@@ -62,12 +66,7 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
             converged = true;
             break;
         }
-        {
-            auto v0 = vcol(0);
-            for (std::size_t i = 0; i < nz; ++i) {
-                v0[i] = r[i] / beta;
-            }
-        }
+        blas::fused_div_copy(std::span<const T>(r), beta, vcol(0));
         blas::fill(std::span<T>(g), T{});
         g[0] = beta;
         index_type j = 0;
@@ -76,19 +75,36 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
             a.spmv(std::span<const T>(vcol(j)), std::span<T>(w));
             ++iters;
             prec.apply(std::span<const T>(w), std::span<T>(z));
-            // Modified Gram-Schmidt.
-            for (index_type i = 0; i <= j; ++i) {
-                h(i, j) = blas::dot(std::span<const T>(vcol(i)),
-                                    std::span<const T>(z));
-                blas::axpy(-h(i, j), std::span<const T>(vcol(i)),
-                           std::span<T>(z));
+            // Classical Gram-Schmidt with one reorthogonalization pass
+            // (CGS2). Unlike modified Gram-Schmidt -- whose j+1 dependent
+            // dot/axpy pairs each re-stream z -- the projection against
+            // the whole basis is two multi_dot/multi_axpy sweeps, and the
+            // second (correction) pass restores MGS-grade orthogonality.
+            const index_type cols = j + 1;
+            blas::multi_dot(v.data(), a.num_rows(), cols, z.data(),
+                            hcol.data());
+            for (index_type i = 0; i < cols; ++i) {
+                neg[static_cast<std::size_t>(i)] =
+                    -hcol[static_cast<std::size_t>(i)];
+            }
+            blas::multi_axpy(v.data(), a.num_rows(), cols, neg.data(),
+                             z.data());
+            blas::multi_dot(v.data(), a.num_rows(), cols, z.data(),
+                            corr.data());
+            for (index_type i = 0; i < cols; ++i) {
+                neg[static_cast<std::size_t>(i)] =
+                    -corr[static_cast<std::size_t>(i)];
+            }
+            blas::multi_axpy(v.data(), a.num_rows(), cols, neg.data(),
+                             z.data());
+            for (index_type i = 0; i < cols; ++i) {
+                h(i, j) = hcol[static_cast<std::size_t>(i)] +
+                          corr[static_cast<std::size_t>(i)];
             }
             h(j + 1, j) = blas::nrm2(std::span<const T>(z));
             if (h(j + 1, j) != T{}) {
-                auto vj1 = vcol(j + 1);
-                for (std::size_t i = 0; i < nz; ++i) {
-                    vj1[i] = z[i] / h(j + 1, j);
-                }
+                blas::fused_div_copy(std::span<const T>(z), h(j + 1, j),
+                                     vcol(j + 1));
             }
             // Apply the accumulated Givens rotations to column j.
             for (index_type i = 0; i < j; ++i) {
@@ -124,7 +140,8 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
                 break;
             }
         }
-        // Solve the (j x j) triangular system for y and update x.
+        // Solve the (j x j) triangular system for y and update x with all
+        // j basis columns in a single sweep.
         for (index_type i = j - 1; i >= 0; --i) {
             T acc = g[static_cast<std::size_t>(i)];
             for (index_type l = i + 1; l < j; ++l) {
@@ -132,10 +149,7 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
             }
             y[static_cast<std::size_t>(i)] = acc / h(i, i);
         }
-        for (index_type i = 0; i < j; ++i) {
-            blas::axpy(y[static_cast<std::size_t>(i)],
-                       std::span<const T>(vcol(i)), std::span<T>(x));
-        }
+        blas::multi_axpy(v.data(), a.num_rows(), j, y.data(), x.data());
         beta = compute_residual();
         converged = beta <= tol;
     }

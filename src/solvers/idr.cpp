@@ -8,6 +8,7 @@
 #include "base/timer.hpp"
 #include "blas/blas1.hpp"
 #include "blas/dense_matrix.hpp"
+#include "blas/fused.hpp"
 #include "blas/lapack.hpp"
 
 namespace vbatch::solvers {
@@ -56,10 +57,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
     // r = b - A x
     std::vector<T> r(nz);
     a.spmv(std::span<const T>(x), std::span<T>(r));
-    for (std::size_t i = 0; i < nz; ++i) {
-        r[i] = b[i] - r[i];
-    }
-    T normr = blas::nrm2(std::span<const T>(r));
+    T normr = blas::fused_residual_norm2(b, std::span<T>(r));
     result.initial_residual = static_cast<double>(normr);
     const T tol = static_cast<T>(opts.rel_tol) * normr;
     record_residual(opts, result, static_cast<double>(normr));
@@ -84,6 +82,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
 
     std::vector<T> f(static_cast<std::size_t>(s));
     std::vector<T> c(static_cast<std::size_t>(s));
+    std::vector<T> negc(static_cast<std::size_t>(s));
     std::vector<T> v(nz), vhat(nz), t(nz);
     T om{1};
 
@@ -100,33 +99,25 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
         if (!opts.smoothing) {
             return;
         }
-        // d = rs - r; gamma = (rs, d) / (d, d); rs -= gamma d.
-        T dd{}, rd{};
-        for (std::size_t i = 0; i < nz; ++i) {
-            const T d = rs[i] - r[i];
-            dd += d * d;
-            rd += rs[i] * d;
-        }
+        // d = rs - r; gamma = (rs, d) / (d, d); rs -= gamma d. Both dots
+        // come from one sweep, the update and ||rs|| from a second.
+        const auto [dd, rd] = blas::fused_smoothing_dots(
+            std::span<const T>(rs), std::span<const T>(r));
         if (dd == T{}) {
             return;
         }
         const T gamma = rd / dd;
-        for (std::size_t i = 0; i < nz; ++i) {
-            rs[i] -= gamma * (rs[i] - r[i]);
-            xs[i] -= gamma * (xs[i] - x[i]);
-        }
-        norm_rs = blas::nrm2(std::span<const T>(rs));
+        norm_rs = blas::fused_smooth_update(
+            gamma, std::span<const T>(r), std::span<const T>(x),
+            std::span<T>(rs), std::span<T>(xs));
     };
 
     index_type iters = 0;
     bool broke_down = false;
     bool converged = normr <= tol;
     while (!converged && iters < opts.max_iters && !broke_down) {
-        // f = P^T r
-        for (index_type i = 0; i < s; ++i) {
-            f[static_cast<std::size_t>(i)] =
-                blas::dot(pcol(i), std::span<const T>(r));
-        }
+        // f = P^T r: all s shadow projections in one basis sweep.
+        blas::multi_dot(p.data(), n, s, r.data(), f.data());
         for (index_type k = 0; k < s && !converged; ++k) {
             // Solve the trailing (s-k) x (s-k) block of M for c.
             const index_type sk = s - k;
@@ -145,25 +136,22 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
                 broke_down = true;
                 break;
             }
-            // v = r - sum_i c_i g_{k+i}
+            // v = r - sum_i c_i g_{k+i}: one sweep over the g columns.
             blas::copy(std::span<const T>(r), std::span<T>(v));
             for (index_type i = 0; i < sk; ++i) {
-                blas::axpy(-c[static_cast<std::size_t>(i)],
-                           std::span<const T>(gcol(k + i)), std::span<T>(v));
+                negc[static_cast<std::size_t>(i)] =
+                    -c[static_cast<std::size_t>(i)];
             }
+            blas::multi_axpy(g.data() + static_cast<size_type>(k) * n, n,
+                             sk, negc.data(), v.data());
             // Preconditioned direction.
             prec.apply(std::span<const T>(v), std::span<T>(vhat));
             // u_k = om * vhat + sum_i c_i u_{k+i}. The i = 0 term reads the
             // old u_k, so fold it into the overwriting pass.
             auto uk = ucol(k);
-            const T c0 = c[0];
-            for (std::size_t i = 0; i < nz; ++i) {
-                uk[i] = om * vhat[i] + c0 * uk[i];
-            }
-            for (index_type i = 1; i < sk; ++i) {
-                blas::axpy(c[static_cast<std::size_t>(i)],
-                           std::span<const T>(ucol(k + i)), std::span<T>(uk));
-            }
+            blas::fused_axpby(om, std::span<const T>(vhat), c[0], uk);
+            blas::multi_axpy(u.data() + static_cast<size_type>(k + 1) * n,
+                             n, sk - 1, c.data() + 1, uk.data());
             // g_k = A u_k
             a.spmv(std::span<const T>(uk), std::span<T>(gcol(k)));
             ++iters;
@@ -177,18 +165,19 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
                 blas::axpy(-alpha, std::span<const T>(ucol(i)),
                            std::span<T>(uk));
             }
-            // New column of M.
-            for (index_type i = k; i < s; ++i) {
-                mmat(i, k) = blas::dot(pcol(i), std::span<const T>(gcol(k)));
-            }
+            // New column of M: rows k..s-1 are contiguous in column k, so
+            // one batched sweep over p_k..p_{s-1} fills them directly.
+            blas::multi_dot(p.data() + static_cast<size_type>(k) * n, n, sk,
+                            gcol(k).data(),
+                            mmat.data() + static_cast<size_type>(k) * s + k);
             if (mmat(k, k) == T{}) {
                 broke_down = true;
                 break;
             }
             const T beta = f[static_cast<std::size_t>(k)] / mmat(k, k);
-            blas::axpy(-beta, std::span<const T>(gcol(k)), std::span<T>(r));
-            blas::axpy(beta, std::span<const T>(uk), std::span<T>(x));
-            normr = blas::nrm2(std::span<const T>(r));
+            blas::axpy(beta, std::span<const T>(uk), x);
+            normr = blas::fused_axpy_norm2(-beta, std::span<const T>(gcol(k)),
+                                           std::span<T>(r));
             smooth();
             const T monitored = opts.smoothing ? norm_rs : normr;
             record_residual(opts, result, static_cast<double>(monitored));
@@ -207,8 +196,10 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
         prec.apply(std::span<const T>(r), std::span<T>(vhat));
         a.spmv(std::span<const T>(vhat), std::span<T>(t));
         ++iters;
-        const T tt = blas::dot(std::span<const T>(t), std::span<const T>(t));
-        const T tr = blas::dot(std::span<const T>(t), std::span<const T>(r));
+        // (t, t) and (t, r) from a single pass over t.
+        const auto [tt, tr] = blas::fused_dot2(std::span<const T>(t),
+                                               std::span<const T>(t),
+                                               std::span<const T>(r));
         if (tt == T{}) {
             broke_down = true;
             break;
@@ -223,9 +214,9 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
             broke_down = true;
             break;
         }
-        blas::axpy(om, std::span<const T>(vhat), std::span<T>(x));
-        blas::axpy(-om, std::span<const T>(t), std::span<T>(r));
-        normr = blas::nrm2(std::span<const T>(r));
+        blas::axpy(om, std::span<const T>(vhat), x);
+        normr = blas::fused_axpy_norm2(-om, std::span<const T>(t),
+                                       std::span<T>(r));
         smooth();
         const T monitored = opts.smoothing ? norm_rs : normr;
         record_residual(opts, result, static_cast<double>(monitored));

@@ -5,6 +5,7 @@
 
 #include "base/macros.hpp"
 #include "base/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace vbatch::sparse {
 
@@ -76,6 +77,67 @@ Csr<T>::Csr(index_type num_rows, index_type num_cols,
                           "column indices not strictly increasing");
         }
     }
+    rebuild_spmv_partition();
+}
+
+template <typename T>
+void Csr<T>::rebuild_spmv_partition() {
+    spmv_parts_.clear();
+    spmv_parts_.push_back(0);
+    if (num_rows_ == 0) {
+        return;
+    }
+    // More parts than pool participants so the dynamic chunk claiming in
+    // parallel_for can still even out residual imbalance (a single part
+    // can never be split, so a lone hub row bounds the critical path at
+    // max(row_nnz, nnz/parts)).
+    const auto target_parts = std::min<size_type>(
+        num_rows_,
+        static_cast<size_type>(8 * ThreadPool::global().size()));
+    const size_type total = nnz();
+    for (size_type p = 1; p < target_parts; ++p) {
+        const size_type goal = total * p / target_parts;
+        const auto it = std::lower_bound(row_ptrs_.begin(), row_ptrs_.end(),
+                                         goal);
+        const auto row = static_cast<size_type>(it - row_ptrs_.begin());
+        if (row <= spmv_parts_.back() || row >= num_rows_) {
+            continue;  // keep boundaries strictly increasing
+        }
+        spmv_parts_.push_back(row);
+    }
+    spmv_parts_.push_back(num_rows_);
+}
+
+template <typename T>
+void Csr<T>::set_values(std::span<const T> new_values) {
+    VBATCH_ENSURE_DIMS(new_values.size() == values_.size());
+    std::copy(new_values.begin(), new_values.end(), values_.begin());
+    // Structure untouched: the cached spmv partition stays valid.
+}
+
+template <typename T>
+void Csr<T>::drop_small_entries(T threshold) {
+    std::vector<size_type> row_ptrs(row_ptrs_.size(), 0);
+    std::size_t out = 0;
+    for (index_type i = 0; i < num_rows_; ++i) {
+        for (auto p = row_ptrs_[static_cast<std::size_t>(i)];
+             p < row_ptrs_[static_cast<std::size_t>(i) + 1]; ++p) {
+            if (std::abs(values_[static_cast<std::size_t>(p)]) > threshold) {
+                col_idxs_[out] = col_idxs_[static_cast<std::size_t>(p)];
+                values_[out] = values_[static_cast<std::size_t>(p)];
+                ++out;
+            }
+        }
+        row_ptrs[static_cast<std::size_t>(i) + 1] =
+            static_cast<size_type>(out);
+    }
+    col_idxs_.resize(out);
+    values_.resize(out);
+    row_ptrs_ = std::move(row_ptrs);
+    // nnz distribution changed; a stale partition would still be *correct*
+    // (boundaries stay within [0, num_rows]) but unbalanced -- rebuild so
+    // the balance invariant survives structural edits.
+    rebuild_spmv_partition();
 }
 
 template <typename T>
@@ -105,20 +167,72 @@ void Csr<T>::spmv(T alpha, std::span<const T> x, T beta,
                   std::span<T> y) const {
     VBATCH_ENSURE_DIMS(static_cast<index_type>(x.size()) == num_cols_);
     VBATCH_ENSURE_DIMS(static_cast<index_type>(y.size()) == num_rows_);
-    const auto body = [&](size_type i) {
-        const auto beg = row_ptrs_[static_cast<std::size_t>(i)];
-        const auto end = row_ptrs_[static_cast<std::size_t>(i) + 1];
+    {
+        auto& registry = obs::Registry::global();
+        registry.add("spmv.launches", 1.0);
+        registry.add(
+            "spmv.bytes_moved",
+            static_cast<double>(
+                nnz() * (sizeof(T) + sizeof(index_type)) +
+                row_ptrs_.size() * sizeof(size_type) +
+                (static_cast<std::size_t>(num_rows_) +
+                 static_cast<std::size_t>(num_cols_)) *
+                    sizeof(T)));
+    }
+    // Each iteration is one nnz-balanced part; every row is still summed
+    // serially left-to-right, so y is bitwise independent of the partition
+    // (and therefore of the thread count). The y := A x case runs its own
+    // loop: the generic tail would stream the old y through every row (an
+    // extra memory pass) and let a stale NaN in y poison the product via
+    // 0 * y[i].
+    const T* vals = values_.data();
+    const index_type* cols = col_idxs_.data();
+    const size_type* rows = row_ptrs_.data();
+    const auto row_sum = [&](index_type i) {
+        const auto beg = rows[static_cast<std::size_t>(i)];
+        const auto end = rows[static_cast<std::size_t>(i) + 1];
         T acc{};
-        for (auto p = beg; p < end; ++p) {
-            acc += values_[static_cast<std::size_t>(p)] *
+        // Unrolled by two with a single accumulator: the additions stay in
+        // ascending-index order, so the sum is bitwise identical to the
+        // textbook loop while the loop overhead halves.
+        auto p = beg;
+        for (; p + 1 < end; p += 2) {
+            acc += vals[static_cast<std::size_t>(p)] *
                    x[static_cast<std::size_t>(
-                       col_idxs_[static_cast<std::size_t>(p)])];
+                       cols[static_cast<std::size_t>(p)])];
+            acc += vals[static_cast<std::size_t>(p) + 1] *
+                   x[static_cast<std::size_t>(
+                       cols[static_cast<std::size_t>(p) + 1])];
         }
-        y[static_cast<std::size_t>(i)] =
-            alpha * acc + beta * y[static_cast<std::size_t>(i)];
+        if (p < end) {
+            acc += vals[static_cast<std::size_t>(p)] *
+                   x[static_cast<std::size_t>(
+                       cols[static_cast<std::size_t>(p)])];
+        }
+        return acc;
     };
-    // Row-parallel SpMV; rows are independent.
-    ThreadPool::global().parallel_for(0, num_rows_, body, 2048);
+    const bool plain = alpha == T{1} && beta == T{};
+    const auto nparts = static_cast<size_type>(spmv_parts_.size()) - 1;
+    ThreadPool::global().parallel_for(
+        0, nparts,
+        [&](size_type part) {
+            const auto row_beg = static_cast<index_type>(
+                spmv_parts_[static_cast<std::size_t>(part)]);
+            const auto row_end = static_cast<index_type>(
+                spmv_parts_[static_cast<std::size_t>(part) + 1]);
+            if (plain) {
+                for (auto i = row_beg; i < row_end; ++i) {
+                    y[static_cast<std::size_t>(i)] = row_sum(i);
+                }
+            } else {
+                for (auto i = row_beg; i < row_end; ++i) {
+                    y[static_cast<std::size_t>(i)] =
+                        alpha * row_sum(i) +
+                        beta * y[static_cast<std::size_t>(i)];
+                }
+            }
+        },
+        1);
 }
 
 template <typename T>

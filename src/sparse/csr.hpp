@@ -5,6 +5,15 @@
 // Invariants: row_ptrs has num_rows()+1 monotonically non-decreasing
 // entries; within each row the column indices are strictly increasing
 // (duplicates are merged on construction).
+//
+// SpMV work distribution: a plain row split assigns each thread the same
+// number of rows, which collapses on skewed patterns (a few hub rows
+// holding most of the nnz serialize the whole product). Instead the
+// matrix caches an nnz-balanced partition of its rows -- part boundaries
+// found by binary search on row_ptrs so every part covers about the same
+// number of stored entries. The partition depends only on the sparsity
+// structure, so it is rebuilt exactly when the structure changes
+// (construction and structural mutators) and reused across every spmv.
 #pragma once
 
 #include <span>
@@ -25,7 +34,10 @@ struct Triplet {
 template <typename T>
 class Csr {
 public:
-    Csr() : num_rows_(0), num_cols_(0) { row_ptrs_.push_back(0); }
+    Csr() : num_rows_(0), num_cols_(0) {
+        row_ptrs_.push_back(0);
+        rebuild_spmv_partition();
+    }
 
     /// Build from an unordered triplet list; duplicate entries are summed.
     static Csr from_triplets(index_type num_rows, index_type num_cols,
@@ -49,6 +61,15 @@ public:
     std::span<const T> values() const noexcept { return values_; }
     std::span<T> values() noexcept { return values_; }
 
+    /// Replace the stored values, keeping the sparsity structure (and
+    /// therefore the cached spmv partition). Sizes must match.
+    void set_values(std::span<const T> new_values);
+
+    /// Remove every stored entry with |value| <= threshold. This is a
+    /// structural mutation: row_ptrs/col_idxs shrink and the cached spmv
+    /// partition is rebuilt for the new nnz distribution.
+    void drop_small_entries(T threshold);
+
     /// Entry (i, j), or zero if not stored (binary search; test helper).
     T at(index_type i, index_type j) const;
 
@@ -57,6 +78,13 @@ public:
 
     /// y := alpha A x + beta y
     void spmv(T alpha, std::span<const T> x, T beta, std::span<T> y) const;
+
+    /// The cached nnz-balanced row partition spmv runs over: part p covers
+    /// rows [partition[p], partition[p+1]), and all parts hold roughly
+    /// equal nnz. Exposed for tests and diagnostics.
+    std::span<const size_type> spmv_partition() const noexcept {
+        return spmv_parts_;
+    }
 
     /// Number of stored entries in row i.
     index_type row_nnz(index_type i) const noexcept {
@@ -73,11 +101,17 @@ public:
     bool is_symmetric(T tol) const;
 
 private:
+    /// Recompute spmv_parts_ from row_ptrs_. Called from every path that
+    /// establishes or changes the sparsity structure, so spmv never sees a
+    /// stale partition.
+    void rebuild_spmv_partition();
+
     index_type num_rows_;
     index_type num_cols_;
     std::vector<size_type> row_ptrs_;
     std::vector<index_type> col_idxs_;
     std::vector<T> values_;
+    std::vector<size_type> spmv_parts_;
 };
 
 }  // namespace vbatch::sparse
