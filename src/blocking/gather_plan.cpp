@@ -1,0 +1,158 @@
+#include "blocking/gather_plan.hpp"
+
+#include "base/thread_pool.hpp"
+#include "obs/trace.hpp"
+
+namespace vbatch::blocking {
+
+namespace {
+
+/// Mix one value into a running hash (splitmix-style avalanche step).
+inline void hash_mix(std::uint64_t& h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+/// Hash an array through four independent interleaved streams: the
+/// per-stream latency chains overlap, which makes the fingerprint ~4x
+/// cheaper than a single serial chain on long arrays. Deterministic and
+/// order-sensitive (each stream sees a fixed residue class).
+template <typename V>
+void hash_streams(std::uint64_t (&h)[4], std::span<const V> data) {
+    const std::size_t n = data.size();
+    const std::size_t n4 = n - n % 4;
+    for (std::size_t i = 0; i < n4; i += 4) {
+        hash_mix(h[0], static_cast<std::uint64_t>(data[i]));
+        hash_mix(h[1], static_cast<std::uint64_t>(data[i + 1]));
+        hash_mix(h[2], static_cast<std::uint64_t>(data[i + 2]));
+        hash_mix(h[3], static_cast<std::uint64_t>(data[i + 3]));
+    }
+    for (std::size_t i = n4; i < n; ++i) {
+        hash_mix(h[i % 4], static_cast<std::uint64_t>(data[i]));
+    }
+}
+
+}  // namespace
+
+std::uint64_t csr_pattern_hash(std::span<const size_type> row_ptrs,
+                               std::span<const index_type> col_idxs) {
+    std::uint64_t h[4] = {0x9e3779b97f4a7c15ULL, 0xbf58476d1ce4e5b9ULL,
+                          0x94d049bb133111ebULL, 0xd6e8feb86659fd93ULL};
+    hash_streams(h, row_ptrs);
+    hash_streams(h, col_idxs);
+    std::uint64_t out = h[0];
+    hash_mix(out, h[1]);
+    hash_mix(out, h[2]);
+    hash_mix(out, h[3]);
+    return out;
+}
+
+GatherPlan::GatherPlan(std::span<const size_type> row_ptrs,
+                       std::span<const index_type> col_idxs,
+                       core::BatchLayoutPtr layout)
+    : layout_(std::move(layout)),
+      num_rows_(static_cast<index_type>(row_ptrs.size()) - 1),
+      nnz_(static_cast<size_type>(col_idxs.size())),
+      pattern_hash_(csr_pattern_hash(row_ptrs, col_idxs)) {
+    VBATCH_ENSURE(layout_ != nullptr, "gather plan needs a block layout");
+    VBATCH_ENSURE(layout_->total_rows() == num_rows_,
+                  "block sizes must partition the matrix");
+    obs::TraceRegion trace("build_gather_plan");
+    const size_type nb = layout_->count();
+    entry_ptrs_.assign(static_cast<std::size_t>(nb) + 1, 0);
+
+    // Count pass: find each row's in-block column range once and memoize
+    // it, so the fill pass below is a straight indexed copy instead of a
+    // second column scan. Every block owns a disjoint row slice.
+    std::vector<size_type> row_beg(static_cast<std::size_t>(num_rows_));
+    std::vector<size_type> row_end(static_cast<std::size_t>(num_rows_));
+    ThreadPool::global().parallel_for(
+        0, nb,
+        [&](size_type b) {
+            const auto r0 = static_cast<index_type>(layout_->row_offset(b));
+            const index_type m = layout_->size(b);
+            size_type n = 0;
+            for (index_type i = 0; i < m; ++i) {
+                const auto row = static_cast<std::size_t>(r0 + i);
+                auto p = row_ptrs[row];
+                const auto row_stop = row_ptrs[row + 1];
+                while (p < row_stop &&
+                       col_idxs[static_cast<std::size_t>(p)] < r0) {
+                    ++p;
+                }
+                row_beg[row] = p;
+                while (p < row_stop &&
+                       col_idxs[static_cast<std::size_t>(p)] < r0 + m) {
+                    ++p;
+                }
+                row_end[row] = p;
+                n += p - row_beg[row];
+            }
+            entry_ptrs_[static_cast<std::size_t>(b) + 1] = n;
+        },
+        batch_entry_grain);
+    for (size_type b = 0; b < nb; ++b) {
+        entry_ptrs_[static_cast<std::size_t>(b) + 1] +=
+            entry_ptrs_[static_cast<std::size_t>(b)];
+    }
+    src_.resize(static_cast<std::size_t>(entry_ptrs_.back()));
+    dst_.resize(src_.size());
+    ThreadPool::global().parallel_for(
+        0, nb,
+        [&](size_type b) {
+            const auto r0 = static_cast<index_type>(layout_->row_offset(b));
+            const index_type m = layout_->size(b);
+            auto e = static_cast<std::size_t>(
+                entry_ptrs_[static_cast<std::size_t>(b)]);
+            for (index_type i = 0; i < m; ++i) {
+                const auto row = static_cast<std::size_t>(r0 + i);
+                const auto end = row_end[row];
+                for (auto p = row_beg[row]; p < end; ++p, ++e) {
+                    src_[e] = p;
+                    // Column-major slot (c_local * m + r_local); fits in
+                    // index_type because m <= max_block_size.
+                    dst_[e] =
+                        (col_idxs[static_cast<std::size_t>(p)] - r0) * m + i;
+                }
+            }
+        },
+        batch_entry_grain);
+}
+
+core::InterleavedGatherMap GatherPlan::interleaved_map(
+    std::span<const size_type> indices, index_type lanes) const {
+    VBATCH_ENSURE(!indices.empty(),
+                  "interleaved gather map needs at least one lane");
+    core::InterleavedGatherMap map;
+    const auto count = static_cast<size_type>(indices.size());
+    map.lane_ptrs.resize(static_cast<std::size_t>(count) + 1, 0);
+    for (size_type l = 0; l < count; ++l) {
+        map.lane_ptrs[static_cast<std::size_t>(l) + 1] =
+            map.lane_ptrs[static_cast<std::size_t>(l)] +
+            block_entries(indices[static_cast<std::size_t>(l)]);
+    }
+    map.src.resize(static_cast<std::size_t>(map.lane_ptrs.back()));
+    map.dst.resize(map.src.size());
+    const auto m =
+        static_cast<size_type>(layout_->size(indices.front()));
+    const auto mm = m * m;
+    std::size_t out = 0;
+    for (size_type l = 0; l < count; ++l) {
+        const auto b = indices[static_cast<std::size_t>(l)];
+        VBATCH_ASSERT(static_cast<size_type>(layout_->size(b)) == m);
+        const auto beg = entry_begin(b);
+        const auto end = entry_begin(b + 1);
+        const size_type chunk_base = (l / lanes) * mm;
+        const size_type lane = l % lanes;
+        for (size_type e = beg; e < end; ++e, ++out) {
+            map.src[out] = src_[static_cast<std::size_t>(e)];
+            map.dst[out] =
+                (chunk_base +
+                 static_cast<size_type>(dst_[static_cast<std::size_t>(e)])) *
+                    lanes +
+                lane;
+        }
+    }
+    return map;
+}
+
+}  // namespace vbatch::blocking

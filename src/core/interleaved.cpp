@@ -1,5 +1,7 @@
 #include "core/interleaved.hpp"
 
+#include <algorithm>
+
 #include "base/macros.hpp"
 
 namespace vbatch::core {
@@ -100,6 +102,44 @@ void InterleavedGroup<T>::unpack_pivots(
     VBATCH_ENSURE(static_cast<size_type>(idx.size()) == count_,
                   "index list does not match group count");
     for (size_type l = 0; l < count_; ++l) {
+        auto p = dst.span(idx[static_cast<std::size_t>(l)]);
+        VBATCH_ENSURE_DIMS(static_cast<index_type>(p.size()) == m_);
+        for (index_type k = 0; k < m_; ++k) {
+            p[static_cast<std::size_t>(k)] = pivots_[pivot_index(k, l)];
+        }
+    }
+}
+
+template <typename T>
+void InterleavedGroup<T>::unpack_matrices_chunk(
+    BatchedMatrices<T>& dst, std::span<const size_type> idx,
+    size_type chunk) const {
+    VBATCH_ENSURE(static_cast<size_type>(idx.size()) == count_,
+                  "index list does not match group count");
+    const size_type lane_lo = chunk * lanes_;
+    const size_type lane_hi = std::min(lane_lo + lanes_, count_);
+    for (size_type l = lane_lo; l < lane_hi; ++l) {
+        auto v = dst.view(idx[static_cast<std::size_t>(l)]);
+        VBATCH_ENSURE_DIMS(v.rows() == m_);
+        for (index_type c = 0; c < m_; ++c) {
+            T* col = v.col(c);
+            const T* src = values_.data() + value_index(0, c, l);
+            for (index_type r = 0; r < m_; ++r) {
+                col[r] = src[static_cast<size_type>(r) * lanes_];
+            }
+        }
+    }
+}
+
+template <typename T>
+void InterleavedGroup<T>::unpack_pivots_chunk(BatchedPivots& dst,
+                                              std::span<const size_type> idx,
+                                              size_type chunk) const {
+    VBATCH_ENSURE(static_cast<size_type>(idx.size()) == count_,
+                  "index list does not match group count");
+    const size_type lane_lo = chunk * lanes_;
+    const size_type lane_hi = std::min(lane_lo + lanes_, count_);
+    for (size_type l = lane_lo; l < lane_hi; ++l) {
         auto p = dst.span(idx[static_cast<std::size_t>(l)]);
         VBATCH_ENSURE_DIMS(static_cast<index_type>(p.size()) == m_);
         for (index_type k = 0; k < m_; ++k) {

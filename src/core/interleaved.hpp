@@ -82,6 +82,16 @@ public:
     void unpack_pivots(BatchedPivots& dst,
                        std::span<const size_type> idx) const;
 
+    /// Chunk-local unpack: scatter only the lanes of `chunk` (the fused
+    /// setup pass writes factors back while the chunk is cache-hot). idx
+    /// spans the whole group, exactly as in unpack_matrices.
+    void unpack_matrices_chunk(BatchedMatrices<T>& dst,
+                               std::span<const size_type> idx,
+                               size_type chunk) const;
+    void unpack_pivots_chunk(BatchedPivots& dst,
+                             std::span<const size_type> idx,
+                             size_type chunk) const;
+
 private:
     index_type m_ = 0;
     size_type count_ = 0;

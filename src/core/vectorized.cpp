@@ -171,6 +171,92 @@ FactorizeStatus getrf_interleaved(InterleavedGroup<T>& g,
 }
 
 template <typename T>
+void getrf_interleaved_chunk(InterleavedGroup<T>& g, size_type chunk) {
+    const auto m = static_cast<size_type>(g.size());
+    const size_type lanes = g.lanes();
+    run_getrf_chunk(g.isa(), g.values() + chunk * m * m * lanes,
+                    g.pivots() + chunk * m * lanes,
+                    g.info() + chunk * lanes, g.size(), lanes);
+}
+
+template <typename T>
+void gather_interleaved_chunk(InterleavedGroup<T>& g,
+                              const InterleavedGatherMap& map,
+                              std::span<const T> values, size_type chunk,
+                              FactorInfo* infos) {
+    const auto m = static_cast<size_type>(g.size());
+    const size_type lanes = g.lanes();
+    const size_type lane_lo = chunk * lanes;
+    const size_type lane_hi = std::min(lane_lo + lanes, g.count());
+    T* chunk_vals = g.values() + chunk * m * m * lanes;
+    for (size_type q = 0; q < m * m * lanes; ++q) {
+        chunk_vals[q] = T{};
+    }
+    // Only the tail chunk has padding lanes; re-establish their identity
+    // (the kernels rely on it to run full-width without masking).
+    for (size_type l = lane_hi; l < lane_lo + lanes; ++l) {
+        for (index_type d = 0; d < g.size(); ++d) {
+            g.values()[g.value_index(d, d, l)] = T{1};
+        }
+    }
+    for (size_type l = lane_lo; l < lane_hi; ++l) {
+        const auto beg =
+            static_cast<std::size_t>(map.lane_ptrs[static_cast<std::size_t>(l)]);
+        const auto end = static_cast<std::size_t>(
+            map.lane_ptrs[static_cast<std::size_t>(l) + 1]);
+        if (infos == nullptr) {
+            for (auto e = beg; e < end; ++e) {
+                g.values()[map.dst[e]] =
+                    values[static_cast<std::size_t>(map.src[e])];
+            }
+            continue;
+        }
+        // Entry statistics ride along with the gather. Pattern zeros can
+        // neither raise max|a_ij| nor be non-finite, so the stats equal
+        // getrf_interleaved's dense prepass over the packed lane.
+        FactorInfo fi;
+        for (auto e = beg; e < end; ++e) {
+            const T v = values[static_cast<std::size_t>(map.src[e])];
+            g.values()[map.dst[e]] = v;
+            const double av = std::abs(static_cast<double>(v));
+            if (!std::isfinite(av)) {
+                fi.finite = false;
+            } else if (av > fi.max_entry) {
+                fi.max_entry = av;
+            }
+        }
+        infos[l] = fi;
+    }
+}
+
+template <typename T>
+void scan_interleaved_chunk(const InterleavedGroup<T>& g, size_type chunk,
+                            FactorInfo* infos) {
+    const auto m = g.size();
+    const size_type lanes = g.lanes();
+    const size_type lane_lo = chunk * lanes;
+    const size_type lane_hi = std::min(lane_lo + lanes, g.count());
+    for (size_type l = lane_lo; l < lane_hi; ++l) {
+        auto& info = infos[l];
+        if (g.info()[l] != 0) {
+            info.step = g.info()[l];
+            info.min_pivot = 0.0;
+            continue;
+        }
+        for (index_type k = 0; k < m; ++k) {
+            const double p = std::abs(
+                static_cast<double>(g.values()[g.value_index(k, k, l)]));
+            if (!std::isfinite(p)) {
+                info.finite = false;
+            } else {
+                info.min_pivot = std::min(info.min_pivot, p);
+                info.max_pivot = std::max(info.max_pivot, p);
+            }
+        }
+    }
+}
+
+template <typename T>
 void getrs_interleaved_chunk(const InterleavedGroup<T>& g,
                              InterleavedVectors<T>& b, size_type chunk) {
     const auto m = static_cast<size_type>(g.size());
@@ -296,6 +382,13 @@ void getrs_batch_vectorized(const BatchedMatrices<T>& lu,
     template void getrs_interleaved_chunk<T>(const InterleavedGroup<T>&,     \
                                              InterleavedVectors<T>&,         \
                                              size_type);                     \
+    template void getrf_interleaved_chunk<T>(InterleavedGroup<T>&,           \
+                                             size_type);                     \
+    template void gather_interleaved_chunk<T>(                               \
+        InterleavedGroup<T>&, const InterleavedGatherMap&,                   \
+        std::span<const T>, size_type, FactorInfo*);                         \
+    template void scan_interleaved_chunk<T>(const InterleavedGroup<T>&,      \
+                                            size_type, FactorInfo*);         \
     template FactorizeStatus getrf_batch_vectorized<T>(                      \
         BatchedMatrices<T>&, BatchedPivots&, const VectorizedOptions&);      \
     template void getrs_batch_vectorized<T>(const BatchedMatrices<T>&,       \

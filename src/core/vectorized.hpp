@@ -63,6 +63,43 @@ template <typename T>
 void getrs_interleaved_chunk(const InterleavedGroup<T>& g,
                              InterleavedVectors<T>& b, size_type chunk);
 
+/// Factorize one chunk of the group, inline on the calling thread -- the
+/// getrf counterpart of getrs_interleaved_chunk. Building block of the
+/// fused gather+factorize setup pass.
+template <typename T>
+void getrf_interleaved_chunk(InterleavedGroup<T>& g, size_type chunk);
+
+/// Sparse gather map from a flat CSR value array into the lane slots of
+/// one InterleavedGroup: lane l's entries occupy
+/// [lane_ptrs[l], lane_ptrs[l+1]) of src/dst, src holds flat CSR value
+/// indices and dst offsets into InterleavedGroup::values(). Built once
+/// per sparsity pattern by blocking::GatherPlan::interleaved_map.
+struct InterleavedGatherMap {
+    std::vector<size_type> lane_ptrs;
+    std::vector<size_type> src;
+    std::vector<size_type> dst;
+};
+
+/// Numeric gather of one chunk: zero the chunk, restore the identity in
+/// its padding lanes, then scatter `values` through `map`. With a
+/// non-null `infos` (indexed by global lane, entries overwritten) the
+/// per-lane entry statistics (max_entry, finite) are collected from the
+/// gathered values -- identical to getrf_interleaved's dense prepass,
+/// since pattern zeros can neither raise max|a_ij| nor be non-finite.
+template <typename T>
+void gather_interleaved_chunk(InterleavedGroup<T>& g,
+                              const InterleavedGatherMap& map,
+                              std::span<const T> values, size_type chunk,
+                              FactorInfo* infos);
+
+/// Post-factorization monitor scan of one chunk: fills step/min_pivot/
+/// max_pivot of `infos` (indexed by global lane) exactly the way
+/// getrf_interleaved's post-hoc pivot scan does -- the pivot-ordered
+/// writeback leaves the selected pivot magnitudes on the U diagonal.
+template <typename T>
+void scan_interleaved_chunk(const InterleavedGroup<T>& g, size_type chunk,
+                            FactorInfo* infos);
+
 /// Drop-in vectorized getrf_batch: buckets `a` by block size, factorizes
 /// each bucket through the interleaved kernels and scatters factors +
 /// pivots back into the packed containers.

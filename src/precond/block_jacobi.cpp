@@ -1,8 +1,11 @@
 #include "precond/block_jacobi.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "base/thread_pool.hpp"
 #include "blas/lapack.hpp"
@@ -10,6 +13,24 @@
 #include "obs/trace.hpp"
 
 namespace vbatch::precond {
+
+namespace {
+
+/// Lock-free accumulation of the per-task phase timings (the tasks of
+/// one numeric pass add their slices concurrently).
+void atomic_add(std::atomic<double>& acc, double v) {
+    double cur = acc.load(std::memory_order_relaxed);
+    while (!acc.compare_exchange_weak(cur, cur + v,
+                                      std::memory_order_relaxed)) {
+    }
+}
+
+/// Blocks per timing sub-batch of a scalar-range task: coarse enough to
+/// amortize the clock reads against small-block work, fine enough to
+/// split the gather/factorize attribution honestly.
+constexpr size_type scalar_stats_batch = 8;
+
+}  // namespace
 
 std::string backend_name(BlockJacobiBackend backend) {
     switch (backend) {
@@ -40,56 +61,11 @@ BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
         }
     }
     {
-        ScopedTimer phase(setup_phases_.extraction_seconds);
-        factors_ = blocking::extract_diagonal_blocks(a, layout_);
-        pivots_ = core::BatchedPivots(layout_);
+        obs::TraceRegion plan_trace("setup_plan");
+        ScopedTimer phase(setup_phases_.plan_seconds);
+        build_symbolic(a);
     }
-    const bool strict =
-        options_.recovery.mode == RecoveryPolicy::Mode::strict;
-    core::FactorizeStatus status;
-    {
-        obs::TraceRegion factor_trace("factorize_blocks");
-        ScopedTimer phase(setup_phases_.factorize_seconds);
-        core::GetrfOptions fopts;
-        fopts.parallel = options_.parallel;
-        // Non-strict setup: never abort mid-batch -- collect per-block
-        // outcomes and let recover() decide what survives.
-        fopts.monitor = !strict;
-        if (!strict) {
-            fopts.on_singular = core::SingularPolicy::report;
-        }
-        switch (options_.backend) {
-        case BlockJacobiBackend::lu:
-            status = core::getrf_batch(factors_, pivots_, fopts);
-            break;
-        case BlockJacobiBackend::lu_simd:
-            status = factorize_simd(fopts.monitor);
-            break;
-        case BlockJacobiBackend::gauss_huard:
-            status = core::gauss_huard_batch(
-                factors_, pivots_, core::GhStorage::standard, fopts);
-            break;
-        case BlockJacobiBackend::gauss_huard_t:
-            status = core::gauss_huard_batch(
-                factors_, pivots_, core::GhStorage::transposed, fopts);
-            break;
-        case BlockJacobiBackend::gje_inversion:
-            status = core::gauss_jordan_batch(factors_, fopts);
-            break;
-        case BlockJacobiBackend::cholesky:
-            status = core::potrf_batch(factors_, fopts);
-            break;
-        }
-    }
-    if (strict) {
-        // The factorization either threw or every block is clean.
-        block_status_.assign(static_cast<std::size_t>(layout_->count()),
-                             core::BlockStatus::ok);
-        recovery_.ok = layout_->count();
-    } else {
-        ScopedTimer phase(setup_phases_.recovery_seconds);
-        recover(a, status);
-    }
+    run_numeric(a);
     if (options_.backend == BlockJacobiBackend::lu_simd) {
         build_apply_workspaces();
     }
@@ -108,12 +84,39 @@ BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
                      static_cast<double>(simd_groups_.size()));
     }
     registry.add("block_jacobi.setups", 1.0);
+    registry.add("block_jacobi.plan_builds", 1.0);
     registry.add("block_jacobi.blocking_seconds",
                  setup_phases_.blocking_seconds);
-    registry.add("block_jacobi.extraction_seconds",
-                 setup_phases_.extraction_seconds);
+    registry.add("block_jacobi.plan_seconds", setup_phases_.plan_seconds);
+    record_numeric_metrics();
+    registry.set("block_jacobi.num_blocks",
+                 static_cast<double>(layout_->count()));
+}
+
+template <typename T>
+void BlockJacobi<T>::refresh(const sparse::Csr<T>& a) {
+    VBATCH_ENSURE(plan_.matches(a),
+                  "block-Jacobi refresh: matrix sparsity pattern differs "
+                  "from the one the preconditioner was set up with");
+    obs::TraceRegion trace("block_jacobi::refresh");
+    Timer timer;
+    run_numeric(a);
+    refresh_seconds_ = timer.seconds();
+    auto& registry = obs::Registry::global();
+    registry.add("block_jacobi.refreshes", 1.0);
+    registry.add("block_jacobi.plan_reuses", 1.0);
+    registry.add("block_jacobi.refresh_seconds", refresh_seconds_);
+    record_numeric_metrics();
+}
+
+template <typename T>
+void BlockJacobi<T>::record_numeric_metrics() const {
+    auto& registry = obs::Registry::global();
+    registry.add("block_jacobi.gather_seconds",
+                 setup_phases_.gather_seconds);
     registry.add("block_jacobi.factorize_seconds",
                  setup_phases_.factorize_seconds);
+    registry.add("block_jacobi.pack_seconds", setup_phases_.pack_seconds);
     registry.add("block_jacobi.recovery_seconds",
                  setup_phases_.recovery_seconds);
     registry.add("block_jacobi.blocks_ok",
@@ -125,35 +128,85 @@ BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
     registry.add("block_jacobi.blocks_singular",
                  static_cast<double>(recovery_.singular));
     registry.set("block_jacobi.max_pivot_growth", recovery_.max_growth);
-    registry.set("block_jacobi.num_blocks",
-                 static_cast<double>(layout_->count()));
 }
 
 template <typename T>
-core::FactorizeStatus BlockJacobi<T>::factorize_simd(bool monitor) {
-    // Clamp once so the kept groups, metrics and name() agree on the ISA
-    // actually executed.
-    if (!core::simd_isa_available(options_.simd)) {
-        options_.simd = core::detect_simd_isa();
+void BlockJacobi<T>::build_symbolic(const sparse::Csr<T>& a) {
+    plan_ = blocking::GatherPlan(a, layout_);
+    factors_ = core::BatchedMatrices<T>(layout_);
+    pivots_ = core::BatchedPivots(layout_);
+    const bool monitor =
+        options_.recovery.mode != RecoveryPolicy::Mode::strict;
+    if (options_.backend == BlockJacobiBackend::lu_simd) {
+        // Clamp once so the kept groups, metrics and name() agree on the
+        // ISA actually executed.
+        if (!core::simd_isa_available(options_.simd)) {
+            options_.simd = core::detect_simd_isa();
+        }
+        const auto plan = blocking::build_size_class_plan(
+            *layout_, core::simd_lanes<T>(options_.simd));
+        simd_groups_.reserve(plan.vector_groups.size());
+        for (const auto& cls : plan.vector_groups) {
+            SimdGroup sg;
+            sg.indices = cls.indices;
+            sg.group = core::InterleavedGroup<T>(
+                cls.size, static_cast<size_type>(cls.indices.size()),
+                options_.simd);
+            sg.gather = plan_.interleaved_map(sg.indices,
+                                              sg.group.lanes());
+            if (monitor) {
+                sg.lane_infos.resize(sg.indices.size());
+            }
+            const auto g = static_cast<size_type>(simd_groups_.size());
+            for (size_type c = 0; c < sg.group.chunks(); ++c) {
+                setup_tasks_.push_back({g, c, 0, 0});
+            }
+            simd_groups_.push_back(std::move(sg));
+        }
+        simd_block_count_ = plan.vector_block_count();
+        simd_scalar_blocks_ = plan.scalar_indices;
     }
-    const auto plan = blocking::build_size_class_plan(
-        *layout_, core::simd_lanes<T>(options_.simd));
+    // Scalar-path blocks (all blocks for the non-lane backends) run in
+    // ranges of batch_entry_grain -- task units of a weight comparable
+    // to one SIMD chunk, matching the grain the batch drivers used.
+    const auto nscalar = scalar_count();
+    for (size_type lo = 0; lo < nscalar; lo += batch_entry_grain) {
+        setup_tasks_.push_back(
+            {no_group, 0, lo, std::min(lo + batch_entry_grain, nscalar)});
+    }
+}
 
-    core::VectorizedOptions vopts;
-    vopts.isa = options_.simd;
-    vopts.parallel = options_.parallel;
-    vopts.on_singular = core::SingularPolicy::report;
-    vopts.monitor = monitor;
+template <typename T>
+void BlockJacobi<T>::run_numeric(const sparse::Csr<T>& a) {
+    obs::TraceRegion trace("fused_numeric_setup");
+    const bool strict =
+        options_.recovery.mode == RecoveryPolicy::Mode::strict;
+    const bool monitor = !strict;
+    const size_type nb = layout_->count();
+    const auto values = a.values();
+
+    setup_phases_.gather_seconds = 0.0;
+    setup_phases_.factorize_seconds = 0.0;
+    setup_phases_.pack_seconds = 0.0;
+    setup_phases_.recovery_seconds = 0.0;
+    recovery_ = {};
+    degraded_blocks_.clear();
+    fallback_inv_diag_.clear();
 
     core::FactorizeStatus status;
     if (monitor) {
-        status.block_status.assign(
-            static_cast<std::size_t>(layout_->count()),
-            core::BlockStatus::ok);
-        status.block_info.resize(
-            static_cast<std::size_t>(layout_->count()));
+        status.block_status.assign(static_cast<std::size_t>(nb),
+                                   core::BlockStatus::ok);
+        status.block_info.assign(static_cast<std::size_t>(nb), {});
     }
+    std::atomic<double> gather_s{0.0};
+    std::atomic<double> factor_s{0.0};
+    std::atomic<double> pack_s{0.0};
+    // Breakdowns are rare; a mutex keeps (first_failure, step) coherent
+    // without an atomic two-field dance on the common path.
+    std::mutex failure_mutex;
     const auto note_failure = [&](size_type block, index_type step) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
         if (status.failures == 0 || block < status.first_failure) {
             status.first_failure = block;
             status.first_failure_step = step;
@@ -161,91 +214,158 @@ core::FactorizeStatus BlockJacobi<T>::factorize_simd(bool monitor) {
         ++status.failures;
     };
 
-    simd_groups_.clear();
-    simd_groups_.reserve(plan.vector_groups.size());
-    for (const auto& cls : plan.vector_groups) {
-        SimdGroup sg;
-        sg.indices = cls.indices;
-        sg.group = core::InterleavedGroup<T>(
-            cls.size, static_cast<size_type>(cls.indices.size()),
-            options_.simd);
-        sg.group.pack_matrices(factors_, sg.indices);
-        const auto st = core::getrf_interleaved(sg.group, vopts);
-        // Scatter factors and pivots back so factors()/pivots() and the
-        // diagnostics stay truthful regardless of the apply path taken.
-        sg.group.unpack_matrices(factors_, sg.indices);
-        sg.group.unpack_pivots(pivots_, sg.indices);
-        if (monitor) {
-            for (std::size_t l = 0; l < sg.indices.size(); ++l) {
-                const auto gi = static_cast<std::size_t>(sg.indices[l]);
-                status.block_status[gi] = st.block_status[l];
-                status.block_info[gi] = st.block_info[l];
+    // One fused pass: every task gathers its blocks straight into the
+    // persistent factor storage and factorizes them cache-hot -- no
+    // intermediate batch container, no extract/pack/factorize barriers.
+    const auto body = [&](size_type t) {
+        const auto& task = setup_tasks_[static_cast<std::size_t>(t)];
+        if (task.group != no_group) {
+            auto& sg = simd_groups_[static_cast<std::size_t>(task.group)];
+            core::FactorInfo* infos =
+                monitor ? sg.lane_infos.data() : nullptr;
+            Timer tg;
+            core::gather_interleaved_chunk(sg.group, sg.gather, values,
+                                           task.chunk, infos);
+            atomic_add(gather_s, tg.seconds());
+            Timer tf;
+            core::getrf_interleaved_chunk(sg.group, task.chunk);
+            if (monitor) {
+                core::scan_interleaved_chunk(sg.group, task.chunk, infos);
             }
-        }
-        if (!st.ok()) {
-            for (size_type l = 0; l < sg.group.count(); ++l) {
-                if (sg.group.info()[l] != 0) {
-                    note_failure(
-                        sg.indices[static_cast<std::size_t>(l)],
-                        sg.group.info()[l]);
+            atomic_add(factor_s, tf.seconds());
+            // Scatter factors and pivots back while the chunk is hot so
+            // factors()/pivots() and the diagnostics stay truthful
+            // regardless of the apply path taken.
+            Timer tp;
+            sg.group.unpack_matrices_chunk(factors_, sg.indices,
+                                           task.chunk);
+            sg.group.unpack_pivots_chunk(pivots_, sg.indices, task.chunk);
+            atomic_add(pack_s, tp.seconds());
+            const auto lanes = static_cast<size_type>(sg.group.lanes());
+            const size_type lane_lo = task.chunk * lanes;
+            const size_type lane_hi =
+                std::min(lane_lo + lanes, sg.group.count());
+            for (size_type l = lane_lo; l < lane_hi; ++l) {
+                const auto step = sg.group.info()[l];
+                const auto gi =
+                    sg.indices[static_cast<std::size_t>(l)];
+                if (monitor) {
+                    status.block_info[static_cast<std::size_t>(gi)] =
+                        sg.lane_infos[static_cast<std::size_t>(l)];
+                    if (step != 0) {
+                        status
+                            .block_status[static_cast<std::size_t>(gi)] =
+                            core::BlockStatus::singular;
+                    }
+                }
+                if (step != 0) {
+                    note_failure(gi, step);
                 }
             }
+            return;
         }
-        simd_groups_.push_back(std::move(sg));
-    }
-    simd_block_count_ = plan.vector_block_count();
-
-    simd_scalar_blocks_ = plan.scalar_indices;
-    for (const auto b : simd_scalar_blocks_) {
-        index_type step;
-        if (monitor) {
-            step = core::getrf_implicit(
-                factors_.view(b), pivots_.span(b),
-                status.block_info[static_cast<std::size_t>(b)]);
-            if (step != 0) {
-                status.block_status[static_cast<std::size_t>(b)] =
-                    core::BlockStatus::singular;
+        double gsec = 0.0;
+        double fsec = 0.0;
+        for (size_type lo = task.lo; lo < task.hi;
+             lo += scalar_stats_batch) {
+            const size_type hi =
+                std::min(lo + scalar_stats_batch, task.hi);
+            Timer tg;
+            for (size_type i = lo; i < hi; ++i) {
+                const auto b = scalar_block(i);
+                plan_.gather_block(values, b, factors_.view(b));
             }
+            gsec += tg.seconds();
+            Timer tf;
+            for (size_type i = lo; i < hi; ++i) {
+                const auto b = scalar_block(i);
+                core::FactorInfo* info =
+                    monitor
+                        ? &status.block_info[static_cast<std::size_t>(b)]
+                        : nullptr;
+                const auto step = factorize_block(b, info);
+                if (step != 0) {
+                    if (monitor) {
+                        status.block_status[static_cast<std::size_t>(b)] =
+                            core::BlockStatus::singular;
+                    }
+                    note_failure(b, step);
+                }
+            }
+            fsec += tf.seconds();
+        }
+        atomic_add(gather_s, gsec);
+        atomic_add(factor_s, fsec);
+    };
+    {
+        obs::TraceRegion fused_trace("fused_gather_factorize");
+        const auto ntasks = static_cast<size_type>(setup_tasks_.size());
+        if (options_.parallel) {
+            ThreadPool::global().parallel_for(0, ntasks, body, 1);
         } else {
-            step = core::getrf_implicit(factors_.view(b), pivots_.span(b));
-        }
-        if (step != 0) {
-            note_failure(b, step);
+            for (size_type t = 0; t < ntasks; ++t) {
+                body(t);
+            }
         }
     }
+    setup_phases_.gather_seconds = gather_s.load();
+    setup_phases_.factorize_seconds = factor_s.load();
+    setup_phases_.pack_seconds = pack_s.load();
 
-    if (!monitor && !status.ok()) {
-        throw SingularMatrix(
-            "block-Jacobi setup: diagonal block factorization broke down",
-            status.first_failure, status.first_failure_step);
+    if (strict) {
+        if (status.failures != 0) {
+            throw SingularMatrix(
+                "block-Jacobi setup: diagonal block factorization broke "
+                "down",
+                status.first_failure, status.first_failure_step);
+        }
+        block_status_.assign(static_cast<std::size_t>(nb),
+                             core::BlockStatus::ok);
+        recovery_.ok = nb;
+    } else {
+        ScopedTimer phase(setup_phases_.recovery_seconds);
+        recover(values, status);
     }
-    return status;
 }
 
 template <typename T>
-index_type BlockJacobi<T>::refactor_single(size_type b,
-                                           core::FactorInfo& info) {
+index_type BlockJacobi<T>::factorize_block(size_type b,
+                                           core::FactorInfo* info) {
     switch (options_.backend) {
     case BlockJacobiBackend::lu:
     case BlockJacobiBackend::lu_simd:
         // The scalar implicit-pivoting kernel rounds identically to the
         // interleaved lanes, so a boosted block can stay on the SIMD
         // apply path after a repack.
-        return core::getrf_implicit(factors_.view(b), pivots_.span(b),
-                                    info);
+        return info != nullptr
+                   ? core::getrf_implicit(factors_.view(b),
+                                          pivots_.span(b), *info)
+                   : core::getrf_implicit(factors_.view(b),
+                                          pivots_.span(b));
     case BlockJacobiBackend::gauss_huard:
-        return core::gauss_huard_factorize(factors_.view(b),
-                                           pivots_.span(b),
-                                           core::GhStorage::standard, info);
+        return info != nullptr
+                   ? core::gauss_huard_factorize(
+                         factors_.view(b), pivots_.span(b),
+                         core::GhStorage::standard, *info)
+                   : core::gauss_huard_factorize(
+                         factors_.view(b), pivots_.span(b),
+                         core::GhStorage::standard);
     case BlockJacobiBackend::gauss_huard_t:
-        return core::gauss_huard_factorize(factors_.view(b),
-                                           pivots_.span(b),
-                                           core::GhStorage::transposed,
-                                           info);
+        return info != nullptr
+                   ? core::gauss_huard_factorize(
+                         factors_.view(b), pivots_.span(b),
+                         core::GhStorage::transposed, *info)
+                   : core::gauss_huard_factorize(
+                         factors_.view(b), pivots_.span(b),
+                         core::GhStorage::transposed);
     case BlockJacobiBackend::gje_inversion:
-        return core::gauss_jordan_invert(factors_.view(b), info);
+        return info != nullptr
+                   ? core::gauss_jordan_invert(factors_.view(b), *info)
+                   : core::gauss_jordan_invert(factors_.view(b));
     case BlockJacobiBackend::cholesky:
-        return core::potrf_single(factors_.view(b), info);
+        return info != nullptr
+                   ? core::potrf_single(factors_.view(b), *info)
+                   : core::potrf_single(factors_.view(b));
     }
     return 0;
 }
@@ -266,7 +386,7 @@ void BlockJacobi<T>::set_identity_block(size_type b) {
 }
 
 template <typename T>
-void BlockJacobi<T>::recover(const sparse::Csr<T>& a,
+void BlockJacobi<T>::recover(std::span<const T> values,
                              core::FactorizeStatus& status) {
     const size_type nb = layout_->count();
     block_status_ = std::move(status.block_status);
@@ -290,14 +410,18 @@ void BlockJacobi<T>::recover(const sparse::Csr<T>& a,
         return;
     }
 
-    // The failed blocks' storage holds partial factors; re-extract the
-    // pristine data once for the restore/boost attempts and the
-    // inverse-diagonal fallback.
-    const auto pristine = blocking::extract_diagonal_blocks(a, layout_);
+    // The failed blocks' storage holds partial factors; re-gather only
+    // the degenerate blocks through the cached plan (the full-layout
+    // re-extraction this replaces scaled with the matrix, not with the
+    // handful of blocks that actually broke down).
+    alignas(64) std::array<T, static_cast<std::size_t>(max_block_size) *
+                                  max_block_size>
+        pristine_buf;
     for (const auto b : bad) {
         const auto& fi0 = infos[static_cast<std::size_t>(b)];
         const index_type m = layout_->size(b);
-        const auto src = pristine.view(b);
+        const MatrixView<T> src(pristine_buf.data(), m, m);
+        plan_.gather_block(values, b, src);
         // Boosting needs a finite magnitude to scale the shift by; an
         // all-zero or non-finite block goes straight to the fallback.
         const double scale =
@@ -319,7 +443,7 @@ void BlockJacobi<T>::recover(const sparse::Csr<T>& a,
                     dst(k, k) += shift;
                 }
                 fi = {};
-                if (refactor_single(b, fi) == 0 && !fi.degenerate(tol)) {
+                if (factorize_block(b, &fi) == 0 && !fi.degenerate(tol)) {
                     recovered = true;
                     break;
                 }

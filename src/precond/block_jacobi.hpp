@@ -23,6 +23,7 @@
 
 #include "base/timer.hpp"
 #include "blocking/extraction.hpp"
+#include "blocking/gather_plan.hpp"
 #include "blocking/size_classes.hpp"
 #include "blocking/supervariable.hpp"
 #include "core/cholesky.hpp"
@@ -68,12 +69,24 @@ struct BlockJacobiOptions {
 template <typename T>
 class BlockJacobi final : public Preconditioner<T> {
 public:
-    /// Setup: blocking + extraction + batched factorization/inversion +
-    /// per-block breakdown recovery. Under the default RecoveryPolicy the
-    /// setup is total (degraded blocks are boosted or fall back, see
-    /// recovery.hpp); under RecoveryPolicy::strict() it throws
-    /// vbatch::SingularMatrix if a diagonal block breaks down.
+    /// Setup in two layers. The *symbolic* phase (once per sparsity
+    /// pattern) runs supervariable blocking, size-class bucketing and
+    /// builds the cached extraction gather plan + fused task list; the
+    /// *numeric* phase gathers the values straight into the persistent
+    /// factor storage and factorizes them in one fused parallel pass,
+    /// then recovers per-block breakdowns. Under the default
+    /// RecoveryPolicy the setup is total (degraded blocks are boosted or
+    /// fall back, see recovery.hpp); under RecoveryPolicy::strict() it
+    /// throws vbatch::SingularMatrix if a diagonal block breaks down.
     BlockJacobi(const sparse::Csr<T>& a, BlockJacobiOptions options);
+
+    /// Numeric re-setup: re-runs only the numeric phase on `a`'s values
+    /// through the cached symbolic plan (the time-stepping / Newton case
+    /// after sparse::Csr::set_values). Factors, pivots, statuses and
+    /// recovery outcomes are bitwise identical to a fresh setup on `a`;
+    /// throws vbatch::BadParameter when `a`'s sparsity pattern differs
+    /// from the one analyzed at construction.
+    void refresh(const sparse::Csr<T>& a);
 
     /// z := M^{-1} r. Performs no heap allocation: the lu_simd path runs
     /// on persistent per-group workspaces and precomputed row-offset maps
@@ -88,10 +101,22 @@ public:
 
     /// Per-phase breakdown of setup_seconds() (the paper's cost model
     /// separates blocking, extraction and factorization; Figs. 4-9).
+    /// After refresh() the numeric fields (gather/factorize/pack/
+    /// recovery) describe the most recent numeric pass; the symbolic
+    /// fields (blocking/plan) keep their construction-time values.
     struct SetupPhases {
+        /// Supervariable blocking (symbolic; zero when a layout is given).
         double blocking_seconds = 0.0;
-        double extraction_seconds = 0.0;
+        /// Symbolic analysis: gather-plan build, size-class bucketing,
+        /// interleaved-group layout and the fused task list.
+        double plan_seconds = 0.0;
+        /// Numeric gather of the CSR values into the factor storage (the
+        /// former extraction phase, now fused into the chunk tasks).
+        double gather_seconds = 0.0;
         double factorize_seconds = 0.0;
+        /// Interleaved -> packed factor/pivot writeback of the SIMD
+        /// chunks (previously folded into factorize_seconds).
+        double pack_seconds = 0.0;
         /// Degeneracy scan + boosting/fallback work (0 when no block
         /// needed recovery or under the strict policy).
         double recovery_seconds = 0.0;
@@ -112,6 +137,11 @@ public:
     /// The factored blocks (for tests / inspection).
     const core::BatchedMatrices<T>& factors() const { return factors_; }
     const core::BatchedPivots& pivots() const { return pivots_; }
+
+    /// The cached symbolic extraction plan (for tests / inspection).
+    const blocking::GatherPlan& gather_plan() const { return plan_; }
+    /// Wall time of the last refresh() (0 before the first refresh).
+    double refresh_seconds() const noexcept { return refresh_seconds_; }
 
     /// Conditioning diagnostics of the extracted diagonal blocks (the
     /// stability aspect Sections II.C/IV.D discuss: ill-conditioned blocks
@@ -140,6 +170,12 @@ private:
     struct SimdGroup {
         core::InterleavedGroup<T> group;
         std::vector<size_type> indices;
+        /// CSR-value -> lane-slot gather map (symbolic; one per group).
+        core::InterleavedGatherMap gather;
+        /// Per-lane entry/pivot statistics scratch of the fused numeric
+        /// pass (monitored setups only). Chunk tasks write disjoint lane
+        /// ranges.
+        std::vector<core::FactorInfo> lane_infos;
         /// Persistent right-hand-side workspace, sized once at setup; the
         /// chunk tasks gather into / scatter out of it on every apply so
         /// no InterleavedVectors is ever constructed per application.
@@ -158,16 +194,47 @@ private:
         size_type chunk;
     };
 
-    core::FactorizeStatus factorize_simd(bool monitor);
+    /// One unit of fused numeric work, built once by the symbolic phase:
+    /// either chunk `chunk` of simd_groups_[group] (group != no_group) or
+    /// the scalar-path blocks scalar_block(lo..hi-1).
+    struct SetupTask {
+        size_type group = no_group;
+        size_type chunk = 0;
+        size_type lo = 0;
+        size_type hi = 0;
+    };
+    static constexpr size_type no_group = -1;
+
+    /// Symbolic phase: gather plan, size-class bucketing, interleaved
+    /// group + gather-map construction and the fused task list.
+    void build_symbolic(const sparse::Csr<T>& a);
+    /// Fused numeric phase: one parallel pass gathering + factorizing all
+    /// blocks into the persistent storage, then breakdown recovery.
+    /// Shared by construction and refresh(); resets all numeric state.
+    void run_numeric(const sparse::Csr<T>& a);
+    /// i-th block of the scalar (non-lane) path.
+    size_type scalar_block(size_type i) const {
+        return options_.backend == BlockJacobiBackend::lu_simd
+                   ? simd_scalar_blocks_[static_cast<std::size_t>(i)]
+                   : i;
+    }
+    size_type scalar_count() const {
+        return options_.backend == BlockJacobiBackend::lu_simd
+                   ? static_cast<size_type>(simd_scalar_blocks_.size())
+                   : layout_->count();
+    }
     /// Build the persistent rhs workspaces, offset maps and the flat
     /// chunk-task list apply_simd dispatches over (setup-time only).
     void build_apply_workspaces();
     void apply_simd(std::span<const T> r, std::span<T> z) const;
     /// Degeneracy scan + boost/fallback pipeline (non-strict setup only).
-    void recover(const sparse::Csr<T>& a, core::FactorizeStatus& status);
-    /// Re-run the backend's factorization on one (already restored and
-    /// possibly shifted) block; fills the pivot statistics.
-    index_type refactor_single(size_type b, core::FactorInfo& info);
+    void recover(std::span<const T> values, core::FactorizeStatus& status);
+    /// Run the backend's single-block factorization on block b in place;
+    /// fills the pivot statistics when `info` is non-null.
+    index_type factorize_block(size_type b, core::FactorInfo* info);
+    /// Export the numeric-phase timings and per-status block counters
+    /// to the metrics registry (shared by construction and refresh()).
+    void record_numeric_metrics() const;
     /// Overwrite a degraded block's factors/pivots with the identity so
     /// factors()/pivots() and any stray factored-path application of the
     /// block stay finite.
@@ -177,6 +244,10 @@ private:
 
     BlockJacobiOptions options_;
     core::BatchLayoutPtr layout_;
+    /// Cached symbolic extraction plan; refresh() reuses it verbatim.
+    blocking::GatherPlan plan_;
+    /// Fused numeric task list (symbolic; SIMD chunks + scalar ranges).
+    std::vector<SetupTask> setup_tasks_;
     core::BatchedMatrices<T> factors_;
     core::BatchedPivots pivots_;
     std::vector<SimdGroup> simd_groups_;
@@ -190,6 +261,7 @@ private:
     /// and fed to the metrics registry per application.
     double apply_bytes_ = 0.0;
     double setup_seconds_ = 0.0;
+    double refresh_seconds_ = 0.0;
     SetupPhases setup_phases_;
     /// Per-block outcomes; all `ok` under the strict policy.
     std::vector<core::BlockStatus> block_status_;

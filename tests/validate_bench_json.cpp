@@ -89,7 +89,9 @@ void check_kernel_stats(const std::string& path, const JsonValue& kernels) {
 // Any run that set up a block-Jacobi preconditioner must account for
 // every diagonal block: the recovery pipeline exports one counter per
 // BlockStatus, and they have to be present (and numeric) alongside the
-// setup counter.
+// setup counter. Likewise the symbolic/numeric setup split exports a
+// complete phase breakdown (plan build + fused gather/factorize/pack)
+// -- a run missing one of them mixed old and new pipelines.
 void check_recovery_counters(const std::string& path,
                              const JsonValue& counters) {
     if (counters.find("block_jacobi.setups") == nullptr) {
@@ -97,8 +99,10 @@ void check_recovery_counters(const std::string& path,
     }
     for (const char* key :
          {"block_jacobi.blocks_ok", "block_jacobi.blocks_boosted",
-          "block_jacobi.blocks_fell_back",
-          "block_jacobi.blocks_singular"}) {
+          "block_jacobi.blocks_fell_back", "block_jacobi.blocks_singular",
+          "block_jacobi.plan_builds", "block_jacobi.plan_seconds",
+          "block_jacobi.gather_seconds", "block_jacobi.factorize_seconds",
+          "block_jacobi.pack_seconds"}) {
         require(path, counters, key, JsonValue::Type::number);
     }
 }
