@@ -12,12 +12,14 @@
 #include <string>
 #include <vector>
 
+#include "core/bytes.hpp"
 #include "core/flops.hpp"
 #include "core/gauss_huard.hpp"
 #include "core/getrf.hpp"
 #include "core/simt_kernels.hpp"
 #include "core/trsv.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
 #include "simt/device_model.hpp"
 
 namespace vbatch::bench {
@@ -176,6 +178,70 @@ inline void emit_series_table(obs::BenchReport& report,
         }
         report.series(context + "/" + kernel_name(kernels[k]), row_label,
                       std::move(points));
+    }
+}
+
+/// Memory roof of the modeled device in GB/s (the emulated kernels'
+/// fraction-of-roof is measured against this, not the host's triad).
+inline double device_roof_gbs(const simt::DeviceModel& device) {
+    return device.effective_bandwidth * 1e-9;
+}
+
+/// Emit the roofline companion series of one GFLOPS table: per kernel
+/// column a bandwidth (GB/s), arithmetic-intensity (flop/byte) and
+/// fraction-of-roof series derived from the canonical flop/byte models
+/// of core/flops.hpp + core/bytes.hpp, plus one aggregated traffic
+/// entry per kernel in the metrics registry so the bench JSON's
+/// "traffic" object carries the same accounting. `flops_of`/`bytes_of`
+/// map one row value (batch or block size) to the modeled totals of
+/// that configuration. Series names are new in schema v2, so committed
+/// baselines keyed on the v1 names keep matching.
+template <typename FlopsFn, typename BytesFn>
+void emit_roofline_series(obs::BenchReport& report,
+                          const std::string& context,
+                          const std::string& row_label,
+                          const std::vector<double>& rows,
+                          const std::vector<Kernel>& kernels,
+                          const std::vector<std::vector<double>>& gflops,
+                          FlopsFn&& flops_of, BytesFn&& bytes_of,
+                          double roof_gbs) {
+    auto& registry = obs::Registry::global();
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+        std::vector<std::pair<double, double>> gbs, ai, frac;
+        double total_flops = 0.0;
+        double total_bytes = 0.0;
+        double total_seconds = 0.0;
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            const double flops = flops_of(rows[r]);
+            const double bytes = bytes_of(rows[r]);
+            const double intensity = bytes > 0.0 ? flops / bytes : 0.0;
+            // GB/s = GFLOPS / (flops per byte).
+            const double bw =
+                intensity > 0.0 ? gflops[k][r] / intensity : 0.0;
+            gbs.emplace_back(rows[r], bw);
+            ai.emplace_back(rows[r], intensity);
+            frac.emplace_back(rows[r],
+                              roof_gbs > 0.0 ? bw / roof_gbs : 0.0);
+            total_flops += flops;
+            total_bytes += bytes;
+            if (gflops[k][r] > 0.0) {
+                total_seconds += flops / (gflops[k][r] * 1e9);
+            }
+        }
+        const std::string base =
+            "roofline/" + context + "/" + kernel_name(kernels[k]);
+        report.series(base + "/bandwidth_gbs", row_label, std::move(gbs),
+                      "gbs");
+        report.series(base + "/arithmetic_intensity", row_label,
+                      std::move(ai), "flops_per_byte");
+        report.series(base + "/fraction_of_roof", row_label,
+                      std::move(frac), "fraction");
+        if (total_seconds > 0.0) {
+            registry.record_traffic(context + "/" +
+                                        kernel_name(kernels[k]),
+                                    total_flops, total_bytes,
+                                    total_seconds, 0, roof_gbs);
+        }
     }
 }
 

@@ -35,10 +35,17 @@ void run_precision(const vb::simt::DeviceModel& device,
                     kernels[k], m, batch, device));
             }
         }
-        vb::bench::emit_series_table(
-            report,
-            std::string(vb::precision_name<T>()) + "/m" + std::to_string(m),
-            "batch", rows, kernels, data);
+        const std::string context =
+            std::string(vb::precision_name<T>()) + "/m" + std::to_string(m);
+        vb::bench::emit_series_table(report, context, "batch", rows,
+                                     kernels, data);
+        vb::bench::emit_roofline_series(
+            report, context, "batch", rows, kernels, data,
+            [m](double batch) { return vb::core::getrf_flops(m) * batch; },
+            [m](double batch) {
+                return vb::core::getrf_bytes<T>(m) * batch;
+            },
+            vb::bench::device_roof_gbs(device));
     }
     report.phase(vb::precision_name<T>(), precision_timer.seconds());
 }

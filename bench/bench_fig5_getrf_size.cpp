@@ -29,6 +29,18 @@ void run_precision(const vb::simt::DeviceModel& device, vb::size_type batch,
     }
     vb::bench::emit_series_table(report, vb::precision_name<T>(), "size",
                                  rows, kernels, data);
+    const auto db = static_cast<double>(batch);
+    vb::bench::emit_roofline_series(
+        report, vb::precision_name<T>(), "size", rows, kernels, data,
+        [db](double m) {
+            return vb::core::getrf_flops(static_cast<vb::index_type>(m)) *
+                   db;
+        },
+        [db](double m) {
+            return vb::core::getrf_bytes<T>(static_cast<vb::index_type>(m)) *
+                   db;
+        },
+        vb::bench::device_roof_gbs(device));
     report.phase(vb::precision_name<T>(), precision_timer.seconds());
 }
 

@@ -60,6 +60,15 @@ int main() {
         }
         report.series("overhead_histogram/bound" + std::to_string(bound),
                       "overhead_percent", std::move(points), "count");
+        // Percentiles of the signed-overhead distribution, reconstructed
+        // from the histogram buckets (schema v2 percentile series).
+        report.series(
+            "overhead_percentiles/bound" + std::to_string(bound),
+            "percentile",
+            {{50.0, hist.percentile(50.0)},
+             {95.0, hist.percentile(95.0)},
+             {99.0, hist.percentile(99.0)}},
+            "overhead_percent");
         report.phase("bound" + std::to_string(bound), bound_timer.seconds());
     }
     std::printf(

@@ -5,6 +5,7 @@
 // paper's x-axis ordering.
 #include <algorithm>
 
+#include "base/statistics.hpp"
 #include "solver_study.hpp"
 
 namespace vb = vbatch;
@@ -48,14 +49,21 @@ int main() {
                 "LU  iters (time)", "GH  iters (time)", "GH-T iters (time)");
     vb::size_type skipped = 0;
     std::vector<std::pair<double, double>> lu_pts, gh_pts, ght_pts;
+    std::vector<double> lu_lat, gh_lat, ght_lat;
     double setup_total = 0.0, solve_total = 0.0;
+    vb::solvers::PhaseSeconds phase_totals;
     const auto tally = [&](const std::optional<vb::bench::StudyResult>& r,
                            std::vector<std::pair<double, double>>& pts,
-                           double id) {
+                           std::vector<double>& lat, double id) {
         if (r && r->converged) {
             pts.emplace_back(id, r->total_seconds());
+            lat.push_back(r->total_seconds());
             setup_total += r->setup_seconds;
             solve_total += r->solve_seconds;
+            phase_totals.spmv += r->phases.spmv;
+            phase_totals.precond += r->phases.precond;
+            phase_totals.blas1 += r->phases.blas1;
+            phase_totals.orth += r->phases.orth;
         }
     };
     for (const auto& row : rows) {
@@ -71,9 +79,9 @@ int main() {
                     vb::bench::study_cell(row.gh).c_str(),
                     vb::bench::study_cell(row.ght).c_str());
         const auto id = static_cast<double>(row.c->id);
-        tally(row.lu, lu_pts, id);
-        tally(row.gh, gh_pts, id);
-        tally(row.ght, ght_pts, id);
+        tally(row.lu, lu_pts, lu_lat, id);
+        tally(row.gh, gh_pts, gh_lat, id);
+        tally(row.ght, ght_pts, ght_lat, id);
     }
     report.series("total_seconds/lu", "matrix_id", std::move(lu_pts),
                   "seconds");
@@ -81,8 +89,24 @@ int main() {
                   "seconds");
     report.series("total_seconds/gh-t", "matrix_id", std::move(ght_pts),
                   "seconds");
+    // Latency percentiles over the converged cases of each backend.
+    const auto percentiles = [&](const char* name,
+                                 std::vector<double> lat) {
+        const auto s = vb::summarize(std::move(lat));
+        report.series(std::string("latency_percentiles/") + name,
+                      "percentile",
+                      {{50.0, s.p50}, {95.0, s.p95}, {99.0, s.p99}},
+                      "seconds");
+    };
+    percentiles("lu", std::move(lu_lat));
+    percentiles("gh", std::move(gh_lat));
+    percentiles("gh-t", std::move(ght_lat));
     report.phase("precond_setup", setup_total);
     report.phase("iterative_solve", solve_total);
+    report.phase("solve_spmv", phase_totals.spmv);
+    report.phase("solve_precond", phase_totals.precond);
+    report.phase("solve_blas1", phase_totals.blas1);
+    report.phase("solve_orth", phase_totals.orth);
     report.config("skipped", skipped);
     std::printf("\n%lld matrices omitted (no configuration converged, as "
                 "in the paper's four missing cases).\n",

@@ -88,6 +88,10 @@ int main() {
     const int reps = quick ? 5 : 15;
     const vb::index_type block_bound = 32;
 
+    // Arm the pool telemetry so the report's "pool" object carries real
+    // utilization/imbalance numbers for the parallel setup passes.
+    vb::ThreadPool::set_stats_enabled(true);
+
     std::printf("Block-Jacobi setup pipeline on the Fig. 9 suite "
                 "(block bound %d, pool = %u threads).\n",
                 static_cast<int>(block_bound),

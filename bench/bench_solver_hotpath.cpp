@@ -17,11 +17,13 @@
 #include <vector>
 
 #include "base/random.hpp"
+#include "base/thread_pool.hpp"
 #include "base/timer.hpp"
 #include "bench_common.hpp"
 #include "blas/blas1_ref.hpp"
 #include "blas/fused.hpp"
 #include "obs/metrics.hpp"
+#include "obs/roofline.hpp"
 #include "precond/block_jacobi.hpp"
 #include "sparse/generators.hpp"
 
@@ -71,6 +73,10 @@ int main() {
     const vb::index_type n = quick ? 20000 : 120000;
     const int reps = quick ? 10 : 30;
 
+    // Arm the pool telemetry so the report's "pool" object carries real
+    // utilization/imbalance numbers for this run.
+    vb::ThreadPool::set_stats_enabled(true);
+
     std::printf("Solver hot-path speedups on a skewed-nnz circuit-like "
                 "matrix (n = %d, pool = %u threads).\n",
                 static_cast<int>(n), vb::ThreadPool::global().size());
@@ -103,13 +109,12 @@ int main() {
     opt_opts.max_block_size = 16;
     const vb::precond::BlockJacobi<double> prec_opt(a, opt_opts);
 
-    const double spmv_bytes =
-        static_cast<double>(a.nnz()) *
-            (sizeof(double) + sizeof(vb::index_type)) +
-        static_cast<double>(n + 1) * sizeof(vb::size_type) +
-        2.0 * static_cast<double>(n) * sizeof(double);
-    const double blas1_bytes = 6.0 * static_cast<double>(nz) * sizeof(double);
-    const double apply_bytes = 2.0 * static_cast<double>(nz) * sizeof(double);
+    // Canonical byte models (core/bytes.hpp) shared with the solvers'
+    // roofline attribution. The apply model includes the streamed
+    // factors, not just r/z, so its GB/s is comparable across backends.
+    const double spmv_bytes = vb::core::spmv_bytes<double>(n, a.nnz());
+    const double blas1_bytes = vb::core::fused_cg_update_bytes<double>(n);
+    const double apply_bytes = prec_opt.apply_bytes();
 
     bool bitwise = true;
     vb::Timer total_timer;
@@ -204,6 +209,39 @@ int main() {
     report.series("hotpath/apply", "n", {{xn, apply.speedup}}, "speedup");
     report.series("hotpath/iteration", "n", {{xn, iter_speedup}}, "speedup");
     report.config("bitwise_identical", bitwise);
+
+    // Roofline accounting against the host's measured (or overridden)
+    // STREAM-triad ceiling: one traffic family + one series quartet per
+    // measured hot-path kernel.
+    const double roof = vb::obs::machine_roof_gbs();
+    struct Family {
+        const char* name;
+        double flops;
+        double bytes;
+        double seconds;
+    };
+    const Family families[] = {
+        {"spmv", 2.0 * static_cast<double>(a.nnz()), spmv_bytes,
+         t_spmv_opt},
+        {"blas1", 6.0 * static_cast<double>(nz), blas1_bytes, t_blas_opt},
+        {"apply", prec_opt.apply_flops(), apply_bytes, t_apply_opt},
+    };
+    for (const auto& f : families) {
+        registry.record_traffic(std::string("hotpath.") + f.name, f.flops,
+                                f.bytes, f.seconds, 1, roof);
+        const double gflops =
+            f.seconds > 0.0 ? f.flops / f.seconds * 1e-9 : 0.0;
+        const double gbs =
+            f.seconds > 0.0 ? f.bytes / f.seconds * 1e-9 : 0.0;
+        const double ai = f.bytes > 0.0 ? f.flops / f.bytes : 0.0;
+        const std::string base = std::string("roofline/hotpath/") + f.name;
+        report.series(base + "/gflops", "n", {{xn, gflops}}, "gflops");
+        report.series(base + "/bandwidth_gbs", "n", {{xn, gbs}}, "gbs");
+        report.series(base + "/arithmetic_intensity", "n", {{xn, ai}},
+                      "flops_per_byte");
+        report.series(base + "/fraction_of_roof", "n",
+                      {{xn, roof > 0.0 ? gbs / roof : 0.0}}, "fraction");
+    }
 
     vb::bench::print_header("Solver hot path | optimized / reference");
     std::printf("%12s  %10s  %12s\n", "phase", "speedup", "opt GB/s");

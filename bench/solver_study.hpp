@@ -22,6 +22,8 @@ struct StudyResult {
     index_type iterations = 0;
     double setup_seconds = 0.0;
     double solve_seconds = 0.0;
+    /// Per-phase attribution of the solve (spmv/precond/blas1/orth).
+    solvers::PhaseSeconds phases;
 
     double total_seconds() const { return setup_seconds + solve_seconds; }
 };
@@ -31,6 +33,9 @@ inline solvers::IdrOptions study_solver_options() {
     opts.s = 4;
     opts.rel_tol = 1e-6;
     opts.max_iters = quick_mode() ? 2000 : 10000;
+    // Phase attribution + roofline traffic of every study solve flows
+    // into the metrics registry and from there into the bench JSON.
+    opts.collect_phase_times = true;
     return opts;
 }
 
@@ -48,6 +53,7 @@ inline StudyResult run_idr(const sparse::Csr<double>& a,
     out.iterations = result.iterations;
     out.setup_seconds = setup_seconds;
     out.solve_seconds = result.solve_seconds;
+    out.phases = result.phase_seconds;
     return out;
 }
 

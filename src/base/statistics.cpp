@@ -30,7 +30,25 @@ Summary summarize(std::vector<double> values) {
         ss += (v - s.mean) * (v - s.mean);
     }
     s.stddev = (n > 1) ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+    s.p50 = sorted_percentile(values, 50.0);
+    s.p95 = sorted_percentile(values, 95.0);
+    s.p99 = sorted_percentile(values, 99.0);
     return s;
+}
+
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+    if (sorted.empty()) {
+        return 0.0;
+    }
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) {
+        return sorted.back();
+    }
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
 }
 
 Histogram::Histogram(double lo, double hi, int bins)
@@ -66,6 +84,27 @@ double Histogram::edge(int b) const {
 
 double Histogram::center(int b) const {
     return edge(b) + 0.5 * bucket_width_;
+}
+
+double Histogram::percentile(double p) const {
+    if (total_ == 0) {
+        return 0.0;
+    }
+    p = std::clamp(p, 0.0, 100.0);
+    const double target = p / 100.0 * static_cast<double>(total_);
+    double cumulative = static_cast<double>(underflow_);
+    if (target <= cumulative) {
+        return lo_;
+    }
+    for (int b = 0; b < bins(); ++b) {
+        const auto c = static_cast<double>(
+            counts_[static_cast<std::size_t>(b)]);
+        if (c > 0.0 && target <= cumulative + c) {
+            return edge(b) + (target - cumulative) / c * bucket_width_;
+        }
+        cumulative += c;
+    }
+    return hi_;
 }
 
 std::string Histogram::render(int width) const {

@@ -17,10 +17,18 @@ struct Summary {
     double mean = 0.0;
     double median = 0.0;
     double stddev = 0.0;
+    /// Linearly interpolated percentiles (p50 equals median).
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
 };
 
 /// Compute a five-number-ish summary; empty input yields a zero Summary.
 Summary summarize(std::vector<double> values);
+
+/// Linearly interpolated percentile of an ascending-sorted sample;
+/// p in [0, 100]. Empty input yields 0.
+double sorted_percentile(const std::vector<double>& sorted, double p);
 
 /// Fixed-width histogram over [lo, hi] with `bins` buckets plus two
 /// overflow buckets. Used for the Fig. 8 iteration-overhead histogram.
@@ -46,6 +54,13 @@ public:
 
     /// Render a left/right bar chart as ASCII art (used by bench_fig8).
     std::string render(int width = 50) const;
+
+    /// Approximate percentile (p in [0, 100]) reconstructed from the
+    /// bucket counts: linear interpolation inside the winning bucket;
+    /// the underflow/overflow tails clamp to lo/hi. Empty histogram
+    /// yields 0. Used for the latency/overhead percentile series in the
+    /// bench JSON.
+    double percentile(double p) const;
 
 private:
     double lo_;

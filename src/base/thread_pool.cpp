@@ -30,18 +30,45 @@ unsigned env_thread_count() {
     return static_cast<unsigned>(parsed);
 }
 
+/// Arms telemetry at startup when VBATCH_POOL_STATS is set (mirrors the
+/// tracer's env probe).
+struct PoolStatsEnvProbe {
+    PoolStatsEnvProbe() {
+        const char* v = std::getenv("VBATCH_POOL_STATS");
+        if (v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0')) {
+            detail::g_pool_stats_on.store(true, std::memory_order_relaxed);
+        }
+    }
+};
+const PoolStatsEnvProbe pool_stats_env_probe{};
+
+void atomic_max(std::atomic<size_type>& target, size_type value) {
+    size_type current = target.load(std::memory_order_relaxed);
+    while (current < value &&
+           !target.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t to_ns(std::chrono::steady_clock::duration d) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
 }  // namespace
 
-ThreadPool::ThreadPool(unsigned num_threads) {
+ThreadPool::ThreadPool(unsigned num_threads)
+    : epoch_(std::chrono::steady_clock::now()) {
     if (num_threads == 0) {
         num_threads = std::max(1u, std::thread::hardware_concurrency());
     }
+    stats_ = std::make_unique<ParticipantStat[]>(num_threads);
     // The calling thread always participates, so spawn one fewer worker.
     workers_.reserve(num_threads - 1);
     for (unsigned i = 0; i + 1 < num_threads; ++i) {
         workers_.emplace_back([this, i] {
             obs::set_thread_name("vbatch-worker-" + std::to_string(i + 1));
-            worker_loop();
+            worker_loop(i + 1);
         });
     }
 }
@@ -55,14 +82,30 @@ ThreadPool::~ThreadPool() {
     for (auto& w : workers_) {
         w.join();
     }
+    if (is_global_source_) {
+        obs::Registry::global().set_pool_telemetry_source(nullptr);
+    }
 }
 
 ThreadPool& ThreadPool::global() {
     static ThreadPool pool(env_thread_count());
+    // Expose the global pool to the metrics registry exactly once so
+    // bench JSON embeds pool utilization without obs/ linking base/.
+    static const bool registered = [] {
+        pool.is_global_source_ = true;
+        obs::Registry::global().set_pool_telemetry_source(
+            +[]() { return ThreadPool::global().telemetry(); });
+        return true;
+    }();
+    (void)registered;
     return pool;
 }
 
 bool ThreadPool::in_worker() noexcept { return t_in_parallel_body; }
+
+void ThreadPool::set_stats_enabled(bool on) noexcept {
+    detail::g_pool_stats_on.store(on, std::memory_order_relaxed);
+}
 
 size_type ThreadPool::check_range(size_type begin, size_type end) {
     (void)begin;
@@ -71,10 +114,15 @@ size_type ThreadPool::check_range(size_type begin, size_type end) {
     std::abort();  // unreachable; ENSURE throws
 }
 
-void ThreadPool::drain(ParallelJob& job) {
+void ThreadPool::drain(ParallelJob& job, ParticipantStat* stat) {
     const size_type grain = job.grain;
     const bool was_in_body = t_in_parallel_body;
     t_in_parallel_body = true;
+    const bool stats = pool_stats_on() && stat != nullptr;
+    const auto t0 = stats ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+    size_type claimed = 0;
+    std::uint64_t chunks = 0;
     for (;;) {
         const size_type i = job.next.fetch_add(grain,
                                                std::memory_order_relaxed);
@@ -85,11 +133,27 @@ void ThreadPool::drain(ParallelJob& job) {
         for (size_type k = i; k < hi; ++k) {
             (*job.body)(job.begin + k);
         }
+        claimed += hi - i;
+        ++chunks;
     }
     t_in_parallel_body = was_in_body;
+    if (stats) {
+        stat->busy_ns.fetch_add(
+            to_ns(std::chrono::steady_clock::now() - t0),
+            std::memory_order_relaxed);
+        stat->chunks.fetch_add(chunks, std::memory_order_relaxed);
+        atomic_max(job.max_claimed, claimed);
+    }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::note_inline_run(
+    std::chrono::steady_clock::duration elapsed) {
+    stats_[0].busy_ns.fetch_add(to_ns(elapsed), std::memory_order_relaxed);
+    stats_[0].chunks.fetch_add(1, std::memory_order_relaxed);
+    inline_runs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadPool::worker_loop(std::size_t stat_slot) {
     std::uint64_t seen_epoch = 0;
     for (;;) {
         ParallelJob* job = nullptr;
@@ -105,7 +169,7 @@ void ThreadPool::worker_loop() {
             job = job_;
             seen_epoch = job_epoch_;
         }
-        drain(*job);
+        drain(*job, &stats_[stat_slot]);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             job->active_workers.fetch_sub(1, std::memory_order_relaxed);
@@ -134,7 +198,7 @@ void ThreadPool::run_parallel(size_type begin, size_type end,
         ++job_epoch_;
     }
     cv_.notify_all();
-    drain(job);
+    drain(job, &stats_[0]);
     // Wait for workers still inside drain() before the job leaves scope.
     {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -143,6 +207,57 @@ void ThreadPool::run_parallel(size_type begin, size_type end,
         });
         job_ = nullptr;
     }
+    if (pool_stats_on()) {
+        dispatches_.fetch_add(1, std::memory_order_relaxed);
+        const auto participants =
+            static_cast<std::uint64_t>(workers_.size()) + 1;
+        const auto max_claimed = static_cast<std::uint64_t>(
+            job.max_claimed.load(std::memory_order_relaxed));
+        const auto n = static_cast<std::uint64_t>(job.end);
+        if (n > 0 && max_claimed > 0) {
+            // Imbalance = max claimed / fair share, in permille so the
+            // accumulator stays integral.
+            const std::uint64_t permille =
+                max_claimed * participants * 1000 / n;
+            imbalance_last_permille_.store(permille,
+                                           std::memory_order_relaxed);
+            imbalance_sum_permille_.fetch_add(permille,
+                                              std::memory_order_relaxed);
+        }
+    }
+}
+
+obs::PoolTelemetry ThreadPool::telemetry() const {
+    obs::PoolTelemetry t;
+    t.workers = size();
+    t.armed = pool_stats_on();
+    t.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - epoch_)
+                         .count();
+    double busy = 0.0;
+    for (unsigned slot = 0; slot < size(); ++slot) {
+        busy += static_cast<double>(
+                    stats_[slot].busy_ns.load(std::memory_order_relaxed)) *
+                1e-9;
+    }
+    t.busy_seconds = busy;
+    const double capacity = t.wall_seconds * static_cast<double>(t.workers);
+    t.idle_seconds = std::max(0.0, capacity - busy);
+    t.utilization = capacity > 0.0 ? busy / capacity : 0.0;
+    t.dispatches = static_cast<size_type>(
+        dispatches_.load(std::memory_order_relaxed));
+    t.inline_runs = static_cast<size_type>(
+        inline_runs_.load(std::memory_order_relaxed));
+    const auto disp = dispatches_.load(std::memory_order_relaxed);
+    t.mean_imbalance =
+        disp > 0 ? static_cast<double>(imbalance_sum_permille_.load(
+                       std::memory_order_relaxed)) /
+                       (1000.0 * static_cast<double>(disp))
+                 : 0.0;
+    t.last_imbalance = static_cast<double>(imbalance_last_permille_.load(
+                           std::memory_order_relaxed)) /
+                       1000.0;
+    return t;
 }
 
 }  // namespace vbatch

@@ -19,15 +19,31 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "base/function_ref.hpp"
 #include "base/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace vbatch {
+
+namespace detail {
+// Constant-initialized; flipped by ThreadPool::set_stats_enabled or the
+// VBATCH_POOL_STATS env probe. Mirrors the tracer's arming flag: the
+// disarmed hot-path cost is one relaxed load + branch.
+inline std::atomic<bool> g_pool_stats_on{false};
+}  // namespace detail
+
+/// The dormant check: true when pool telemetry is being collected.
+inline bool pool_stats_on() noexcept {
+    return detail::g_pool_stats_on.load(std::memory_order_relaxed);
+}
 
 /// Shared parallel_for grain for loops whose iterations are single batch
 /// entries (one tiny factorization or solve each). Small enough to load-
@@ -77,6 +93,14 @@ public:
                                         n / (8 * size()));
         }
         if (workers_.empty() || n <= grain || in_worker()) {
+            if (pool_stats_on() && !in_worker()) {
+                const auto t0 = std::chrono::steady_clock::now();
+                for (size_type i = begin; i < end; ++i) {
+                    body(i);
+                }
+                note_inline_run(std::chrono::steady_clock::now() - t0);
+                return;
+            }
             for (size_type i = begin; i < end; ++i) {
                 body(i);
             }
@@ -96,6 +120,17 @@ public:
     /// behalf of this process's pools (nested calls run inline).
     static bool in_worker() noexcept;
 
+    /// Programmatic switch for busy/idle + imbalance collection (the
+    /// VBATCH_POOL_STATS environment variable arms the same flag at
+    /// startup). Counters accumulate from pool construction; arming
+    /// mid-run under-reports utilization for the un-instrumented past.
+    static void set_stats_enabled(bool on) noexcept;
+
+    /// Snapshot this pool's utilization telemetry. Busy seconds and
+    /// dispatch counts are only collected while stats are armed;
+    /// workers/wall_seconds are always valid.
+    obs::PoolTelemetry telemetry() const;
+
 private:
     /// Floor for the automatically chosen grain: below this many
     /// iterations per chunk the fetch_add + cache-miss cost of claiming a
@@ -109,14 +144,25 @@ private:
         size_type end = 0;
         size_type grain = 1;
         std::atomic<int> active_workers{0};
+        /// Most iterations claimed by a single participant (stats only).
+        std::atomic<size_type> max_claimed{0};
+    };
+
+    /// Per-participant telemetry slot (slot 0 = the calling thread /
+    /// inline fast path, slot i+1 = worker i). Cache-line sized so
+    /// armed recording never bounces lines between participants.
+    struct alignas(64) ParticipantStat {
+        std::atomic<std::uint64_t> busy_ns{0};
+        std::atomic<std::uint64_t> chunks{0};
     };
 
     [[noreturn]] static size_type check_range(size_type begin,
                                               size_type end);
     void run_parallel(size_type begin, size_type end,
                       FunctionRef<void(size_type)> body, size_type grain);
-    void worker_loop();
-    static void drain(ParallelJob& job);
+    void worker_loop(std::size_t stat_slot);
+    void drain(ParallelJob& job, ParticipantStat* stat);
+    void note_inline_run(std::chrono::steady_clock::duration elapsed);
 
     std::vector<std::thread> workers_;
     std::mutex mutex_;
@@ -125,6 +171,15 @@ private:
     std::uint64_t job_epoch_ = 0;    // guarded by mutex_
     bool shutdown_ = false;          // guarded by mutex_
     std::condition_variable done_cv_;
+
+    // -- telemetry (relaxed atomics; written only while armed) --------
+    std::unique_ptr<ParticipantStat[]> stats_;  // size() slots
+    std::atomic<std::uint64_t> dispatches_{0};
+    std::atomic<std::uint64_t> inline_runs_{0};
+    std::atomic<std::uint64_t> imbalance_sum_permille_{0};
+    std::atomic<std::uint64_t> imbalance_last_permille_{0};
+    std::chrono::steady_clock::time_point epoch_;
+    bool is_global_source_ = false;  // set once for the global pool
 };
 
 }  // namespace vbatch

@@ -73,7 +73,7 @@ std::string BenchReport::to_json() const {
     JsonWriter json(os);
     json.begin_object();
     json.key("schema_version");
-    json.value(std::int64_t{1});
+    json.value(std::int64_t{2});
     json.key("name");
     json.value(name_);
     json.key("generated_unix");

@@ -2,9 +2,9 @@
 // machine-readable BENCH_<name>.json next to its human-readable table,
 // giving the repository a perf trajectory that scripts and CI can diff.
 //
-// Schema (schema_version 1):
+// Schema (schema_version 2; full key-by-key documentation in DESIGN.md):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "name": "fig4_getrf_batch",
 //     "config":  { "<key>": <string|number|bool>, ... },
 //     "phases":  [ { "name": "...", "seconds": <number> }, ... ],
@@ -13,8 +13,22 @@
 //     "counters": { ... }, "gauges": { ... },          // registry snapshot
 //     "kernel_stats": { "<family>": { "launches": n, "problems": n,
 //                        "modeled_seconds": s, "<counter>": n, ... } },
+//     "traffic": { "<family>": { "flops": f, "bytes": b, "seconds": s,
+//                   "calls": n, "problems": n, "roof_gbs": r, "gflops": g,
+//                   "bandwidth_gbs": g, "arithmetic_intensity": ai,
+//                   "fraction_of_roof": fr } },
+//     "perf":    { "<region>": { "calls": n, "hardware_calls": n,
+//                   "seconds": s, "cycles": c, "instructions": i,
+//                   "ipc": x, "l1d_misses": n, "llc_misses": n,
+//                   "branch_misses": n } },
+//     "pool":    { "workers": n, "armed": b, "wall_seconds": s,
+//                  "busy_seconds": s, "idle_seconds": s, "utilization": u,
+//                  "dispatches": n, "inline_runs": n,
+//                  "mean_imbalance": x, "last_imbalance": x },
 //     "wall_seconds": <number>
 //   }
+// v1 -> v2: added the traffic/perf/pool objects (roofline accounting,
+// hardware counters, thread-pool telemetry).
 //
 // Emission is gated by VBATCH_BENCH_JSON: unset/"0" = off, "1" = write
 // into the current directory, any other value = output directory.

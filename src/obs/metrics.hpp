@@ -32,6 +32,71 @@ struct KernelFamilyStats {
                                    ///< the call site didn't model time)
 };
 
+/// Roofline aggregation for one kernel family: canonical flops
+/// (core/flops.hpp) and bytes (core/bytes.hpp) against measured (or
+/// modeled) seconds. The derived quantities -- GFLOPS, effective GB/s,
+/// arithmetic intensity, fraction of the bandwidth roof -- are what the
+/// roofline table in vbatch_prof and the bench JSON report.
+struct TrafficStats {
+    double flops = 0.0;
+    double bytes = 0.0;
+    double seconds = 0.0;
+    /// Family-specific bandwidth ceiling in GB/s (e.g. the device
+    /// model's for emulated kernels); 0 = use the machine triad gauge.
+    double roof_gbs = 0.0;
+    size_type calls = 0;
+    size_type problems = 0;
+
+    double gflops() const noexcept {
+        return seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;
+    }
+    double bandwidth_gbs() const noexcept {
+        return seconds > 0.0 ? bytes / seconds * 1e-9 : 0.0;
+    }
+    double arithmetic_intensity() const noexcept {
+        return bytes > 0.0 ? flops / bytes : 0.0;
+    }
+    double fraction_of_roof(double fallback_roof_gbs = 0.0) const noexcept {
+        const double roof = roof_gbs > 0.0 ? roof_gbs : fallback_roof_gbs;
+        return roof > 0.0 ? bandwidth_gbs() / roof : 0.0;
+    }
+};
+
+/// Aggregated hardware-counter deltas for one PerfRegion name
+/// (obs/perf_counters.hpp). seconds accumulates even in the
+/// steady-clock-only fallback; hardware_calls says how many of the
+/// calls carried real counters.
+struct PerfRegionStats {
+    size_type calls = 0;
+    size_type hardware_calls = 0;
+    double seconds = 0.0;
+    double cycles = 0.0;
+    double instructions = 0.0;
+    double l1d_misses = 0.0;
+    double llc_misses = 0.0;
+    double branch_misses = 0.0;
+};
+
+/// Snapshot of the thread pool's utilization telemetry (produced by
+/// ThreadPool::telemetry(); plumbed here through a function pointer so
+/// obs/ never links against base/).
+struct PoolTelemetry {
+    size_type workers = 0;  ///< pool size including the calling thread
+    bool armed = false;     ///< was VBATCH_POOL_STATS collection on?
+    double wall_seconds = 0.0;  ///< since pool construction
+    double busy_seconds = 0.0;  ///< summed across all participants
+    double idle_seconds = 0.0;  ///< workers * wall - busy (>= 0)
+    double utilization = 0.0;   ///< busy / (workers * wall)
+    size_type dispatches = 0;   ///< parallel_for calls that woke workers
+    size_type inline_runs = 0;  ///< calls served by the inline fast path
+    /// Chunk imbalance of a dispatched job: (max iterations claimed by
+    /// one participant) / (fair share). 1.0 = perfectly balanced.
+    double mean_imbalance = 0.0;
+    double last_imbalance = 0.0;
+};
+
+using PoolTelemetrySource = PoolTelemetry (*)();
+
 class Registry {
 public:
     static Registry& global();
@@ -52,21 +117,43 @@ public:
                        const simt::KernelStats& stats, size_type problems,
                        double modeled_seconds = 0.0);
 
+    /// Fold one measured (or modeled) episode of a kernel family into
+    /// its roofline aggregation. `roof_gbs` != 0 pins the family to a
+    /// specific bandwidth ceiling (last nonzero write wins).
+    void record_traffic(std::string_view family, double flops, double bytes,
+                        double seconds, size_type problems = 0,
+                        double roof_gbs = 0.0);
+
+    /// Fold one PerfRegion delta into its per-region aggregation.
+    void record_perf(std::string_view region, const PerfRegionStats& delta);
+
+    /// Register (or clear, with nullptr) the callback that snapshots
+    /// the thread pool's telemetry; the global ThreadPool installs
+    /// itself here so bench JSON can embed pool utilization without a
+    /// link-time obs -> base dependency.
+    void set_pool_telemetry_source(PoolTelemetrySource source);
+
+    /// Current pool telemetry; all-zero when no source is registered.
+    PoolTelemetry pool_telemetry() const;
+
     // -- snapshots (copies; safe to use while recording continues) ----
     std::map<std::string, double, std::less<>> counters() const;
     std::map<std::string, double, std::less<>> gauges() const;
     std::map<std::string, KernelFamilyStats, std::less<>> kernels() const;
+    std::map<std::string, TrafficStats, std::less<>> traffic() const;
+    std::map<std::string, PerfRegionStats, std::less<>> perf() const;
 
     double counter_value(std::string_view name) const;
 
     /// Reset every counter/gauge/family (tests, repeated bench runs).
     void clear();
 
-    /// Emit {"counters": {...}, "gauges": {...}, "kernel_stats": {...}}.
+    /// Emit {"counters": {...}, "gauges": {...}, "kernel_stats": {...},
+    /// "traffic": {...}, "perf": {...}, "pool": {...}}.
     void write_json(std::ostream& os) const;
     std::string to_json() const;
 
-    /// Write the same three members into an already-open JSON object
+    /// Write the same members into an already-open JSON object
     /// (used by BenchReport to splice the snapshot into its document).
     void write_json_members(JsonWriter& json) const;
 

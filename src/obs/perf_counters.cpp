@@ -1,0 +1,162 @@
+#include "obs/perf_counters.hpp"
+
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstdint>
+#define VBATCH_HAS_PERF_EVENT 1
+#else
+#define VBATCH_HAS_PERF_EVENT 0
+#endif
+
+namespace vbatch::obs {
+
+namespace {
+
+#if VBATCH_HAS_PERF_EVENT
+
+/// Open one always-running counter for the calling thread on any CPU.
+/// exclude_kernel keeps the open legal at perf_event_paranoid <= 2.
+int open_counter(std::uint32_t type, std::uint64_t config) {
+    perf_event_attr attr{};
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format =
+        PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+    const long fd = syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0UL);
+    return fd < 0 ? -1 : static_cast<int>(fd);
+}
+
+/// Read one counter, scaling the count up to the full enabled time when
+/// the kernel had to multiplex the PMU.
+double read_scaled(int fd) {
+    if (fd < 0) {
+        return 0.0;
+    }
+    std::uint64_t buf[3] = {0, 0, 0};  // value, enabled, running
+    if (::read(fd, buf, sizeof(buf)) != static_cast<ssize_t>(sizeof(buf))) {
+        return 0.0;
+    }
+    if (buf[2] == 0) {
+        return buf[1] == 0 ? static_cast<double>(buf[0]) : 0.0;
+    }
+    return static_cast<double>(buf[0]) *
+           (static_cast<double>(buf[1]) / static_cast<double>(buf[2]));
+}
+
+constexpr std::uint64_t l1d_read_miss_config =
+    PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+    (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+
+#endif  // VBATCH_HAS_PERF_EVENT
+
+/// Arms sampling at startup when VBATCH_PERF is set (mirrors the
+/// tracer's env probe).
+struct PerfEnvProbe {
+    PerfEnvProbe() {
+        const char* v = std::getenv("VBATCH_PERF");
+        if (v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0')) {
+            set_perf_enabled(true);
+        }
+    }
+};
+const PerfEnvProbe perf_env_probe{};
+
+}  // namespace
+
+void set_perf_enabled(bool on) noexcept {
+    detail::g_perf_on.store(on, std::memory_order_relaxed);
+}
+
+PerfCounters::PerfCounters() {
+#if VBATCH_HAS_PERF_EVENT
+    fds_[0] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    fds_[1] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+    fds_[2] = open_counter(PERF_TYPE_HW_CACHE, l1d_read_miss_config);
+    fds_[3] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+    fds_[4] = open_counter(PERF_TYPE_HARDWARE,
+                           PERF_COUNT_HW_BRANCH_MISSES);
+#else
+    for (int& fd : fds_) {
+        fd = -1;
+    }
+#endif
+}
+
+PerfCounters::~PerfCounters() {
+#if VBATCH_HAS_PERF_EVENT
+    for (const int fd : fds_) {
+        if (fd >= 0) {
+            ::close(fd);
+        }
+    }
+#endif
+}
+
+bool PerfCounters::hardware() const noexcept {
+    for (const int fd : fds_) {
+        if (fd >= 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+PerfReading PerfCounters::read() const {
+    PerfReading r;
+#if VBATCH_HAS_PERF_EVENT
+    r.cycles = read_scaled(fds_[0]);
+    r.instructions = read_scaled(fds_[1]);
+    r.l1d_misses = read_scaled(fds_[2]);
+    r.llc_misses = read_scaled(fds_[3]);
+    r.branch_misses = read_scaled(fds_[4]);
+#endif
+    r.hardware = hardware();
+    return r;
+}
+
+PerfCounters& PerfCounters::thread_local_instance() {
+    static thread_local PerfCounters counters;
+    return counters;
+}
+
+bool perf_available() {
+    static const bool available = [] {
+        PerfCounters probe;
+        return probe.hardware();
+    }();
+    return available;
+}
+
+void PerfRegion::begin() noexcept {
+    start_ = PerfCounters::thread_local_instance().read();
+    t0_ = std::chrono::steady_clock::now();
+}
+
+void PerfRegion::end() noexcept {
+    const auto t1 = std::chrono::steady_clock::now();
+    const PerfReading now = PerfCounters::thread_local_instance().read();
+    PerfRegionStats delta;
+    delta.calls = 1;
+    delta.hardware_calls = now.hardware ? 1 : 0;
+    delta.seconds =
+        std::chrono::duration<double>(t1 - t0_).count();
+    delta.cycles = now.cycles - start_.cycles;
+    delta.instructions = now.instructions - start_.instructions;
+    delta.l1d_misses = now.l1d_misses - start_.l1d_misses;
+    delta.llc_misses = now.llc_misses - start_.llc_misses;
+    delta.branch_misses = now.branch_misses - start_.branch_misses;
+    Registry::global().record_perf(name_, delta);
+}
+
+}  // namespace vbatch::obs

@@ -1,0 +1,113 @@
+// Hardware performance counters via Linux perf_event_open, with a
+// scoped-region API mirroring the tracer (obs/trace.hpp).
+//
+// A PerfRegion brackets a scope and folds the counter deltas (cycles,
+// instructions, L1D read misses, LLC misses, branch misses) plus the
+// wall time into the metrics registry under the region's name. Sampling
+// is dormant unless VBATCH_PERF is set (or a test arms it
+// programmatically); the dormant check is one relaxed atomic load +
+// branch, exactly like TraceRegion.
+//
+// Graceful degradation: when the kernel forbids counters
+// (perf_event_paranoid too strict, seccomp, non-Linux build), every
+// region still records its wall seconds -- readings just report
+// hardware = false and zero counts. Nothing throws, CI passes either
+// way; tests that need real counters check perf_available() and skip.
+//
+// Counters are opened per thread (pid = 0, cpu = -1, exclude_kernel) so
+// user-space counting works at perf_event_paranoid <= 2. Each counter
+// carries TOTAL_TIME_ENABLED/RUNNING and readings are multiplex-scaled.
+//
+// Environment:
+//   VBATCH_PERF  unset/"0" = off; anything else arms region sampling
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "base/types.hpp"
+
+namespace vbatch::obs {
+
+namespace detail {
+// Constant-initialized; flipped by set_perf_enabled / the env probe.
+inline std::atomic<bool> g_perf_on{false};
+}  // namespace detail
+
+/// The dormant check: true when PerfRegions are recording.
+inline bool perf_on() noexcept {
+    return detail::g_perf_on.load(std::memory_order_relaxed);
+}
+
+/// Programmatic on/off switch (tests); the VBATCH_PERF environment
+/// variable arms the same flag at startup.
+void set_perf_enabled(bool on) noexcept;
+
+/// One snapshot (or delta) of the hardware counter group. Values are
+/// multiplex-scaled to the full enabled time and therefore fractional.
+struct PerfReading {
+    double cycles = 0.0;
+    double instructions = 0.0;
+    double l1d_misses = 0.0;
+    double llc_misses = 0.0;
+    double branch_misses = 0.0;
+    bool hardware = false;  ///< false = steady-clock-only fallback
+};
+
+/// True when this process can open at least one hardware counter
+/// (probed once). False under restrictive perf_event_paranoid, seccomp
+/// filters, or on non-Linux builds.
+bool perf_available();
+
+/// Per-thread group of counter fds, opened lazily on first use and kept
+/// running for the thread's lifetime; regions read it twice and
+/// subtract. Counters that fail to open individually read as zero.
+class PerfCounters {
+public:
+    PerfCounters();
+    ~PerfCounters();
+    PerfCounters(const PerfCounters&) = delete;
+    PerfCounters& operator=(const PerfCounters&) = delete;
+
+    /// True when at least one hardware counter opened.
+    bool hardware() const noexcept;
+
+    PerfReading read() const;
+
+    static PerfCounters& thread_local_instance();
+
+private:
+    static constexpr int num_events = 5;
+    int fds_[num_events];
+};
+
+/// RAII region: folds the enclosed scope's counter deltas and wall time
+/// into Registry::global() under `name`. `name` must be a literal (or
+/// otherwise outlive the region), like trace-event names.
+class PerfRegion {
+public:
+    explicit PerfRegion(const char* name) noexcept
+        : name_(name), armed_(perf_on()) {
+        if (armed_) {
+            begin();
+        }
+    }
+    PerfRegion(const PerfRegion&) = delete;
+    PerfRegion& operator=(const PerfRegion&) = delete;
+    ~PerfRegion() {
+        if (armed_) {
+            end();
+        }
+    }
+
+private:
+    void begin() noexcept;
+    void end() noexcept;
+
+    const char* name_;
+    bool armed_;
+    PerfReading start_{};
+    std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace vbatch::obs

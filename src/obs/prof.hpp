@@ -1,0 +1,36 @@
+// Analysis core of the vbatch_prof CLI: turns BENCH_<name>.json
+// documents and trace NDJSON streams into human-readable reports.
+//
+// Kept as a library (pure functions over parsed JsonValue / text) so
+// tests can feed canned documents and assert on the rendered output;
+// tools/vbatch_prof.cpp is only argument parsing + file IO around this.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace vbatch::obs::prof {
+
+struct Options {
+    int top_n = 20;  ///< rows kept in the top-regions tables
+};
+
+/// Render one bench report: phase summary, roofline table (GFLOPS,
+/// GB/s, arithmetic intensity, % of roof per kernel family), pool
+/// utilization, and hardware-counter regions. Tolerant of missing
+/// sections (older schema versions render what they have).
+std::string render_report(const JsonValue& doc, const Options& opts = {});
+
+/// Summarize a trace NDJSON stream (obs/trace.hpp export): top-N
+/// regions by total duration with call counts. Malformed lines are
+/// counted and skipped, never fatal.
+std::string render_trace(std::string_view ndjson, const Options& opts = {});
+
+/// A/B comparison of two bench reports for regression triage: wall
+/// time, per-phase seconds, per-series values and roofline families,
+/// matched by name; entries present on only one side are called out.
+std::string render_diff(const JsonValue& base, const JsonValue& current);
+
+}  // namespace vbatch::obs::prof

@@ -1,0 +1,92 @@
+#include "obs/roofline.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "base/timer.hpp"
+#include "obs/metrics.hpp"
+
+namespace vbatch::obs {
+
+namespace {
+
+/// One triad sweep over [0, n) split into `threads` contiguous chunks.
+void triad_sweep(double* a, const double* b, const double* c,
+                 std::size_t n, unsigned threads) {
+    constexpr double scale = 3.0;
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] = b[i] + scale * c[i];
+        }
+        return;
+    }
+    const std::size_t chunk = (n + threads - 1) / threads;
+    std::vector<std::thread> helpers;
+    helpers.reserve(threads - 1);
+    for (unsigned t = 1; t < threads; ++t) {
+        const std::size_t lo = std::min<std::size_t>(t * chunk, n);
+        const std::size_t hi = std::min<std::size_t>(lo + chunk, n);
+        helpers.emplace_back([=] {
+            for (std::size_t i = lo; i < hi; ++i) {
+                a[i] = b[i] + scale * c[i];
+            }
+        });
+    }
+    const std::size_t hi0 = std::min<std::size_t>(chunk, n);
+    for (std::size_t i = 0; i < hi0; ++i) {
+        a[i] = b[i] + scale * c[i];
+    }
+    for (auto& h : helpers) {
+        h.join();
+    }
+}
+
+}  // namespace
+
+TriadResult stream_triad(size_type elements, int repetitions,
+                         unsigned threads) {
+    const auto n = static_cast<std::size_t>(
+        std::max<size_type>(elements, 1024));
+    if (repetitions < 1) {
+        repetitions = 1;
+    }
+    if (threads == 0) {
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    std::vector<double> a(n, 0.0), b(n), c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        b[i] = static_cast<double>(i % 1024) * 0.5;
+        c[i] = static_cast<double>(i % 512) * 0.25;
+    }
+    triad_sweep(a.data(), b.data(), c.data(), n, threads);  // warm-up
+    double best = 1e300;
+    for (int rep = 0; rep < repetitions; ++rep) {
+        Timer t;
+        triad_sweep(a.data(), b.data(), c.data(), n, threads);
+        best = std::min(best, t.seconds());
+    }
+    TriadResult result;
+    result.seconds = best;
+    result.bytes = 3.0 * static_cast<double>(n) * sizeof(double);
+    return result;
+}
+
+double machine_roof_gbs() {
+    static const double roof = [] {
+        if (const char* env = std::getenv("VBATCH_ROOF_GBS")) {
+            const double v = std::strtod(env, nullptr);
+            if (v > 0.0) {
+                return v;
+            }
+        }
+        // ~16 MiB per stream: big enough to defeat the LLC, small
+        // enough that the one-shot probe stays under ~100 ms.
+        return stream_triad(size_type{1} << 21, 3).gbs();
+    }();
+    Registry::global().set("roofline.triad_gbs", roof);
+    return roof;
+}
+
+}  // namespace vbatch::obs

@@ -1,0 +1,52 @@
+// STREAM-triad bandwidth probe and roofline arithmetic.
+//
+// The roofline model explains a memory-bound kernel's throughput as
+// bandwidth * arithmetic intensity. The byte models in core/bytes.hpp
+// give the numerator of the intensity; this header anchors the ceiling:
+// a measured STREAM-triad bandwidth for host kernels, or a caller-
+// provided roof (e.g. the device model's effective bandwidth) for
+// modeled-device kernel families.
+//
+// Environment:
+//   VBATCH_ROOF_GBS  positive number = skip the probe and use this
+//                    ceiling (deterministic CI runs, cross-machine
+//                    comparisons)
+#pragma once
+
+#include "base/types.hpp"
+
+namespace vbatch::obs {
+
+/// Result of one triad sweep a[i] = b[i] + s * c[i] (best-of-reps).
+struct TriadResult {
+    double seconds = 0.0;  ///< best single-sweep time
+    double bytes = 0.0;    ///< bytes moved per sweep (3 streams)
+    double gbs() const noexcept {
+        return seconds > 0.0 ? bytes / seconds * 1e-9 : 0.0;
+    }
+};
+
+/// Run the STREAM triad over `elements` doubles, `repetitions` timed
+/// sweeps after one untimed warm-up (page faults, cache state), keeping
+/// the best. `threads` = 0 means hardware_concurrency; the probe spawns
+/// raw std::threads so it stays independent of the vbatch ThreadPool it
+/// is used to calibrate.
+TriadResult stream_triad(size_type elements, int repetitions,
+                         unsigned threads = 0);
+
+/// The machine's bandwidth ceiling in GB/s: VBATCH_ROOF_GBS when set,
+/// else a cached one-shot triad probe. Publishes the value as gauge
+/// "roofline.triad_gbs" on every call (so it survives Registry::clear).
+double machine_roof_gbs();
+
+/// flops per byte; 0 when no bytes were moved.
+inline double arithmetic_intensity(double flops, double bytes) noexcept {
+    return bytes > 0.0 ? flops / bytes : 0.0;
+}
+
+/// Achieved fraction of a bandwidth ceiling; 0 when no roof is known.
+inline double fraction_of_roof(double gbs, double roof_gbs) noexcept {
+    return roof_gbs > 0.0 ? gbs / roof_gbs : 0.0;
+}
+
+}  // namespace vbatch::obs

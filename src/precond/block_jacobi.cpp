@@ -9,7 +9,10 @@
 
 #include "base/thread_pool.hpp"
 #include "blas/lapack.hpp"
+#include "core/bytes.hpp"
+#include "core/flops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/trace.hpp"
 
 namespace vbatch::precond {
@@ -49,6 +52,7 @@ BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
                             BlockJacobiOptions options)
     : options_(std::move(options)) {
     obs::TraceRegion trace("block_jacobi::setup");
+    obs::PerfRegion perf("block_jacobi::setup");
     Timer timer;
     {
         ScopedTimer phase(setup_phases_.blocking_seconds);
@@ -72,6 +76,7 @@ BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
     for (size_type b = 0; b < layout_->count(); ++b) {
         const auto m = static_cast<double>(layout_->size(b));
         apply_bytes_ += (m * m + 2.0 * m) * sizeof(T);
+        apply_flops_ += core::getrs_flops(layout_->size(b));
     }
     setup_seconds_ = timer.seconds();
     auto& registry = obs::Registry::global();
@@ -99,6 +104,7 @@ void BlockJacobi<T>::refresh(const sparse::Csr<T>& a) {
                   "block-Jacobi refresh: matrix sparsity pattern differs "
                   "from the one the preconditioner was set up with");
     obs::TraceRegion trace("block_jacobi::refresh");
+    obs::PerfRegion perf("block_jacobi::refresh");
     Timer timer;
     run_numeric(a);
     refresh_seconds_ = timer.seconds();
@@ -128,6 +134,20 @@ void BlockJacobi<T>::record_numeric_metrics() const {
     registry.add("block_jacobi.blocks_singular",
                  static_cast<double>(recovery_.singular));
     registry.set("block_jacobi.max_pivot_growth", recovery_.max_growth);
+    // Roofline traffic of this numeric pass's factorization phase under
+    // the canonical models. run_numeric() resets factorize_seconds per
+    // episode, so each call records exactly one pass.
+    if (setup_phases_.factorize_seconds > 0.0) {
+        double flops = 0.0;
+        double bytes = 0.0;
+        for (size_type b = 0; b < layout_->count(); ++b) {
+            flops += core::getrf_flops(layout_->size(b));
+            bytes += core::getrf_bytes<T>(layout_->size(b));
+        }
+        registry.record_traffic("block_jacobi.factorize", flops, bytes,
+                                setup_phases_.factorize_seconds,
+                                layout_->count());
+    }
 }
 
 template <typename T>
@@ -617,6 +637,7 @@ void BlockJacobi<T>::apply(std::span<const T> r, std::span<T> z) const {
                        layout_->total_rows());
     VBATCH_ENSURE_DIMS(r.size() == z.size());
     obs::TraceRegion trace("block_jacobi::apply");
+    obs::PerfRegion perf("block_jacobi::apply");
     // Name the inner region after the per-block solve the backend runs.
     const char* solve_kind = nullptr;
     switch (options_.backend) {

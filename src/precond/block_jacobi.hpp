@@ -98,6 +98,10 @@ public:
     std::string name() const override;
     double setup_seconds() const override { return setup_seconds_; }
     size_type num_blocks() const override { return layout_->count(); }
+    /// Canonical per-apply traffic (sum of getrs flop/byte models over
+    /// the blocks), for the solvers' roofline attribution.
+    double apply_flops() const override { return apply_flops_; }
+    double apply_bytes() const override { return apply_bytes_; }
 
     /// Per-phase breakdown of setup_seconds() (the paper's cost model
     /// separates blocking, extraction and factorization; Figs. 4-9).
@@ -257,9 +261,11 @@ private:
     /// behind them) over the pool.
     std::vector<ApplyChunk> apply_chunks_;
     size_type simd_block_count_ = 0;
-    /// Bytes one apply streams (factors + r + z), precomputed at setup
-    /// and fed to the metrics registry per application.
+    /// Bytes one apply streams (factors + r + z) and the flops of the
+    /// batched triangular solves, precomputed at setup and fed to the
+    /// metrics registry / roofline attribution per application.
     double apply_bytes_ = 0.0;
+    double apply_flops_ = 0.0;
     double setup_seconds_ = 0.0;
     double refresh_seconds_ = 0.0;
     SetupPhases setup_phases_;

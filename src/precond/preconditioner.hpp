@@ -34,6 +34,12 @@ public:
     /// block-Jacobi reports what happened to every diagonal block, so
     /// the solver can flag degraded preconditioning in its SolveStatus.
     virtual core::RecoverySummary recovery_summary() const { return {}; }
+
+    /// Canonical traffic of one apply() under the core/flops.hpp and
+    /// core/bytes.hpp models, for roofline attribution in the solvers.
+    /// 0 = no model (the solver then skips traffic for this family).
+    virtual double apply_flops() const { return 0.0; }
+    virtual double apply_bytes() const { return 0.0; }
 };
 
 /// No preconditioning: z := r.

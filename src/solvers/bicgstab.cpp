@@ -1,12 +1,15 @@
 #include "solvers/bicgstab.hpp"
 
 #include <cmath>
+#include <tuple>
 #include <vector>
 
 #include "base/macros.hpp"
 #include "base/timer.hpp"
 #include "blas/blas1.hpp"
 #include "blas/fused.hpp"
+#include "core/bytes.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace vbatch::solvers {
 
@@ -20,50 +23,86 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
     const auto nz = static_cast<std::size_t>(a.num_rows());
 
     obs::TraceRegion trace("bicgstab::solve");
+    obs::PerfRegion perf("bicgstab::solve");
     Timer timer;
     SolveResult result;
+    const bool phases = opts.collect_phase_times;
+    auto& ph = result.phase_seconds;
 
     std::vector<T> r(nz), r0(nz), p(nz), v(nz), s(nz), t(nz), phat(nz),
         shat(nz);
-    a.spmv(std::span<const T>(x), std::span<T>(r));
-    T normr = blas::fused_residual_norm2(b, std::span<T>(r));
-    blas::copy(std::span<const T>(r), std::span<T>(r0));
+    {
+        PhaseTimer pt(phases, ph.spmv);
+        a.spmv(std::span<const T>(x), std::span<T>(r));
+    }
+    T normr;
+    {
+        PhaseTimer pt(phases, ph.blas1);
+        normr = blas::fused_residual_norm2(b, std::span<T>(r));
+        blas::copy(std::span<const T>(r), std::span<T>(r0));
+    }
     result.initial_residual = static_cast<double>(normr);
     const T tol = static_cast<T>(opts.rel_tol) * normr;
     record_residual(opts, result, static_cast<double>(normr));
 
     T rho_old{1}, alpha{1}, omega{1};
-    blas::fill(std::span<T>(p), T{});
-    blas::fill(std::span<T>(v), T{});
+    {
+        PhaseTimer pt(phases, ph.blas1);
+        blas::fill(std::span<T>(p), T{});
+        blas::fill(std::span<T>(v), T{});
+    }
+    index_type applies = 0;
 
     index_type iters = 0;
     bool broke_down = false;
     bool converged = normr <= tol;
     while (!converged && iters < opts.max_iters) {
-        const T rho = blas::dot(std::span<const T>(r0),
-                                std::span<const T>(r));
+        T rho;
+        {
+            PhaseTimer pt(phases, ph.blas1);
+            rho = blas::dot(std::span<const T>(r0), std::span<const T>(r));
+        }
         if (rho == T{} || omega == T{}) {
             broke_down = true;
             break;
         }
         const T beta = (rho / rho_old) * (alpha / omega);
-        blas::fused_bicg_p_update(beta, omega, std::span<const T>(r),
-                                  std::span<const T>(v), std::span<T>(p));
-        prec.apply(std::span<const T>(p), std::span<T>(phat));
-        a.spmv(std::span<const T>(phat), std::span<T>(v));
+        {
+            PhaseTimer pt(phases, ph.blas1);
+            blas::fused_bicg_p_update(beta, omega, std::span<const T>(r),
+                                      std::span<const T>(v),
+                                      std::span<T>(p));
+        }
+        {
+            PhaseTimer pt(phases, ph.precond);
+            prec.apply(std::span<const T>(p), std::span<T>(phat));
+        }
+        ++applies;
+        {
+            PhaseTimer pt(phases, ph.spmv);
+            a.spmv(std::span<const T>(phat), std::span<T>(v));
+        }
         ++iters;
-        const T r0v = blas::dot(std::span<const T>(r0),
-                                std::span<const T>(v));
+        T r0v;
+        {
+            PhaseTimer pt(phases, ph.blas1);
+            r0v = blas::dot(std::span<const T>(r0), std::span<const T>(v));
+        }
         if (r0v == T{}) {
             broke_down = true;
             break;
         }
         alpha = rho / r0v;
-        // s = r - alpha v and ||s|| in one sweep.
-        const T norms = blas::fused_sub_axpy_norm2(
-            alpha, std::span<const T>(r), std::span<const T>(v),
-            std::span<T>(s));
+        T norms;
+        {
+            PhaseTimer pt(phases, ph.blas1);
+            // s = r - alpha v and ||s|| in one sweep.
+            norms = blas::fused_sub_axpy_norm2(alpha, std::span<const T>(r),
+                                               std::span<const T>(v),
+                                               std::span<T>(s));
+        }
         if (norms <= tol) {
+            PhaseTimer pt(phases, ph.blas1);
             blas::axpy(alpha, std::span<const T>(phat), std::span<T>(x));
             blas::copy(std::span<const T>(s), std::span<T>(r));
             normr = norms;
@@ -71,23 +110,38 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
             record_residual(opts, result, static_cast<double>(normr));
             break;
         }
-        prec.apply(std::span<const T>(s), std::span<T>(shat));
-        a.spmv(std::span<const T>(shat), std::span<T>(t));
+        {
+            PhaseTimer pt(phases, ph.precond);
+            prec.apply(std::span<const T>(s), std::span<T>(shat));
+        }
+        ++applies;
+        {
+            PhaseTimer pt(phases, ph.spmv);
+            a.spmv(std::span<const T>(shat), std::span<T>(t));
+        }
         ++iters;
-        // (t, t) and (t, s) from a single pass over t.
-        const auto [tt, ts] = blas::fused_dot2(std::span<const T>(t),
-                                               std::span<const T>(t),
-                                               std::span<const T>(s));
+        T tt;
+        T ts;
+        {
+            PhaseTimer pt(phases, ph.blas1);
+            // (t, t) and (t, s) from a single pass over t.
+            std::tie(tt, ts) = blas::fused_dot2(std::span<const T>(t),
+                                                std::span<const T>(t),
+                                                std::span<const T>(s));
+        }
         if (tt == T{}) {
             broke_down = true;
             break;
         }
         omega = ts / tt;
-        // x += alpha phat + omega shat; r = s - omega t; ||r|| fused.
-        normr = blas::fused_bicg_xr_update(
-            alpha, std::span<const T>(phat), omega,
-            std::span<const T>(shat), std::span<const T>(s),
-            std::span<const T>(t), x, std::span<T>(r));
+        {
+            PhaseTimer pt(phases, ph.blas1);
+            // x += alpha phat + omega shat; r = s - omega t; ||r|| fused.
+            normr = blas::fused_bicg_xr_update(
+                alpha, std::span<const T>(phat), omega,
+                std::span<const T>(shat), std::span<const T>(s),
+                std::span<const T>(t), x, std::span<T>(r));
+        }
         record_residual(opts, result, static_cast<double>(normr));
         converged = normr <= tol;
         rho_old = rho;
@@ -97,6 +151,27 @@ SolveResult bicgstab(const sparse::Csr<T>& a, std::span<const T> b,
     result.iterations = iters;
     result.final_residual = static_cast<double>(normr);
     result.solve_seconds = timer.seconds();
+    if (phases) {
+        // Coarse per-iteration BLAS-1 model (~9n values moved, ~11n
+        // flops per operator application: the fused kernels average out
+        // over the half/full cycles), exact counts for SpMV and the
+        // preconditioner.
+        SolverTraffic traffic;
+        const auto spmvs = static_cast<double>(iters) + 1.0;
+        traffic.spmv_bytes =
+            spmvs * core::spmv_bytes<T>(a.num_rows(), a.nnz());
+        traffic.spmv_flops =
+            spmvs * 2.0 * static_cast<double>(a.nnz());
+        const double n = static_cast<double>(nz);
+        const auto it = static_cast<double>(iters);
+        traffic.blas1_bytes = (it * 9.0 + 7.0) * n * sizeof(T);
+        traffic.blas1_flops = (it * 11.0 + 3.0) * n;
+        traffic.precond_flops =
+            static_cast<double>(applies) * prec.apply_flops();
+        traffic.precond_bytes =
+            static_cast<double>(applies) * prec.apply_bytes();
+        export_phase_attribution(opts, result, traffic);
+    }
     return result;
 }
 

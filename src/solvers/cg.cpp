@@ -6,6 +6,8 @@
 #include "base/timer.hpp"
 #include "blas/blas1.hpp"
 #include "blas/fused.hpp"
+#include "core/bytes.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace vbatch::solvers {
 
@@ -19,50 +21,88 @@ SolveResult cg(const sparse::Csr<T>& a, std::span<const T> b, std::span<T> x,
     const auto nz = static_cast<std::size_t>(a.num_rows());
 
     obs::TraceRegion trace("cg::solve");
+    obs::PerfRegion perf("cg::solve");
     Timer timer;
     SolveResult result;
+    const bool phases = opts.collect_phase_times;
+    auto& ph = result.phase_seconds;
 
     std::vector<T> r(nz), z(nz), p(nz), q(nz);
-    a.spmv(std::span<const T>(x), std::span<T>(r));
-    T normr = blas::fused_residual_norm2(b, std::span<T>(r));
+    {
+        PhaseTimer t(phases, ph.spmv);
+        a.spmv(std::span<const T>(x), std::span<T>(r));
+    }
+    T normr;
+    {
+        PhaseTimer t(phases, ph.blas1);
+        normr = blas::fused_residual_norm2(b, std::span<T>(r));
+    }
     result.initial_residual = static_cast<double>(normr);
     const T tol = static_cast<T>(opts.rel_tol) * normr;
     record_residual(opts, result, static_cast<double>(normr));
 
-    prec.apply(std::span<const T>(r), std::span<T>(z));
-    blas::copy(std::span<const T>(z), std::span<T>(p));
-    T rz = blas::dot(std::span<const T>(r), std::span<const T>(z));
+    {
+        PhaseTimer t(phases, ph.precond);
+        prec.apply(std::span<const T>(r), std::span<T>(z));
+    }
+    T rz;
+    {
+        PhaseTimer t(phases, ph.blas1);
+        blas::copy(std::span<const T>(z), std::span<T>(p));
+        rz = blas::dot(std::span<const T>(r), std::span<const T>(z));
+    }
+    index_type applies = 1;  // preconditioner applications so far
 
     index_type iters = 0;
     bool broke_down = false;
     bool converged = normr <= tol;
     while (!converged && iters < opts.max_iters) {
-        a.spmv(std::span<const T>(p), std::span<T>(q));
+        {
+            PhaseTimer t(phases, ph.spmv);
+            a.spmv(std::span<const T>(p), std::span<T>(q));
+        }
         ++iters;
-        const T pq = blas::dot(std::span<const T>(p), std::span<const T>(q));
+        T pq;
+        {
+            PhaseTimer t(phases, ph.blas1);
+            pq = blas::dot(std::span<const T>(p), std::span<const T>(q));
+        }
         if (pq == T{}) {
             broke_down = true;
             break;
         }
         const T alpha = rz / pq;
-        // x += alpha p; r -= alpha q; ||r|| -- one sweep instead of three.
-        normr = blas::fused_cg_update(alpha, std::span<const T>(p),
-                                      std::span<const T>(q), x,
-                                      std::span<T>(r));
+        {
+            PhaseTimer t(phases, ph.blas1);
+            // x += alpha p; r -= alpha q; ||r|| -- one sweep, not three.
+            normr = blas::fused_cg_update(alpha, std::span<const T>(p),
+                                          std::span<const T>(q), x,
+                                          std::span<T>(r));
+        }
         record_residual(opts, result, static_cast<double>(normr));
         converged = normr <= tol;
         if (converged) {
             break;
         }
-        prec.apply(std::span<const T>(r), std::span<T>(z));
-        const T rz_new = blas::dot(std::span<const T>(r),
-                                   std::span<const T>(z));
+        {
+            PhaseTimer t(phases, ph.precond);
+            prec.apply(std::span<const T>(r), std::span<T>(z));
+        }
+        ++applies;
+        T rz_new;
+        {
+            PhaseTimer t(phases, ph.blas1);
+            rz_new = blas::dot(std::span<const T>(r), std::span<const T>(z));
+        }
         if (rz == T{}) {
             broke_down = true;
             break;
         }
         const T beta = rz_new / rz;
-        blas::xpby(std::span<const T>(z), beta, std::span<T>(p));
+        {
+            PhaseTimer t(phases, ph.blas1);
+            blas::xpby(std::span<const T>(z), beta, std::span<T>(p));
+        }
         rz = rz_new;
     }
 
@@ -70,6 +110,32 @@ SolveResult cg(const sparse::Csr<T>& a, std::span<const T> b, std::span<T> x,
     result.iterations = iters;
     result.final_residual = static_cast<double>(normr);
     result.solve_seconds = timer.seconds();
+    if (phases) {
+        // Canonical traffic under the core/bytes.hpp models. SpMV runs
+        // iters + 1 times (initial residual); BLAS-1 per iteration is
+        // two dots, the fused update and the xpby, plus the setup
+        // residual norm, copy and dot.
+        SolverTraffic traffic;
+        const auto spmvs = static_cast<double>(iters) + 1.0;
+        traffic.spmv_bytes =
+            spmvs * core::spmv_bytes<T>(a.num_rows(), a.nnz());
+        traffic.spmv_flops =
+            spmvs * 2.0 * static_cast<double>(a.nnz());
+        const auto n = static_cast<size_type>(nz);
+        const auto it = static_cast<double>(iters);
+        traffic.blas1_bytes =
+            it * (2.0 * core::dot_bytes<T>(n) +
+                  core::fused_cg_update_bytes<T>(n) + core::xpby_bytes<T>(n)) +
+            core::fused_residual_norm2_bytes<T>(n) + core::copy_bytes<T>(n) +
+            core::dot_bytes<T>(n);
+        traffic.blas1_flops = it * 12.0 * static_cast<double>(n) +
+                              7.0 * static_cast<double>(n);
+        traffic.precond_flops =
+            static_cast<double>(applies) * prec.apply_flops();
+        traffic.precond_bytes =
+            static_cast<double>(applies) * prec.apply_bytes();
+        export_phase_attribution(opts, result, traffic);
+    }
     return result;
 }
 

@@ -8,6 +8,8 @@
 #include "blas/blas1.hpp"
 #include "blas/dense_matrix.hpp"
 #include "blas/fused.hpp"
+#include "core/bytes.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace vbatch::solvers {
 
@@ -23,16 +25,37 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
     const index_type m = opts.restart;
 
     obs::TraceRegion trace("gmres::solve");
+    obs::PerfRegion perf("gmres::solve");
     Timer timer;
     SolveResult result;
+    const bool phases = opts.collect_phase_times;
+    auto& ph = result.phase_seconds;
 
+    index_type applies = 0;
+    index_type spmvs = 0;
     std::vector<T> r(nz), w(nz), z(nz);
     // Left-preconditioned residual: z = M^{-1}(b - A x).
     const auto compute_residual = [&] {
-        a.spmv(std::span<const T>(x), std::span<T>(w));
-        blas::xpby(b, T{-1}, std::span<T>(w));
-        prec.apply(std::span<const T>(w), std::span<T>(r));
-        return blas::nrm2(std::span<const T>(r));
+        {
+            PhaseTimer pt(phases, ph.spmv);
+            a.spmv(std::span<const T>(x), std::span<T>(w));
+        }
+        ++spmvs;
+        T norm;
+        {
+            PhaseTimer pt(phases, ph.blas1);
+            blas::xpby(b, T{-1}, std::span<T>(w));
+        }
+        {
+            PhaseTimer pt(phases, ph.precond);
+            prec.apply(std::span<const T>(w), std::span<T>(r));
+        }
+        ++applies;
+        {
+            PhaseTimer pt(phases, ph.blas1);
+            norm = blas::nrm2(std::span<const T>(r));
+        }
+        return norm;
     };
 
     T beta = compute_residual();
@@ -66,45 +89,59 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
             converged = true;
             break;
         }
-        blas::fused_div_copy(std::span<const T>(r), beta, vcol(0));
-        blas::fill(std::span<T>(g), T{});
+        {
+            PhaseTimer pt(phases, ph.blas1);
+            blas::fused_div_copy(std::span<const T>(r), beta, vcol(0));
+            blas::fill(std::span<T>(g), T{});
+        }
         g[0] = beta;
         index_type j = 0;
         for (; j < m && iters < opts.max_iters; ++j) {
             // w = M^{-1} A v_j
-            a.spmv(std::span<const T>(vcol(j)), std::span<T>(w));
+            {
+                PhaseTimer pt(phases, ph.spmv);
+                a.spmv(std::span<const T>(vcol(j)), std::span<T>(w));
+            }
+            ++spmvs;
             ++iters;
-            prec.apply(std::span<const T>(w), std::span<T>(z));
+            {
+                PhaseTimer pt(phases, ph.precond);
+                prec.apply(std::span<const T>(w), std::span<T>(z));
+            }
+            ++applies;
             // Classical Gram-Schmidt with one reorthogonalization pass
             // (CGS2). Unlike modified Gram-Schmidt -- whose j+1 dependent
             // dot/axpy pairs each re-stream z -- the projection against
             // the whole basis is two multi_dot/multi_axpy sweeps, and the
             // second (correction) pass restores MGS-grade orthogonality.
             const index_type cols = j + 1;
-            blas::multi_dot(v.data(), a.num_rows(), cols, z.data(),
-                            hcol.data());
-            for (index_type i = 0; i < cols; ++i) {
-                neg[static_cast<std::size_t>(i)] =
-                    -hcol[static_cast<std::size_t>(i)];
-            }
-            blas::multi_axpy(v.data(), a.num_rows(), cols, neg.data(),
-                             z.data());
-            blas::multi_dot(v.data(), a.num_rows(), cols, z.data(),
-                            corr.data());
-            for (index_type i = 0; i < cols; ++i) {
-                neg[static_cast<std::size_t>(i)] =
-                    -corr[static_cast<std::size_t>(i)];
-            }
-            blas::multi_axpy(v.data(), a.num_rows(), cols, neg.data(),
-                             z.data());
-            for (index_type i = 0; i < cols; ++i) {
-                h(i, j) = hcol[static_cast<std::size_t>(i)] +
-                          corr[static_cast<std::size_t>(i)];
-            }
-            h(j + 1, j) = blas::nrm2(std::span<const T>(z));
-            if (h(j + 1, j) != T{}) {
-                blas::fused_div_copy(std::span<const T>(z), h(j + 1, j),
-                                     vcol(j + 1));
+            {
+                PhaseTimer pt(phases, ph.orth);
+                blas::multi_dot(v.data(), a.num_rows(), cols, z.data(),
+                                hcol.data());
+                for (index_type i = 0; i < cols; ++i) {
+                    neg[static_cast<std::size_t>(i)] =
+                        -hcol[static_cast<std::size_t>(i)];
+                }
+                blas::multi_axpy(v.data(), a.num_rows(), cols, neg.data(),
+                                 z.data());
+                blas::multi_dot(v.data(), a.num_rows(), cols, z.data(),
+                                corr.data());
+                for (index_type i = 0; i < cols; ++i) {
+                    neg[static_cast<std::size_t>(i)] =
+                        -corr[static_cast<std::size_t>(i)];
+                }
+                blas::multi_axpy(v.data(), a.num_rows(), cols, neg.data(),
+                                 z.data());
+                for (index_type i = 0; i < cols; ++i) {
+                    h(i, j) = hcol[static_cast<std::size_t>(i)] +
+                              corr[static_cast<std::size_t>(i)];
+                }
+                h(j + 1, j) = blas::nrm2(std::span<const T>(z));
+                if (h(j + 1, j) != T{}) {
+                    blas::fused_div_copy(std::span<const T>(z), h(j + 1, j),
+                                         vcol(j + 1));
+                }
             }
             // Apply the accumulated Givens rotations to column j.
             for (index_type i = 0; i < j; ++i) {
@@ -149,7 +186,10 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
             }
             y[static_cast<std::size_t>(i)] = acc / h(i, i);
         }
-        blas::multi_axpy(v.data(), a.num_rows(), j, y.data(), x.data());
+        {
+            PhaseTimer pt(phases, ph.blas1);
+            blas::multi_axpy(v.data(), a.num_rows(), j, y.data(), x.data());
+        }
         beta = compute_residual();
         converged = beta <= tol;
     }
@@ -158,6 +198,22 @@ SolveResult gmres(const sparse::Csr<T>& a, std::span<const T> b,
     result.iterations = iters;
     result.final_residual = static_cast<double>(beta);
     result.solve_seconds = timer.seconds();
+    if (phases) {
+        // SpMV and preconditioner counts are exact (restart residual
+        // recomputations included); the Arnoldi projection cost depends
+        // on the basis length, so blas1/orth report seconds only.
+        SolverTraffic traffic;
+        const auto ns = static_cast<double>(spmvs);
+        traffic.spmv_bytes =
+            ns * core::spmv_bytes<T>(a.num_rows(), a.nnz());
+        traffic.spmv_flops =
+            ns * 2.0 * static_cast<double>(a.nnz());
+        traffic.precond_flops =
+            static_cast<double>(applies) * prec.apply_flops();
+        traffic.precond_bytes =
+            static_cast<double>(applies) * prec.apply_bytes();
+        export_phase_attribution(opts, result, traffic);
+    }
     return result;
 }
 

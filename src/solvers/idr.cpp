@@ -1,6 +1,7 @@
 #include "solvers/idr.hpp"
 
 #include <cmath>
+#include <tuple>
 #include <vector>
 
 #include "base/macros.hpp"
@@ -10,6 +11,8 @@
 #include "blas/dense_matrix.hpp"
 #include "blas/fused.hpp"
 #include "blas/lapack.hpp"
+#include "core/bytes.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace vbatch::solvers {
 
@@ -51,20 +54,33 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
     const auto nz = static_cast<std::size_t>(n);
 
     obs::TraceRegion trace("idr::solve");
+    obs::PerfRegion perf("idr::solve");
     Timer timer;
     SolveResult result;
+    const bool phases = opts.collect_phase_times;
+    auto& ph = result.phase_seconds;
 
     // r = b - A x
     std::vector<T> r(nz);
-    a.spmv(std::span<const T>(x), std::span<T>(r));
-    T normr = blas::fused_residual_norm2(b, std::span<T>(r));
+    {
+        PhaseTimer pt(phases, ph.spmv);
+        a.spmv(std::span<const T>(x), std::span<T>(r));
+    }
+    T normr;
+    {
+        PhaseTimer pt(phases, ph.blas1);
+        normr = blas::fused_residual_norm2(b, std::span<T>(r));
+    }
     result.initial_residual = static_cast<double>(normr);
     const T tol = static_cast<T>(opts.rel_tol) * normr;
     record_residual(opts, result, static_cast<double>(normr));
 
     // Random orthonormal shadow space P (n x s), fixed seed.
     auto p = DenseMatrix<T>::random(n, s, opts.shadow_seed);
-    orthonormalize(p);
+    {
+        PhaseTimer pt(phases, ph.orth);
+        orthonormalize(p);
+    }
     const auto pcol = [&](index_type j) {
         return std::span<const T>{p.data() + static_cast<size_type>(j) * n,
                                   nz};
@@ -85,6 +101,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
     std::vector<T> negc(static_cast<std::size_t>(s));
     std::vector<T> v(nz), vhat(nz), t(nz);
     T om{1};
+    index_type applies = 0;
 
     // Minimal-residual smoothing state: (xs, rs) track the smoothed
     // iterate; after every update of (x, r) we move (xs, rs) toward it by
@@ -99,6 +116,7 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
         if (!opts.smoothing) {
             return;
         }
+        PhaseTimer pt(phases, ph.blas1);
         // d = rs - r; gamma = (rs, d) / (d, d); rs -= gamma d. Both dots
         // come from one sweep, the update and ||rs|| from a second.
         const auto [dd, rd] = blas::fused_smoothing_dots(
@@ -116,8 +134,11 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
     bool broke_down = false;
     bool converged = normr <= tol;
     while (!converged && iters < opts.max_iters && !broke_down) {
-        // f = P^T r: all s shadow projections in one basis sweep.
-        blas::multi_dot(p.data(), n, s, r.data(), f.data());
+        {
+            PhaseTimer pt(phases, ph.orth);
+            // f = P^T r: all s shadow projections in one basis sweep.
+            blas::multi_dot(p.data(), n, s, r.data(), f.data());
+        }
         for (index_type k = 0; k < s && !converged; ++k) {
             // Solve the trailing (s-k) x (s-k) block of M for c.
             const index_type sk = s - k;
@@ -136,48 +157,70 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
                 broke_down = true;
                 break;
             }
-            // v = r - sum_i c_i g_{k+i}: one sweep over the g columns.
-            blas::copy(std::span<const T>(r), std::span<T>(v));
-            for (index_type i = 0; i < sk; ++i) {
-                negc[static_cast<std::size_t>(i)] =
-                    -c[static_cast<std::size_t>(i)];
+            {
+                PhaseTimer pt(phases, ph.blas1);
+                // v = r - sum_i c_i g_{k+i}: one sweep over the g columns.
+                blas::copy(std::span<const T>(r), std::span<T>(v));
+                for (index_type i = 0; i < sk; ++i) {
+                    negc[static_cast<std::size_t>(i)] =
+                        -c[static_cast<std::size_t>(i)];
+                }
+                blas::multi_axpy(g.data() + static_cast<size_type>(k) * n,
+                                 n, sk, negc.data(), v.data());
             }
-            blas::multi_axpy(g.data() + static_cast<size_type>(k) * n, n,
-                             sk, negc.data(), v.data());
             // Preconditioned direction.
-            prec.apply(std::span<const T>(v), std::span<T>(vhat));
+            {
+                PhaseTimer pt(phases, ph.precond);
+                prec.apply(std::span<const T>(v), std::span<T>(vhat));
+            }
+            ++applies;
             // u_k = om * vhat + sum_i c_i u_{k+i}. The i = 0 term reads the
             // old u_k, so fold it into the overwriting pass.
             auto uk = ucol(k);
-            blas::fused_axpby(om, std::span<const T>(vhat), c[0], uk);
-            blas::multi_axpy(u.data() + static_cast<size_type>(k + 1) * n,
-                             n, sk - 1, c.data() + 1, uk.data());
-            // g_k = A u_k
-            a.spmv(std::span<const T>(uk), std::span<T>(gcol(k)));
-            ++iters;
-            // Bi-orthogonalize g_k (and u_k) against p_0..p_{k-1}.
-            for (index_type i = 0; i < k; ++i) {
-                const T alpha =
-                    blas::dot(pcol(i), std::span<const T>(gcol(k))) /
-                    mmat(i, i);
-                blas::axpy(-alpha, std::span<const T>(gcol(i)),
-                           std::span<T>(gcol(k)));
-                blas::axpy(-alpha, std::span<const T>(ucol(i)),
-                           std::span<T>(uk));
+            {
+                PhaseTimer pt(phases, ph.blas1);
+                blas::fused_axpby(om, std::span<const T>(vhat), c[0], uk);
+                blas::multi_axpy(
+                    u.data() + static_cast<size_type>(k + 1) * n, n, sk - 1,
+                    c.data() + 1, uk.data());
             }
-            // New column of M: rows k..s-1 are contiguous in column k, so
-            // one batched sweep over p_k..p_{s-1} fills them directly.
-            blas::multi_dot(p.data() + static_cast<size_type>(k) * n, n, sk,
-                            gcol(k).data(),
-                            mmat.data() + static_cast<size_type>(k) * s + k);
+            // g_k = A u_k
+            {
+                PhaseTimer pt(phases, ph.spmv);
+                a.spmv(std::span<const T>(uk), std::span<T>(gcol(k)));
+            }
+            ++iters;
+            {
+                PhaseTimer pt(phases, ph.orth);
+                // Bi-orthogonalize g_k (and u_k) against p_0..p_{k-1}.
+                for (index_type i = 0; i < k; ++i) {
+                    const T alpha =
+                        blas::dot(pcol(i), std::span<const T>(gcol(k))) /
+                        mmat(i, i);
+                    blas::axpy(-alpha, std::span<const T>(gcol(i)),
+                               std::span<T>(gcol(k)));
+                    blas::axpy(-alpha, std::span<const T>(ucol(i)),
+                               std::span<T>(uk));
+                }
+                // New column of M: rows k..s-1 are contiguous in column k,
+                // so one batched sweep over p_k..p_{s-1} fills them
+                // directly.
+                blas::multi_dot(
+                    p.data() + static_cast<size_type>(k) * n, n, sk,
+                    gcol(k).data(),
+                    mmat.data() + static_cast<size_type>(k) * s + k);
+            }
             if (mmat(k, k) == T{}) {
                 broke_down = true;
                 break;
             }
             const T beta = f[static_cast<std::size_t>(k)] / mmat(k, k);
-            blas::axpy(beta, std::span<const T>(uk), x);
-            normr = blas::fused_axpy_norm2(-beta, std::span<const T>(gcol(k)),
-                                           std::span<T>(r));
+            {
+                PhaseTimer pt(phases, ph.blas1);
+                blas::axpy(beta, std::span<const T>(uk), x);
+                normr = blas::fused_axpy_norm2(
+                    -beta, std::span<const T>(gcol(k)), std::span<T>(r));
+            }
             smooth();
             const T monitored = opts.smoothing ? norm_rs : normr;
             record_residual(opts, result, static_cast<double>(monitored));
@@ -193,13 +236,25 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
             break;
         }
         // Dimension-reduction step: r in G_j -> r in G_{j+1}.
-        prec.apply(std::span<const T>(r), std::span<T>(vhat));
-        a.spmv(std::span<const T>(vhat), std::span<T>(t));
+        {
+            PhaseTimer pt(phases, ph.precond);
+            prec.apply(std::span<const T>(r), std::span<T>(vhat));
+        }
+        ++applies;
+        {
+            PhaseTimer pt(phases, ph.spmv);
+            a.spmv(std::span<const T>(vhat), std::span<T>(t));
+        }
         ++iters;
-        // (t, t) and (t, r) from a single pass over t.
-        const auto [tt, tr] = blas::fused_dot2(std::span<const T>(t),
-                                               std::span<const T>(t),
-                                               std::span<const T>(r));
+        T tt;
+        T tr;
+        {
+            PhaseTimer pt(phases, ph.blas1);
+            // (t, t) and (t, r) from a single pass over t.
+            std::tie(tt, tr) = blas::fused_dot2(std::span<const T>(t),
+                                                std::span<const T>(t),
+                                                std::span<const T>(r));
+        }
         if (tt == T{}) {
             broke_down = true;
             break;
@@ -214,9 +269,12 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
             broke_down = true;
             break;
         }
-        blas::axpy(om, std::span<const T>(vhat), x);
-        normr = blas::fused_axpy_norm2(-om, std::span<const T>(t),
-                                       std::span<T>(r));
+        {
+            PhaseTimer pt(phases, ph.blas1);
+            blas::axpy(om, std::span<const T>(vhat), x);
+            normr = blas::fused_axpy_norm2(-om, std::span<const T>(t),
+                                           std::span<T>(r));
+        }
         smooth();
         const T monitored = opts.smoothing ? norm_rs : normr;
         record_residual(opts, result, static_cast<double>(monitored));
@@ -231,6 +289,23 @@ SolveResult idr(const sparse::Csr<T>& a, std::span<const T> b,
     result.iterations = iters;
     result.final_residual = static_cast<double>(normr);
     result.solve_seconds = timer.seconds();
+    if (phases) {
+        // SpMV and preconditioner counts are exact; the BLAS-1 and
+        // orthogonalization work depends on the inner index k, so those
+        // phases report seconds only (no canonical byte model -> the
+        // exporter skips their roofline rows).
+        SolverTraffic traffic;
+        const auto spmvs = static_cast<double>(iters) + 1.0;
+        traffic.spmv_bytes =
+            spmvs * core::spmv_bytes<T>(a.num_rows(), a.nnz());
+        traffic.spmv_flops =
+            spmvs * 2.0 * static_cast<double>(a.nnz());
+        traffic.precond_flops =
+            static_cast<double>(applies) * prec.apply_flops();
+        traffic.precond_bytes =
+            static_cast<double>(applies) * prec.apply_bytes();
+        export_phase_attribution(opts, result, traffic);
+    }
     return result;
 }
 

@@ -1,11 +1,13 @@
 // Common options/result types for the iterative solvers.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
 #include "base/types.hpp"
 #include "core/block_status.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "precond/preconditioner.hpp"
 
@@ -19,6 +21,45 @@ struct SolverOptions {
     index_type max_iters = 10000;
     /// Record ||r|| after every iteration (costs memory, for plots/tests).
     bool keep_residual_history = false;
+    /// Attribute wall time to the spmv / preconditioner-apply / BLAS-1 /
+    /// orthogonalization phases and export roofline traffic for them.
+    /// Costs two clock reads per bracketed operation when on; the
+    /// disarmed cost is one branch per operation.
+    bool collect_phase_times = false;
+};
+
+/// Wall-time attribution of one solve across its hot-path phases.
+struct PhaseSeconds {
+    double spmv = 0.0;     ///< operator applications
+    double precond = 0.0;  ///< preconditioner applies
+    double blas1 = 0.0;    ///< vector updates, dots, norms
+    double orth = 0.0;     ///< (re)orthogonalization sweeps (IDR/GMRES)
+    double total() const noexcept { return spmv + precond + blas1 + orth; }
+};
+
+/// Scope guard accumulating its lifetime into one PhaseSeconds field.
+/// Disarmed cost is a branch -- no clock reads.
+class PhaseTimer {
+public:
+    PhaseTimer(bool armed, double& acc) noexcept
+        : acc_(armed ? &acc : nullptr) {
+        if (acc_ != nullptr) {
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+    PhaseTimer(const PhaseTimer&) = delete;
+    PhaseTimer& operator=(const PhaseTimer&) = delete;
+    ~PhaseTimer() {
+        if (acc_ != nullptr) {
+            *acc_ += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+        }
+    }
+
+private:
+    double* acc_;
+    std::chrono::steady_clock::time_point start_{};
 };
 
 /// Why the iteration stopped.
@@ -59,6 +100,14 @@ struct SolveResult {
     /// preconditioners without a recovery pipeline).
     core::RecoverySummary preconditioner;
     std::vector<double> residual_history;
+    /// Wall time attributed to each hot-path phase (all zero unless
+    /// SolverOptions::collect_phase_times was set).
+    PhaseSeconds phase_seconds;
+    /// Cumulative phase_seconds snapshot at every recorded residual
+    /// sample, parallel to residual_history (filled when both
+    /// keep_residual_history and collect_phase_times are set). Diff
+    /// consecutive entries for per-iteration attribution.
+    std::vector<PhaseSeconds> phase_history;
 
     bool converged() const noexcept {
         return status == SolveStatus::converged;
@@ -82,8 +131,56 @@ inline void record_residual(const SolverOptions& opts, SolveResult& result,
                             double normr) {
     if (opts.keep_residual_history) {
         result.residual_history.push_back(normr);
+        if (opts.collect_phase_times) {
+            result.phase_history.push_back(result.phase_seconds);
+        }
     }
     obs::counter("residual", normr);
+}
+
+/// Canonical flop/byte totals of a finished solve, per phase family,
+/// under the core/flops.hpp + core/bytes.hpp models. Phases without a
+/// byte model (e.g. orthogonalization) stay zero and are skipped.
+struct SolverTraffic {
+    double spmv_flops = 0.0;
+    double spmv_bytes = 0.0;
+    double blas1_flops = 0.0;
+    double blas1_bytes = 0.0;
+    double precond_flops = 0.0;
+    double precond_bytes = 0.0;
+};
+
+/// Export a finished solve's phase attribution into the metrics
+/// registry: per-phase seconds counters (solver.<phase>_seconds) plus
+/// roofline traffic for the phases with canonical byte models. No-op
+/// when attribution was off.
+inline void export_phase_attribution(const SolverOptions& opts,
+                                     const SolveResult& result,
+                                     const SolverTraffic& traffic) {
+    if (!opts.collect_phase_times) {
+        return;
+    }
+    auto& registry = obs::Registry::global();
+    const auto& ph = result.phase_seconds;
+    registry.add("solver.spmv_seconds", ph.spmv);
+    registry.add("solver.precond_seconds", ph.precond);
+    registry.add("solver.blas1_seconds", ph.blas1);
+    registry.add("solver.orth_seconds", ph.orth);
+    registry.add("solver.attributed_solves", 1.0);
+    const auto problems = static_cast<size_type>(result.iterations);
+    if (ph.spmv > 0.0 && traffic.spmv_bytes > 0.0) {
+        registry.record_traffic("solver.spmv", traffic.spmv_flops,
+                                traffic.spmv_bytes, ph.spmv, problems);
+    }
+    if (ph.blas1 > 0.0 && traffic.blas1_bytes > 0.0) {
+        registry.record_traffic("solver.blas1", traffic.blas1_flops,
+                                traffic.blas1_bytes, ph.blas1, problems);
+    }
+    if (ph.precond > 0.0 && traffic.precond_bytes > 0.0) {
+        registry.record_traffic("solver.precond", traffic.precond_flops,
+                                traffic.precond_bytes, ph.precond,
+                                problems);
+    }
 }
 
 /// Resolve the final SolveStatus from what the iteration observed, in

@@ -217,6 +217,59 @@ TEST(Histogram, RejectsBadConfig) {
     EXPECT_THROW(Histogram(0.0, 1.0, 0), BadParameter);
 }
 
+TEST(Statistics, SummaryCarriesTailPercentiles) {
+    std::vector<double> values;
+    for (int i = 1; i <= 100; ++i) {
+        values.push_back(static_cast<double>(i));
+    }
+    const auto s = summarize(std::move(values));
+    EXPECT_DOUBLE_EQ(s.p50, s.median);
+    EXPECT_NEAR(s.p50, 50.5, 1e-12);
+    EXPECT_NEAR(s.p95, 95.05, 1e-9);
+    EXPECT_NEAR(s.p99, 99.01, 1e-9);
+    // Degenerate samples collapse every percentile onto the value.
+    const auto one = summarize({7.5});
+    EXPECT_DOUBLE_EQ(one.p50, 7.5);
+    EXPECT_DOUBLE_EQ(one.p95, 7.5);
+    EXPECT_DOUBLE_EQ(one.p99, 7.5);
+    EXPECT_DOUBLE_EQ(summarize({}).p99, 0.0);
+}
+
+TEST(Statistics, SortedPercentileInterpolatesAndClamps) {
+    const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(sorted_percentile(sorted, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(sorted_percentile(sorted, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(sorted_percentile(sorted, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(sorted_percentile(sorted, 25.0), 1.75);
+    EXPECT_DOUBLE_EQ(sorted_percentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(sorted_percentile({42.0}, 99.0), 42.0);
+}
+
+TEST(Histogram, PercentileReconstructsFromBuckets) {
+    Histogram h(0.0, 10.0, 10);
+    // 100 samples spread uniformly: 10 per bucket center.
+    for (int b = 0; b < 10; ++b) {
+        for (int r = 0; r < 10; ++r) {
+            h.add(static_cast<double>(b) + 0.5);
+        }
+    }
+    // Uniform occupancy: percentiles track the value range linearly,
+    // within one bucket width of the exact answer.
+    EXPECT_NEAR(h.percentile(50.0), 5.0, 1.0);
+    EXPECT_NEAR(h.percentile(95.0), 9.5, 1.0);
+    EXPECT_GE(h.percentile(99.0), h.percentile(95.0));
+    EXPECT_GE(h.percentile(95.0), h.percentile(50.0));
+
+    // Tails clamp to the histogram range.
+    Histogram tails(0.0, 1.0, 2);
+    tails.add(-5.0);
+    tails.add(5.0);
+    EXPECT_DOUBLE_EQ(tails.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(tails.percentile(100.0), 1.0);
+
+    EXPECT_DOUBLE_EQ(Histogram(0.0, 1.0, 2).percentile(50.0), 0.0);
+}
+
 TEST(Timer, MeasuresElapsedTime) {
     Timer t;
     volatile double sink = 0;

@@ -1,5 +1,6 @@
 // Schema validator for the BENCH_<name>.json artifacts the figure
-// benchmarks emit (obs::BenchReport, schema_version 1). Used by CTest
+// benchmarks emit (obs::BenchReport, schema_version 2; key-by-key
+// documentation in DESIGN.md). Used by CTest
 // (bench_*_json_validate) and by hand:
 //
 //   VBATCH_BENCH_JSON=1 ./build/bench/bench_fig4_getrf_batch
@@ -107,6 +108,50 @@ void check_recovery_counters(const std::string& path,
     }
 }
 
+// Schema v2 roofline accounting: every traffic family must carry the
+// raw totals and all four derived rates, so downstream tooling
+// (vbatch_prof, plots) never has to re-derive them.
+void check_traffic(const std::string& path, const JsonValue& traffic) {
+    for (const auto& [family, stats] : traffic.members) {
+        if (!stats.is_object()) {
+            fail(path,
+                 "traffic entry \"" + family + "\" is not an object");
+            continue;
+        }
+        for (const char* key :
+             {"flops", "bytes", "seconds", "calls", "problems", "roof_gbs",
+              "gflops", "bandwidth_gbs", "arithmetic_intensity",
+              "fraction_of_roof"}) {
+            require(path, stats, key, JsonValue::Type::number);
+        }
+    }
+}
+
+void check_perf(const std::string& path, const JsonValue& perf) {
+    for (const auto& [region, stats] : perf.members) {
+        if (!stats.is_object()) {
+            fail(path, "perf entry \"" + region + "\" is not an object");
+            continue;
+        }
+        for (const char* key :
+             {"calls", "hardware_calls", "seconds", "cycles",
+              "instructions", "ipc", "l1d_misses", "llc_misses",
+              "branch_misses"}) {
+            require(path, stats, key, JsonValue::Type::number);
+        }
+    }
+}
+
+void check_pool(const std::string& path, const JsonValue& pool) {
+    for (const char* key :
+         {"workers", "wall_seconds", "busy_seconds", "idle_seconds",
+          "utilization", "dispatches", "inline_runs", "mean_imbalance",
+          "last_imbalance"}) {
+        require(path, pool, key, JsonValue::Type::number);
+    }
+    require(path, pool, "armed", JsonValue::Type::boolean);
+}
+
 void validate(const std::string& path) {
     std::ifstream in(path);
     if (!in) {
@@ -128,8 +173,8 @@ void validate(const std::string& path) {
     }
     const auto* version =
         require(path, root, "schema_version", JsonValue::Type::number);
-    if (version != nullptr && version->number != 1.0) {
-        fail(path, "unsupported schema_version");
+    if (version != nullptr && version->number != 2.0) {
+        fail(path, "unsupported schema_version (expected 2)");
     }
     require(path, root, "name", JsonValue::Type::string);
     require(path, root, "config", JsonValue::Type::object);
@@ -151,6 +196,18 @@ void validate(const std::string& path) {
             require(path, root, "kernel_stats", JsonValue::Type::object)) {
         check_kernel_stats(path, *kernels);
     }
+    if (const auto* traffic =
+            require(path, root, "traffic", JsonValue::Type::object)) {
+        check_traffic(path, *traffic);
+    }
+    if (const auto* perf =
+            require(path, root, "perf", JsonValue::Type::object)) {
+        check_perf(path, *perf);
+    }
+    if (const auto* pool =
+            require(path, root, "pool", JsonValue::Type::object)) {
+        check_pool(path, *pool);
+    }
 }
 
 }  // namespace
@@ -164,7 +221,7 @@ int main(int argc, char** argv) {
         validate(argv[i]);
     }
     if (errors == 0) {
-        std::printf("%d file(s) conform to bench schema v1\n", argc - 1);
+        std::printf("%d file(s) conform to bench schema v2\n", argc - 1);
     }
     return errors == 0 ? 0 : 1;
 }

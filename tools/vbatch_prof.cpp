@@ -1,0 +1,119 @@
+// vbatch_prof: offline analysis of the repository's observability
+// artifacts -- BENCH_<name>.json reports and VBATCH_TRACE NDJSON
+// streams.
+//
+//   vbatch_prof [--top N] [--trace trace.ndjson] BENCH_a.json ...
+//   vbatch_prof --diff baseline.json current.json
+//
+// Report mode renders, per input document: the phase summary (sorted,
+// with % of wall), the roofline table (GFLOPS, GB/s, arithmetic
+// intensity, fraction of roof per traffic family), pool utilization and
+// the hardware-counter regions. Trace mode aggregates regions by name.
+// Diff mode compares two reports for regression triage.
+//
+// Exits 0 on success, 2 on usage/IO/parse errors. All rendering lives
+// in obs/prof.hpp so tests can cover it with canned documents.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/prof.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+vbatch::obs::JsonValue parse_file(const std::string& path) {
+    try {
+        return vbatch::obs::parse_json(read_file(path));
+    } catch (const vbatch::obs::JsonError& e) {
+        std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+        std::exit(2);
+    }
+}
+
+int usage() {
+    std::fprintf(
+        stderr,
+        "usage: vbatch_prof [--top N] [--trace FILE.ndjson] BENCH.json...\n"
+        "       vbatch_prof --diff BASELINE.json CURRENT.json\n");
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    vbatch::obs::prof::Options opts;
+    std::vector<std::string> reports;
+    std::vector<std::string> traces;
+    bool diff = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--top") {
+            if (i + 1 >= argc) {
+                return usage();
+            }
+            opts.top_n = std::atoi(argv[++i]);
+            if (opts.top_n <= 0) {
+                std::fprintf(stderr, "error: --top needs a positive N\n");
+                return 2;
+            }
+        } else if (arg == "--trace") {
+            if (i + 1 >= argc) {
+                return usage();
+            }
+            traces.emplace_back(argv[++i]);
+        } else if (arg == "--diff") {
+            diff = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "error: unknown option %s\n", argv[i]);
+            return usage();
+        } else {
+            reports.emplace_back(argv[i]);
+        }
+    }
+
+    if (diff) {
+        if (reports.size() != 2 || !traces.empty()) {
+            return usage();
+        }
+        const auto base = parse_file(reports[0]);
+        const auto current = parse_file(reports[1]);
+        std::printf("%s",
+                    vbatch::obs::prof::render_diff(base, current).c_str());
+        return 0;
+    }
+
+    if (reports.empty() && traces.empty()) {
+        return usage();
+    }
+    for (const auto& path : reports) {
+        const auto doc = parse_file(path);
+        std::printf("==> %s\n%s", path.c_str(),
+                    vbatch::obs::prof::render_report(doc, opts).c_str());
+    }
+    for (const auto& path : traces) {
+        std::printf("==> %s\n%s", path.c_str(),
+                    vbatch::obs::prof::render_trace(read_file(path), opts)
+                        .c_str());
+    }
+    return 0;
+}
