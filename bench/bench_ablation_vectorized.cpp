@@ -230,6 +230,17 @@ int main() {
     report.config("quick", vb::bench::quick_mode());
     report.config("dispatch",
                   vb::core::simd_isa_name(vb::core::detect_simd_isa()));
+    // Record which ISA series this run emits: baselines recorded on
+    // narrower machines stay comparable (the regression checker matches
+    // series by name and tolerates extra series in the current run).
+    std::string isa_csv;
+    for (const auto isa : vb::core::available_simd_isas()) {
+        if (!isa_csv.empty()) {
+            isa_csv += ",";
+        }
+        isa_csv += vb::core::simd_isa_name(isa);
+    }
+    report.config("isas", isa_csv);
     vb::Timer tf;
     run_precision<float>(report);
     report.phase("float", tf.seconds());

@@ -1,0 +1,23 @@
+# Cross-compilation toolchain for the CI aarch64 job: build with the
+# Debian/Ubuntu aarch64-linux-gnu cross compiler and run test binaries
+# under qemu-user (ctest prefixes the emulator automatically through
+# CMAKE_CROSSCOMPILING_EMULATOR, including gtest test discovery).
+#
+#   cmake -B build-aarch64 -S . \
+#     -DCMAKE_TOOLCHAIN_FILE=cmake/toolchains/aarch64-linux-gnu.cmake
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+# -L: qemu's ELF-interpreter / shared-library prefix for the target libc.
+set(CMAKE_CROSSCOMPILING_EMULATOR "qemu-aarch64;-L;/usr/aarch64-linux-gnu")
+
+set(CMAKE_FIND_ROOT_PATH /usr/aarch64-linux-gnu)
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+set(CMAKE_FIND_ROOT_PATH_MODE_LIBRARY ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_INCLUDE ONLY)
+# Host-built packages (e.g. the cross-compiled googletest the CI job
+# installs into its own prefix) are located via CMAKE_PREFIX_PATH.
+set(CMAKE_FIND_ROOT_PATH_MODE_PACKAGE BOTH)

@@ -5,14 +5,17 @@
 // CPU analogue implemented here assigns one matrix to each SIMD lane of a
 // vector register. Which vector width is available is a *runtime* property
 // of the machine the binary lands on, so the kernels are compiled once per
-// instruction set (scalar / SSE2 / AVX2) and selected through this module:
+// instruction set (scalar / SSE2 / AVX2 / AVX-512 on x86, scalar / NEON on
+// AArch64) and selected through this module:
 //
 //   detect_simd_isa()  - widest ISA supported by both the compiler flags
 //                        this binary was built with and the CPU it runs on,
-//                        overridable with VBATCH_SIMD=scalar|sse2|avx2|auto
+//                        overridable with
+//                        VBATCH_SIMD=scalar|sse2|avx2|avx512|neon|auto
 //                        (requests above the supported level are clamped).
 //
-// Non-x86 builds degrade to the scalar implementation transparently.
+// Architectures without a vector backend degrade to the scalar
+// implementation transparently.
 #pragma once
 
 #include <string>
@@ -22,10 +25,15 @@
 
 namespace vbatch::core {
 
-enum class SimdIsa { scalar, sse2, avx2 };
+enum class SimdIsa { scalar, sse2, avx2, avx512, neon };
 
 /// Stable short name used in metrics, bench series and logs.
 const char* simd_isa_name(SimdIsa isa);
+
+/// Inverse of simd_isa_name: true and sets `out` when `name` is a known
+/// ISA name ("auto" is not one). Used by the VBATCH_SIMD override and the
+/// ISA-pinned test runner.
+bool parse_simd_isa(const char* name, SimdIsa& out);
 
 /// True when `isa` was compiled in *and* the executing CPU supports it.
 bool simd_isa_available(SimdIsa isa);
@@ -46,6 +54,8 @@ constexpr index_type simd_lanes(SimdIsa isa) {
     case SimdIsa::scalar: return 1;
     case SimdIsa::sse2: return static_cast<index_type>(16 / sizeof(T));
     case SimdIsa::avx2: return static_cast<index_type>(32 / sizeof(T));
+    case SimdIsa::avx512: return static_cast<index_type>(64 / sizeof(T));
+    case SimdIsa::neon: return static_cast<index_type>(16 / sizeof(T));
     }
     return 1;
 }

@@ -28,6 +28,12 @@ void run_getrf_chunk(SimdIsa isa, T* a, index_type* perm, index_type* info,
     case SimdIsa::avx2:
         getrf_chunk_avx2(a, perm, info, m, stride);
         break;
+    case SimdIsa::avx512:
+        getrf_chunk_avx512(a, perm, info, m, stride);
+        break;
+    case SimdIsa::neon:
+        getrf_chunk_neon(a, perm, info, m, stride);
+        break;
     }
 }
 
@@ -43,6 +49,12 @@ void run_getrs_chunk(SimdIsa isa, const T* lu, const index_type* perm,
         break;
     case SimdIsa::avx2:
         getrs_chunk_avx2(lu, perm, b, m, stride);
+        break;
+    case SimdIsa::avx512:
+        getrs_chunk_avx512(lu, perm, b, m, stride);
+        break;
+    case SimdIsa::neon:
+        getrs_chunk_neon(lu, perm, b, m, stride);
         break;
     }
 }
@@ -71,6 +83,35 @@ std::vector<std::vector<size_type>> size_buckets(const BatchLayout& layout) {
 }
 
 }  // namespace
+
+template <typename T>
+void run_simd_op_sweep(SimdIsa isa, const simd::OpSweepInput<T>& in,
+                       simd::OpSweepResult<T>& out) {
+    switch (isa) {
+    case SimdIsa::scalar:
+        simd_op_sweep_scalar(in, out);
+        break;
+    case SimdIsa::sse2:
+        simd_op_sweep_sse2(in, out);
+        break;
+    case SimdIsa::avx2:
+        simd_op_sweep_avx2(in, out);
+        break;
+    case SimdIsa::avx512:
+        simd_op_sweep_avx512(in, out);
+        break;
+    case SimdIsa::neon:
+        simd_op_sweep_neon(in, out);
+        break;
+    }
+}
+
+template void run_simd_op_sweep<float>(SimdIsa,
+                                       const simd::OpSweepInput<float>&,
+                                       simd::OpSweepResult<float>&);
+template void run_simd_op_sweep<double>(SimdIsa,
+                                        const simd::OpSweepInput<double>&,
+                                        simd::OpSweepResult<double>&);
 
 template <typename T>
 FactorizeStatus getrf_interleaved(InterleavedGroup<T>& g,

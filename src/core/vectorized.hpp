@@ -21,8 +21,16 @@
 
 #include "core/getrf.hpp"
 #include "core/interleaved.hpp"
+#include "simd/op_sweep.hpp"
 
 namespace vbatch::core {
+
+/// Run the facade operation sweep (simd/op_sweep.hpp) at `isa`'s vector
+/// width. Testing hook: lets a baseline-flags TU exercise every compiled
+/// backend's facade ops through the same per-ISA TUs the kernels use.
+template <typename T>
+void run_simd_op_sweep(SimdIsa isa, const simd::OpSweepInput<T>& in,
+                       simd::OpSweepResult<T>& out);
 
 struct VectorizedOptions {
     /// ISA for packing/dispatch (drop-in drivers only; the group-level

@@ -3,40 +3,45 @@
 // supports it (CMake defines VBATCH_HAVE_AVX2 for the dispatcher in that
 // case); otherwise it degrades to the scalar algorithm, which the runtime
 // dispatcher then never selects.
-#include <cstddef>
-
+#include "core/chunk_kernels.hpp"
 #include "core/vectorized_kernels.hpp"
-
-#if defined(__AVX2__)
-#include <immintrin.h>
-#define VBATCH_SIMD_IMPL_AVX2 1
-#else
-#define VBATCH_SIMD_IMPL_SCALAR 1
-#endif
+#include "simd/op_sweep_impl.hpp"
 
 namespace vbatch::core {
 
-namespace avx2_impl {
-#include "core/interleaved_kernel_impl.inc"
-}  // namespace avx2_impl
+namespace {
+#if defined(__AVX2__)
+using ChunkBackend = simd::Avx2Backend;
+#else
+using ChunkBackend = simd::ScalarBackend;
+#endif
+}  // namespace
 
 template <typename T>
 void getrf_chunk_avx2(T* a, index_type* perm, index_type* info,
                       index_type m, size_type lane_stride) {
-    avx2_impl::getrf_chunk<T>(a, perm, info, m, lane_stride);
+    getrf_chunk<T, ChunkBackend>(a, perm, info, m, lane_stride);
 }
 
 template <typename T>
 void getrs_chunk_avx2(const T* lu, const index_type* perm, T* b,
                       index_type m, size_type lane_stride) {
-    avx2_impl::getrs_chunk<T>(lu, perm, b, m, lane_stride);
+    getrs_chunk<T, ChunkBackend>(lu, perm, b, m, lane_stride);
+}
+
+template <typename T>
+void simd_op_sweep_avx2(const simd::OpSweepInput<T>& in,
+                        simd::OpSweepResult<T>& out) {
+    simd::op_sweep_run<T, ChunkBackend>(in, out);
 }
 
 #define VBATCH_INSTANTIATE_AVX2_CHUNK(T)                                     \
     template void getrf_chunk_avx2<T>(T*, index_type*, index_type*,          \
                                       index_type, size_type);                \
     template void getrs_chunk_avx2<T>(const T*, const index_type*, T*,       \
-                                      index_type, size_type)
+                                      index_type, size_type);                \
+    template void simd_op_sweep_avx2<T>(const simd::OpSweepInput<T>&,        \
+                                        simd::OpSweepResult<T>&)
 
 VBATCH_INSTANTIATE_AVX2_CHUNK(float);
 VBATCH_INSTANTIATE_AVX2_CHUNK(double);

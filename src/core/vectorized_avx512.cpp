@@ -1,0 +1,51 @@
+// AVX-512 (512-bit: 8 doubles / 16 floats per chunk) build of the
+// interleaved chunk kernels. This TU is compiled with -march=x86-64-v4
+// when the compiler supports it (CMake defines VBATCH_HAVE_AVX512 for
+// the dispatcher in that case); otherwise it degrades to the scalar
+// algorithm, which the runtime dispatcher then never selects.
+#include "core/chunk_kernels.hpp"
+#include "core/vectorized_kernels.hpp"
+#include "simd/op_sweep_impl.hpp"
+
+namespace vbatch::core {
+
+namespace {
+#if defined(__AVX512F__)
+using ChunkBackend = simd::Avx512Backend;
+#else
+using ChunkBackend = simd::ScalarBackend;
+#endif
+}  // namespace
+
+template <typename T>
+void getrf_chunk_avx512(T* a, index_type* perm, index_type* info,
+                        index_type m, size_type lane_stride) {
+    getrf_chunk<T, ChunkBackend>(a, perm, info, m, lane_stride);
+}
+
+template <typename T>
+void getrs_chunk_avx512(const T* lu, const index_type* perm, T* b,
+                        index_type m, size_type lane_stride) {
+    getrs_chunk<T, ChunkBackend>(lu, perm, b, m, lane_stride);
+}
+
+template <typename T>
+void simd_op_sweep_avx512(const simd::OpSweepInput<T>& in,
+                          simd::OpSweepResult<T>& out) {
+    simd::op_sweep_run<T, ChunkBackend>(in, out);
+}
+
+#define VBATCH_INSTANTIATE_AVX512_CHUNK(T)                                   \
+    template void getrf_chunk_avx512<T>(T*, index_type*, index_type*,        \
+                                        index_type, size_type);              \
+    template void getrs_chunk_avx512<T>(const T*, const index_type*, T*,     \
+                                        index_type, size_type);              \
+    template void simd_op_sweep_avx512<T>(const simd::OpSweepInput<T>&,      \
+                                          simd::OpSweepResult<T>&)
+
+VBATCH_INSTANTIATE_AVX512_CHUNK(float);
+VBATCH_INSTANTIATE_AVX512_CHUNK(double);
+
+#undef VBATCH_INSTANTIATE_AVX512_CHUNK
+
+}  // namespace vbatch::core

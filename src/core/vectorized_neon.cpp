@@ -1,0 +1,50 @@
+// NEON (128-bit: 2 doubles / 4 floats per chunk) build of the interleaved
+// chunk kernels. Advanced SIMD is mandatory on AArch64, so this TU needs
+// no special compile flags there; on other architectures it degrades to
+// the scalar algorithm (and the dispatcher never selects it).
+#include "core/chunk_kernels.hpp"
+#include "core/vectorized_kernels.hpp"
+#include "simd/op_sweep_impl.hpp"
+
+namespace vbatch::core {
+
+namespace {
+#if defined(__aarch64__) && defined(__ARM_NEON)
+using ChunkBackend = simd::NeonBackend;
+#else
+using ChunkBackend = simd::ScalarBackend;
+#endif
+}  // namespace
+
+template <typename T>
+void getrf_chunk_neon(T* a, index_type* perm, index_type* info,
+                      index_type m, size_type lane_stride) {
+    getrf_chunk<T, ChunkBackend>(a, perm, info, m, lane_stride);
+}
+
+template <typename T>
+void getrs_chunk_neon(const T* lu, const index_type* perm, T* b,
+                      index_type m, size_type lane_stride) {
+    getrs_chunk<T, ChunkBackend>(lu, perm, b, m, lane_stride);
+}
+
+template <typename T>
+void simd_op_sweep_neon(const simd::OpSweepInput<T>& in,
+                        simd::OpSweepResult<T>& out) {
+    simd::op_sweep_run<T, ChunkBackend>(in, out);
+}
+
+#define VBATCH_INSTANTIATE_NEON_CHUNK(T)                                     \
+    template void getrf_chunk_neon<T>(T*, index_type*, index_type*,          \
+                                      index_type, size_type);                \
+    template void getrs_chunk_neon<T>(const T*, const index_type*, T*,       \
+                                      index_type, size_type);                \
+    template void simd_op_sweep_neon<T>(const simd::OpSweepInput<T>&,        \
+                                        simd::OpSweepResult<T>&)
+
+VBATCH_INSTANTIATE_NEON_CHUNK(float);
+VBATCH_INSTANTIATE_NEON_CHUNK(double);
+
+#undef VBATCH_INSTANTIATE_NEON_CHUNK
+
+}  // namespace vbatch::core

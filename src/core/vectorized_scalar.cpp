@@ -1,34 +1,40 @@
 // Scalar (width-1) build of the interleaved chunk kernels: the portable
-// fallback and the reference the SIMD builds are tested against.
-#include <cstddef>
-
+// reference every vector backend is bitwise-compared against.
+#include "core/chunk_kernels.hpp"
 #include "core/vectorized_kernels.hpp"
+#include "simd/op_sweep_impl.hpp"
 
 namespace vbatch::core {
 
-namespace scalar_impl {
-#define VBATCH_SIMD_IMPL_SCALAR 1
-#include "core/interleaved_kernel_impl.inc"
-#undef VBATCH_SIMD_IMPL_SCALAR
-}  // namespace scalar_impl
+namespace {
+using ChunkBackend = simd::ScalarBackend;
+}  // namespace
 
 template <typename T>
 void getrf_chunk_scalar(T* a, index_type* perm, index_type* info,
                         index_type m, size_type lane_stride) {
-    scalar_impl::getrf_chunk<T>(a, perm, info, m, lane_stride);
+    getrf_chunk<T, ChunkBackend>(a, perm, info, m, lane_stride);
 }
 
 template <typename T>
 void getrs_chunk_scalar(const T* lu, const index_type* perm, T* b,
                         index_type m, size_type lane_stride) {
-    scalar_impl::getrs_chunk<T>(lu, perm, b, m, lane_stride);
+    getrs_chunk<T, ChunkBackend>(lu, perm, b, m, lane_stride);
+}
+
+template <typename T>
+void simd_op_sweep_scalar(const simd::OpSweepInput<T>& in,
+                          simd::OpSweepResult<T>& out) {
+    simd::op_sweep_run<T, ChunkBackend>(in, out);
 }
 
 #define VBATCH_INSTANTIATE_SCALAR_CHUNK(T)                                   \
     template void getrf_chunk_scalar<T>(T*, index_type*, index_type*,        \
                                         index_type, size_type);              \
     template void getrs_chunk_scalar<T>(const T*, const index_type*, T*,     \
-                                        index_type, size_type)
+                                        index_type, size_type);              \
+    template void simd_op_sweep_scalar<T>(const simd::OpSweepInput<T>&,      \
+                                          simd::OpSweepResult<T>&)
 
 VBATCH_INSTANTIATE_SCALAR_CHUNK(float);
 VBATCH_INSTANTIATE_SCALAR_CHUNK(double);

@@ -2,40 +2,45 @@
 // chunk kernels. SSE2 is part of the x86-64 baseline, so this TU needs no
 // special compile flags; on other architectures it degrades to the scalar
 // algorithm (and the dispatcher never selects it there).
-#include <cstddef>
-
+#include "core/chunk_kernels.hpp"
 #include "core/vectorized_kernels.hpp"
-
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#define VBATCH_SIMD_IMPL_SSE2 1
-#else
-#define VBATCH_SIMD_IMPL_SCALAR 1
-#endif
+#include "simd/op_sweep_impl.hpp"
 
 namespace vbatch::core {
 
-namespace sse2_impl {
-#include "core/interleaved_kernel_impl.inc"
-}  // namespace sse2_impl
+namespace {
+#if defined(__SSE2__)
+using ChunkBackend = simd::Sse2Backend;
+#else
+using ChunkBackend = simd::ScalarBackend;
+#endif
+}  // namespace
 
 template <typename T>
 void getrf_chunk_sse2(T* a, index_type* perm, index_type* info,
                       index_type m, size_type lane_stride) {
-    sse2_impl::getrf_chunk<T>(a, perm, info, m, lane_stride);
+    getrf_chunk<T, ChunkBackend>(a, perm, info, m, lane_stride);
 }
 
 template <typename T>
 void getrs_chunk_sse2(const T* lu, const index_type* perm, T* b,
                       index_type m, size_type lane_stride) {
-    sse2_impl::getrs_chunk<T>(lu, perm, b, m, lane_stride);
+    getrs_chunk<T, ChunkBackend>(lu, perm, b, m, lane_stride);
+}
+
+template <typename T>
+void simd_op_sweep_sse2(const simd::OpSweepInput<T>& in,
+                        simd::OpSweepResult<T>& out) {
+    simd::op_sweep_run<T, ChunkBackend>(in, out);
 }
 
 #define VBATCH_INSTANTIATE_SSE2_CHUNK(T)                                     \
     template void getrf_chunk_sse2<T>(T*, index_type*, index_type*,          \
                                       index_type, size_type);                \
     template void getrs_chunk_sse2<T>(const T*, const index_type*, T*,       \
-                                      index_type, size_type)
+                                      index_type, size_type);                \
+    template void simd_op_sweep_sse2<T>(const simd::OpSweepInput<T>&,        \
+                                        simd::OpSweepResult<T>&)
 
 VBATCH_INSTANTIATE_SSE2_CHUNK(float);
 VBATCH_INSTANTIATE_SSE2_CHUNK(double);

@@ -1,0 +1,211 @@
+// AVX2 backend: 256-bit vectors, 4 doubles / 8 floats. Masks are vectors
+// whose lanes are all-ones / all-zero bit patterns. Only visible in TUs
+// compiled with -mavx2 (see src/core/CMakeLists.txt).
+#pragma once
+
+#include "simd/backend.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace vbatch::simd {
+
+template <>
+struct BackendTraits<Avx2Backend> {
+    static constexpr bool compiled = true;
+    static constexpr const char* name = "avx2";
+    static constexpr std::size_t vector_bytes = 32;
+    static constexpr std::size_t alignment = 32;
+    template <typename T>
+    static constexpr index_type width =
+        static_cast<index_type>(vector_bytes / sizeof(T));
+};
+
+template <>
+struct SimdImpl<double, Avx2Backend> {
+    using vector_type = __m256d;
+    using mask_type = __m256d;
+    static constexpr index_type width = 4;
+
+    static __m256d load(const double* p) { return _mm256_load_pd(p); }
+    static void store(double* p, __m256d v) { _mm256_store_pd(p, v); }
+    static __m256d broadcast(double x) { return _mm256_set1_pd(x); }
+    static __m256d zero() { return _mm256_setzero_pd(); }
+
+    static __m256d add(__m256d a, __m256d b) { return _mm256_add_pd(a, b); }
+    static __m256d sub(__m256d a, __m256d b) { return _mm256_sub_pd(a, b); }
+    static __m256d mul(__m256d a, __m256d b) { return _mm256_mul_pd(a, b); }
+    static __m256d div(__m256d a, __m256d b) { return _mm256_div_pd(a, b); }
+    static __m256d abs_(__m256d a) {
+        return _mm256_andnot_pd(_mm256_set1_pd(-0.0), a);
+    }
+    /// The TU is compiled without -mfma (AVX2 only): exact per-lane
+    /// std::fma fallback keeps single-rounding semantics.
+    static __m256d fma_(__m256d a, __m256d b, __m256d c) {
+        alignas(32) double x[4], y[4], z[4];
+        _mm256_store_pd(x, a);
+        _mm256_store_pd(y, b);
+        _mm256_store_pd(z, c);
+        return _mm256_setr_pd(std::fma(x[0], y[0], z[0]),
+                              std::fma(x[1], y[1], z[1]),
+                              std::fma(x[2], y[2], z[2]),
+                              std::fma(x[3], y[3], z[3]));
+    }
+
+    static __m256d cmp_gt(__m256d a, __m256d b) {
+        return _mm256_cmp_pd(a, b, _CMP_GT_OQ);
+    }
+    static __m256d cmp_lt(__m256d a, __m256d b) {
+        return _mm256_cmp_pd(a, b, _CMP_LT_OQ);
+    }
+    static __m256d cmp_eq(__m256d a, __m256d b) {
+        return _mm256_cmp_pd(a, b, _CMP_EQ_OQ);
+    }
+
+    /// mask ? a : b
+    static __m256d select(__m256d m, __m256d a, __m256d b) {
+        return _mm256_blendv_pd(b, a, m);
+    }
+    static __m256d keep(__m256d a, __m256d m) {
+        return _mm256_and_pd(a, m);
+    }
+
+    static __m256d mask_all() {
+        return _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    }
+    static __m256d mask_and(__m256d a, __m256d b) {
+        return _mm256_and_pd(a, b);
+    }
+    static __m256d mask_or(__m256d a, __m256d b) {
+        return _mm256_or_pd(a, b);
+    }
+    static __m256d mask_andnot(__m256d a, __m256d b) {
+        return _mm256_andnot_pd(b, a);
+    }
+    static bool mask_any(__m256d m) { return _mm256_movemask_pd(m) != 0; }
+    static unsigned mask_bits(__m256d m) {
+        return static_cast<unsigned>(_mm256_movemask_pd(m));
+    }
+    static __m256d mask_only_lane(index_type l) {
+        return _mm256_cmp_pd(_mm256_setr_pd(0.0, 1.0, 2.0, 3.0),
+                             _mm256_set1_pd(static_cast<double>(l)),
+                             _CMP_EQ_OQ);
+    }
+
+    /// lane l -> col[int(rows[l]) * stride + l]
+    static __m256d gather_rows(const double* col, __m256d rows,
+                               size_type stride) {
+        __m128i idx = _mm256_cvttpd_epi32(rows);
+        idx = _mm_mullo_epi32(idx, _mm_set1_epi32(static_cast<int>(stride)));
+        idx = _mm_add_epi32(idx, _mm_setr_epi32(0, 1, 2, 3));
+        // Masked gather with an explicit zero source: same result as the
+        // plain gather, but avoids GCC's maybe-uninitialized false
+        // positive on the undefined source operand.
+        return _mm256_mask_i32gather_pd(_mm256_setzero_pd(), col, idx,
+                                        mask_all(), 8);
+    }
+    static __m256d gather_rows_i(const double* col, const index_type* rows,
+                                 size_type stride) {
+        __m128i idx =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows));
+        idx = _mm_mullo_epi32(idx, _mm_set1_epi32(static_cast<int>(stride)));
+        idx = _mm_add_epi32(idx, _mm_setr_epi32(0, 1, 2, 3));
+        return _mm256_mask_i32gather_pd(_mm256_setzero_pd(), col, idx,
+                                        mask_all(), 8);
+    }
+};
+
+template <>
+struct SimdImpl<float, Avx2Backend> {
+    using vector_type = __m256;
+    using mask_type = __m256;
+    static constexpr index_type width = 8;
+
+    static __m256 load(const float* p) { return _mm256_load_ps(p); }
+    static void store(float* p, __m256 v) { _mm256_store_ps(p, v); }
+    static __m256 broadcast(float x) { return _mm256_set1_ps(x); }
+    static __m256 zero() { return _mm256_setzero_ps(); }
+
+    static __m256 add(__m256 a, __m256 b) { return _mm256_add_ps(a, b); }
+    static __m256 sub(__m256 a, __m256 b) { return _mm256_sub_ps(a, b); }
+    static __m256 mul(__m256 a, __m256 b) { return _mm256_mul_ps(a, b); }
+    static __m256 div(__m256 a, __m256 b) { return _mm256_div_ps(a, b); }
+    static __m256 abs_(__m256 a) {
+        return _mm256_andnot_ps(_mm256_set1_ps(-0.0f), a);
+    }
+    static __m256 fma_(__m256 a, __m256 b, __m256 c) {
+        alignas(32) float x[8], y[8], z[8];
+        _mm256_store_ps(x, a);
+        _mm256_store_ps(y, b);
+        _mm256_store_ps(z, c);
+        return _mm256_setr_ps(
+            std::fma(x[0], y[0], z[0]), std::fma(x[1], y[1], z[1]),
+            std::fma(x[2], y[2], z[2]), std::fma(x[3], y[3], z[3]),
+            std::fma(x[4], y[4], z[4]), std::fma(x[5], y[5], z[5]),
+            std::fma(x[6], y[6], z[6]), std::fma(x[7], y[7], z[7]));
+    }
+
+    static __m256 cmp_gt(__m256 a, __m256 b) {
+        return _mm256_cmp_ps(a, b, _CMP_GT_OQ);
+    }
+    static __m256 cmp_lt(__m256 a, __m256 b) {
+        return _mm256_cmp_ps(a, b, _CMP_LT_OQ);
+    }
+    static __m256 cmp_eq(__m256 a, __m256 b) {
+        return _mm256_cmp_ps(a, b, _CMP_EQ_OQ);
+    }
+
+    static __m256 select(__m256 m, __m256 a, __m256 b) {
+        return _mm256_blendv_ps(b, a, m);
+    }
+    static __m256 keep(__m256 a, __m256 m) { return _mm256_and_ps(a, m); }
+
+    static __m256 mask_all() {
+        return _mm256_castsi256_ps(_mm256_set1_epi32(-1));
+    }
+    static __m256 mask_and(__m256 a, __m256 b) {
+        return _mm256_and_ps(a, b);
+    }
+    static __m256 mask_or(__m256 a, __m256 b) { return _mm256_or_ps(a, b); }
+    static __m256 mask_andnot(__m256 a, __m256 b) {
+        return _mm256_andnot_ps(b, a);
+    }
+    static bool mask_any(__m256 m) { return _mm256_movemask_ps(m) != 0; }
+    static unsigned mask_bits(__m256 m) {
+        return static_cast<unsigned>(_mm256_movemask_ps(m));
+    }
+    static __m256 mask_only_lane(index_type l) {
+        return _mm256_cmp_ps(
+            _mm256_setr_ps(0.0f, 1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f, 7.0f),
+            _mm256_set1_ps(static_cast<float>(l)), _CMP_EQ_OQ);
+    }
+
+    static __m256 gather_rows(const float* col, __m256 rows,
+                              size_type stride) {
+        __m256i idx = _mm256_cvttps_epi32(rows);
+        idx = _mm256_mullo_epi32(idx,
+                                 _mm256_set1_epi32(static_cast<int>(stride)));
+        idx = _mm256_add_epi32(idx,
+                               _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+        return _mm256_mask_i32gather_ps(_mm256_setzero_ps(), col, idx,
+                                        mask_all(), 4);
+    }
+    static __m256 gather_rows_i(const float* col, const index_type* rows,
+                                size_type stride) {
+        __m256i idx =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows));
+        idx = _mm256_mullo_epi32(idx,
+                                 _mm256_set1_epi32(static_cast<int>(stride)));
+        idx = _mm256_add_epi32(idx,
+                               _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+        return _mm256_mask_i32gather_ps(_mm256_setzero_ps(), col, idx,
+                                        mask_all(), 4);
+    }
+};
+
+}  // namespace vbatch::simd
+
+#endif  // __AVX2__

@@ -1,0 +1,201 @@
+// AVX-512 backend: 512-bit vectors, 8 doubles / 16 floats, with native
+// predicate registers -- comparisons produce __mmask8/__mmask16 values,
+// and masked selection uses the hardware mask ports instead of the
+// and/andnot/or bit-pattern emulation of the 128/256-bit backends. The
+// mask values form the same boolean lattice as the vector bit patterns
+// (bit set <=> lane all-ones), so kernels written against the facade are
+// bitwise-identical across representations. Only visible in TUs compiled
+// with -march=x86-64-v4 or equivalent (see src/core/CMakeLists.txt).
+#pragma once
+
+#include "simd/backend.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace vbatch::simd {
+
+template <>
+struct BackendTraits<Avx512Backend> {
+    static constexpr bool compiled = true;
+    static constexpr const char* name = "avx512";
+    static constexpr std::size_t vector_bytes = 64;
+    static constexpr std::size_t alignment = 64;
+    template <typename T>
+    static constexpr index_type width =
+        static_cast<index_type>(vector_bytes / sizeof(T));
+};
+
+template <>
+struct SimdImpl<double, Avx512Backend> {
+    using vector_type = __m512d;
+    using mask_type = __mmask8;
+    static constexpr index_type width = 8;
+
+    static __m512d load(const double* p) { return _mm512_load_pd(p); }
+    static void store(double* p, __m512d v) { _mm512_store_pd(p, v); }
+    static __m512d broadcast(double x) { return _mm512_set1_pd(x); }
+    static __m512d zero() { return _mm512_setzero_pd(); }
+
+    static __m512d add(__m512d a, __m512d b) { return _mm512_add_pd(a, b); }
+    static __m512d sub(__m512d a, __m512d b) { return _mm512_sub_pd(a, b); }
+    static __m512d mul(__m512d a, __m512d b) { return _mm512_mul_pd(a, b); }
+    static __m512d div(__m512d a, __m512d b) { return _mm512_div_pd(a, b); }
+    static __m512d abs_(__m512d a) { return _mm512_abs_pd(a); }
+    static __m512d fma_(__m512d a, __m512d b, __m512d c) {
+        return _mm512_fmadd_pd(a, b, c);
+    }
+
+    static __mmask8 cmp_gt(__m512d a, __m512d b) {
+        return _mm512_cmp_pd_mask(a, b, _CMP_GT_OQ);
+    }
+    static __mmask8 cmp_lt(__m512d a, __m512d b) {
+        return _mm512_cmp_pd_mask(a, b, _CMP_LT_OQ);
+    }
+    static __mmask8 cmp_eq(__m512d a, __m512d b) {
+        return _mm512_cmp_pd_mask(a, b, _CMP_EQ_OQ);
+    }
+
+    /// mask ? a : b. _mm512_mask_blend_pd(k, x, y) picks y where k is
+    /// set, so the arguments are swapped here.
+    static __m512d select(__mmask8 m, __m512d a, __m512d b) {
+        return _mm512_mask_blend_pd(m, b, a);
+    }
+    /// mask ? a : +0
+    static __m512d keep(__m512d a, __mmask8 m) {
+        return _mm512_maskz_mov_pd(m, a);
+    }
+
+    static __mmask8 mask_all() { return static_cast<__mmask8>(0xFFu); }
+    static __mmask8 mask_and(__mmask8 a, __mmask8 b) {
+        return static_cast<__mmask8>(a & b);
+    }
+    static __mmask8 mask_or(__mmask8 a, __mmask8 b) {
+        return static_cast<__mmask8>(a | b);
+    }
+    static __mmask8 mask_andnot(__mmask8 a, __mmask8 b) {
+        return static_cast<__mmask8>(a & static_cast<__mmask8>(~b));
+    }
+    static bool mask_any(__mmask8 m) { return m != 0; }
+    static unsigned mask_bits(__mmask8 m) {
+        return static_cast<unsigned>(m);
+    }
+    static __mmask8 mask_only_lane(index_type l) {
+        return static_cast<__mmask8>(1u << l);
+    }
+
+    /// lane l -> col[int(rows[l]) * stride + l]
+    static __m512d gather_rows(const double* col, __m512d rows,
+                               size_type stride) {
+        // Masked convert/gather forms with explicit zero sources: same
+        // results as the plain intrinsics, but avoid GCC's
+        // maybe-uninitialized false positive on undefined source operands.
+        __m256i idx = _mm512_mask_cvttpd_epi32(_mm256_setzero_si256(),
+                                               mask_all(), rows);
+        idx = _mm256_mullo_epi32(idx,
+                                 _mm256_set1_epi32(static_cast<int>(stride)));
+        idx = _mm256_add_epi32(idx,
+                               _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+        // Masked gather with an explicit zero source: same result as the
+        // plain gather, but avoids GCC's maybe-uninitialized false
+        // positive on the undefined source operand.
+        return _mm512_mask_i32gather_pd(_mm512_setzero_pd(), mask_all(),
+                                        idx, col, 8);
+    }
+    static __m512d gather_rows_i(const double* col, const index_type* rows,
+                                 size_type stride) {
+        __m256i idx =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows));
+        idx = _mm256_mullo_epi32(idx,
+                                 _mm256_set1_epi32(static_cast<int>(stride)));
+        idx = _mm256_add_epi32(idx,
+                               _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+        return _mm512_mask_i32gather_pd(_mm512_setzero_pd(), mask_all(),
+                                        idx, col, 8);
+    }
+};
+
+template <>
+struct SimdImpl<float, Avx512Backend> {
+    using vector_type = __m512;
+    using mask_type = __mmask16;
+    static constexpr index_type width = 16;
+
+    static __m512 load(const float* p) { return _mm512_load_ps(p); }
+    static void store(float* p, __m512 v) { _mm512_store_ps(p, v); }
+    static __m512 broadcast(float x) { return _mm512_set1_ps(x); }
+    static __m512 zero() { return _mm512_setzero_ps(); }
+
+    static __m512 add(__m512 a, __m512 b) { return _mm512_add_ps(a, b); }
+    static __m512 sub(__m512 a, __m512 b) { return _mm512_sub_ps(a, b); }
+    static __m512 mul(__m512 a, __m512 b) { return _mm512_mul_ps(a, b); }
+    static __m512 div(__m512 a, __m512 b) { return _mm512_div_ps(a, b); }
+    static __m512 abs_(__m512 a) { return _mm512_abs_ps(a); }
+    static __m512 fma_(__m512 a, __m512 b, __m512 c) {
+        return _mm512_fmadd_ps(a, b, c);
+    }
+
+    static __mmask16 cmp_gt(__m512 a, __m512 b) {
+        return _mm512_cmp_ps_mask(a, b, _CMP_GT_OQ);
+    }
+    static __mmask16 cmp_lt(__m512 a, __m512 b) {
+        return _mm512_cmp_ps_mask(a, b, _CMP_LT_OQ);
+    }
+    static __mmask16 cmp_eq(__m512 a, __m512 b) {
+        return _mm512_cmp_ps_mask(a, b, _CMP_EQ_OQ);
+    }
+
+    static __m512 select(__mmask16 m, __m512 a, __m512 b) {
+        return _mm512_mask_blend_ps(m, b, a);
+    }
+    static __m512 keep(__m512 a, __mmask16 m) {
+        return _mm512_maskz_mov_ps(m, a);
+    }
+
+    static __mmask16 mask_all() { return static_cast<__mmask16>(0xFFFFu); }
+    static __mmask16 mask_and(__mmask16 a, __mmask16 b) {
+        return static_cast<__mmask16>(a & b);
+    }
+    static __mmask16 mask_or(__mmask16 a, __mmask16 b) {
+        return static_cast<__mmask16>(a | b);
+    }
+    static __mmask16 mask_andnot(__mmask16 a, __mmask16 b) {
+        return static_cast<__mmask16>(a & static_cast<__mmask16>(~b));
+    }
+    static bool mask_any(__mmask16 m) { return m != 0; }
+    static unsigned mask_bits(__mmask16 m) {
+        return static_cast<unsigned>(m);
+    }
+    static __mmask16 mask_only_lane(index_type l) {
+        return static_cast<__mmask16>(1u << l);
+    }
+
+    static __m512 gather_rows(const float* col, __m512 rows,
+                              size_type stride) {
+        __m512i idx = _mm512_mask_cvttps_epi32(_mm512_setzero_si512(),
+                                               mask_all(), rows);
+        idx = _mm512_mullo_epi32(idx,
+                                 _mm512_set1_epi32(static_cast<int>(stride)));
+        idx = _mm512_add_epi32(idx,
+                               _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8,
+                                                 9, 10, 11, 12, 13, 14, 15));
+        return _mm512_mask_i32gather_ps(_mm512_setzero_ps(), mask_all(),
+                                        idx, col, 4);
+    }
+    static __m512 gather_rows_i(const float* col, const index_type* rows,
+                                size_type stride) {
+        __m512i idx = _mm512_loadu_si512(rows);
+        idx = _mm512_mullo_epi32(idx,
+                                 _mm512_set1_epi32(static_cast<int>(stride)));
+        idx = _mm512_add_epi32(idx,
+                               _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8,
+                                                 9, 10, 11, 12, 13, 14, 15));
+        return _mm512_mask_i32gather_ps(_mm512_setzero_ps(), mask_all(),
+                                        idx, col, 4);
+    }
+};
+
+}  // namespace vbatch::simd
+
+#endif  // __AVX512F__

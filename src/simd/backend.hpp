@@ -1,0 +1,60 @@
+// Backend tags and traits of the lanes-parametric SIMD facade.
+//
+// A *backend* names one vector instruction set; `SimdImpl<T, Backend>`
+// (specialized in the per-ISA headers scalar.hpp / sse2.hpp / avx2.hpp /
+// avx512.hpp / neon.hpp) binds the facade's operation set to that ISA's
+// intrinsics for scalar type T. Each per-ISA header guards itself on the
+// compiler's feature macros, so a translation unit only sees the
+// specializations its compile flags can actually generate code for --
+// which is also why the interleaved kernel TUs are compiled one per ISA
+// (see src/core/CMakeLists.txt) and why `BackendTraits<B>::compiled`
+// is a *per-TU* property, not a whole-binary one. Whether the executing
+// CPU supports a compiled-in backend remains a runtime question answered
+// by core::simd_isa_available.
+#pragma once
+
+#include <cstddef>
+
+#include "base/types.hpp"
+
+namespace vbatch::simd {
+
+/// Width-1 portable reference; always compiled, the oracle every vector
+/// backend is bitwise-tested against.
+struct ScalarBackend {};
+/// 128-bit x86 (2 doubles / 4 floats); part of the x86-64 baseline.
+struct Sse2Backend {};
+/// 256-bit x86 (4 doubles / 8 floats).
+struct Avx2Backend {};
+/// 512-bit x86 (8 doubles / 16 floats) with native predicate registers:
+/// comparisons produce __mmask8/16 values instead of vector bit patterns.
+struct Avx512Backend {};
+/// 128-bit AArch64 Advanced SIMD (2 doubles / 4 floats).
+struct NeonBackend {};
+
+/// Low-level static operation table; specialized per (T, Backend) in the
+/// per-ISA headers. The public value types Simd / SimdMask (simd.hpp)
+/// wrap these.
+template <typename T, typename Backend>
+struct SimdImpl;
+
+/// Compile-time shape of a backend. The primary template describes a
+/// backend whose header is not active in this TU.
+template <typename Backend>
+struct BackendTraits {
+    static constexpr bool compiled = false;
+};
+
+template <>
+struct BackendTraits<ScalarBackend> {
+    static constexpr bool compiled = true;
+    static constexpr const char* name = "scalar";
+    /// Bytes per vector register (scalar: one double lane).
+    static constexpr std::size_t vector_bytes = sizeof(double);
+    /// Required pointer alignment for Simd::load / store.
+    static constexpr std::size_t alignment = alignof(double);
+    template <typename T>
+    static constexpr index_type width = 1;
+};
+
+}  // namespace vbatch::simd

@@ -1,0 +1,217 @@
+// NEON (AArch64 Advanced SIMD) backend: 128-bit vectors, 2 doubles /
+// 4 floats. Masks are unsigned-integer vectors whose lanes are all-ones /
+// all-zero, the representation the vcXXq comparisons produce natively.
+// AdvSIMD is mandatory on AArch64, so this backend needs no special
+// compile flags there and is the (sole) vector dispatch level on ARM.
+#pragma once
+
+#include "simd/backend.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace vbatch::simd {
+
+template <>
+struct BackendTraits<NeonBackend> {
+    static constexpr bool compiled = true;
+    static constexpr const char* name = "neon";
+    static constexpr std::size_t vector_bytes = 16;
+    static constexpr std::size_t alignment = 16;
+    template <typename T>
+    static constexpr index_type width =
+        static_cast<index_type>(vector_bytes / sizeof(T));
+};
+
+template <>
+struct SimdImpl<double, NeonBackend> {
+    using vector_type = float64x2_t;
+    using mask_type = uint64x2_t;
+    static constexpr index_type width = 2;
+
+    static float64x2_t load(const double* p) { return vld1q_f64(p); }
+    static void store(double* p, float64x2_t v) { vst1q_f64(p, v); }
+    static float64x2_t broadcast(double x) { return vdupq_n_f64(x); }
+    static float64x2_t zero() { return vdupq_n_f64(0.0); }
+
+    static float64x2_t add(float64x2_t a, float64x2_t b) {
+        return vaddq_f64(a, b);
+    }
+    static float64x2_t sub(float64x2_t a, float64x2_t b) {
+        return vsubq_f64(a, b);
+    }
+    static float64x2_t mul(float64x2_t a, float64x2_t b) {
+        return vmulq_f64(a, b);
+    }
+    static float64x2_t div(float64x2_t a, float64x2_t b) {
+        return vdivq_f64(a, b);
+    }
+    static float64x2_t abs_(float64x2_t a) { return vabsq_f64(a); }
+    /// vfmaq(c, a, b) = a * b + c with a single rounding (== std::fma).
+    static float64x2_t fma_(float64x2_t a, float64x2_t b, float64x2_t c) {
+        return vfmaq_f64(c, a, b);
+    }
+
+    static uint64x2_t cmp_gt(float64x2_t a, float64x2_t b) {
+        return vcgtq_f64(a, b);
+    }
+    static uint64x2_t cmp_lt(float64x2_t a, float64x2_t b) {
+        return vcltq_f64(a, b);
+    }
+    static uint64x2_t cmp_eq(float64x2_t a, float64x2_t b) {
+        return vceqq_f64(a, b);
+    }
+
+    /// mask ? a : b (bitwise select: mask lanes are all-ones/all-zero).
+    static float64x2_t select(uint64x2_t m, float64x2_t a, float64x2_t b) {
+        return vbslq_f64(m, a, b);
+    }
+    /// mask ? a : +0
+    static float64x2_t keep(float64x2_t a, uint64x2_t m) {
+        return vreinterpretq_f64_u64(
+            vandq_u64(vreinterpretq_u64_f64(a), m));
+    }
+
+    static uint64x2_t mask_all() { return vdupq_n_u64(~0ull); }
+    static uint64x2_t mask_and(uint64x2_t a, uint64x2_t b) {
+        return vandq_u64(a, b);
+    }
+    static uint64x2_t mask_or(uint64x2_t a, uint64x2_t b) {
+        return vorrq_u64(a, b);
+    }
+    /// a & ~b
+    static uint64x2_t mask_andnot(uint64x2_t a, uint64x2_t b) {
+        return vbicq_u64(a, b);
+    }
+    static bool mask_any(uint64x2_t m) {
+        return (vgetq_lane_u64(m, 0) | vgetq_lane_u64(m, 1)) != 0;
+    }
+    static unsigned mask_bits(uint64x2_t m) {
+        return static_cast<unsigned>(vgetq_lane_u64(m, 0) & 1u) |
+               (static_cast<unsigned>(vgetq_lane_u64(m, 1) & 1u) << 1);
+    }
+    static uint64x2_t mask_only_lane(index_type l) {
+        alignas(16) uint64_t lanes[2] = {l == 0 ? ~0ull : 0ull,
+                                         l == 1 ? ~0ull : 0ull};
+        return vld1q_u64(lanes);
+    }
+
+    /// lane l -> col[int(rows[l]) * stride + l]
+    static float64x2_t gather_rows(const double* col, float64x2_t rows,
+                                   size_type stride) {
+        alignas(16) double r[2];
+        vst1q_f64(r, rows);
+        alignas(16) double out[2] = {
+            col[static_cast<size_type>(r[0]) * stride + 0],
+            col[static_cast<size_type>(r[1]) * stride + 1]};
+        return vld1q_f64(out);
+    }
+    static float64x2_t gather_rows_i(const double* col,
+                                     const index_type* rows,
+                                     size_type stride) {
+        alignas(16) double out[2] = {
+            col[static_cast<size_type>(rows[0]) * stride + 0],
+            col[static_cast<size_type>(rows[1]) * stride + 1]};
+        return vld1q_f64(out);
+    }
+};
+
+template <>
+struct SimdImpl<float, NeonBackend> {
+    using vector_type = float32x4_t;
+    using mask_type = uint32x4_t;
+    static constexpr index_type width = 4;
+
+    static float32x4_t load(const float* p) { return vld1q_f32(p); }
+    static void store(float* p, float32x4_t v) { vst1q_f32(p, v); }
+    static float32x4_t broadcast(float x) { return vdupq_n_f32(x); }
+    static float32x4_t zero() { return vdupq_n_f32(0.0f); }
+
+    static float32x4_t add(float32x4_t a, float32x4_t b) {
+        return vaddq_f32(a, b);
+    }
+    static float32x4_t sub(float32x4_t a, float32x4_t b) {
+        return vsubq_f32(a, b);
+    }
+    static float32x4_t mul(float32x4_t a, float32x4_t b) {
+        return vmulq_f32(a, b);
+    }
+    static float32x4_t div(float32x4_t a, float32x4_t b) {
+        return vdivq_f32(a, b);
+    }
+    static float32x4_t abs_(float32x4_t a) { return vabsq_f32(a); }
+    static float32x4_t fma_(float32x4_t a, float32x4_t b, float32x4_t c) {
+        return vfmaq_f32(c, a, b);
+    }
+
+    static uint32x4_t cmp_gt(float32x4_t a, float32x4_t b) {
+        return vcgtq_f32(a, b);
+    }
+    static uint32x4_t cmp_lt(float32x4_t a, float32x4_t b) {
+        return vcltq_f32(a, b);
+    }
+    static uint32x4_t cmp_eq(float32x4_t a, float32x4_t b) {
+        return vceqq_f32(a, b);
+    }
+
+    static float32x4_t select(uint32x4_t m, float32x4_t a, float32x4_t b) {
+        return vbslq_f32(m, a, b);
+    }
+    static float32x4_t keep(float32x4_t a, uint32x4_t m) {
+        return vreinterpretq_f32_u32(
+            vandq_u32(vreinterpretq_u32_f32(a), m));
+    }
+
+    static uint32x4_t mask_all() { return vdupq_n_u32(~0u); }
+    static uint32x4_t mask_and(uint32x4_t a, uint32x4_t b) {
+        return vandq_u32(a, b);
+    }
+    static uint32x4_t mask_or(uint32x4_t a, uint32x4_t b) {
+        return vorrq_u32(a, b);
+    }
+    static uint32x4_t mask_andnot(uint32x4_t a, uint32x4_t b) {
+        return vbicq_u32(a, b);
+    }
+    static bool mask_any(uint32x4_t m) {
+        return vmaxvq_u32(m) != 0;
+    }
+    static unsigned mask_bits(uint32x4_t m) {
+        return (vgetq_lane_u32(m, 0) & 1u) |
+               ((vgetq_lane_u32(m, 1) & 1u) << 1) |
+               ((vgetq_lane_u32(m, 2) & 1u) << 2) |
+               ((vgetq_lane_u32(m, 3) & 1u) << 3);
+    }
+    static uint32x4_t mask_only_lane(index_type l) {
+        alignas(16) uint32_t lanes[4] = {
+            l == 0 ? ~0u : 0u, l == 1 ? ~0u : 0u, l == 2 ? ~0u : 0u,
+            l == 3 ? ~0u : 0u};
+        return vld1q_u32(lanes);
+    }
+
+    static float32x4_t gather_rows(const float* col, float32x4_t rows,
+                                   size_type stride) {
+        alignas(16) float r[4];
+        vst1q_f32(r, rows);
+        alignas(16) float out[4] = {
+            col[static_cast<size_type>(r[0]) * stride + 0],
+            col[static_cast<size_type>(r[1]) * stride + 1],
+            col[static_cast<size_type>(r[2]) * stride + 2],
+            col[static_cast<size_type>(r[3]) * stride + 3]};
+        return vld1q_f32(out);
+    }
+    static float32x4_t gather_rows_i(const float* col,
+                                     const index_type* rows,
+                                     size_type stride) {
+        alignas(16) float out[4] = {
+            col[static_cast<size_type>(rows[0]) * stride + 0],
+            col[static_cast<size_type>(rows[1]) * stride + 1],
+            col[static_cast<size_type>(rows[2]) * stride + 2],
+            col[static_cast<size_type>(rows[3]) * stride + 3]};
+        return vld1q_f32(out);
+    }
+};
+
+}  // namespace vbatch::simd
+
+#endif  // __aarch64__ && __ARM_NEON

@@ -1,0 +1,68 @@
+// POD in/out contract of the facade operation sweep (internal, testing).
+//
+// The facade's vector types only exist in TUs compiled with the matching
+// ISA flags, so a test executable built with baseline flags cannot
+// instantiate, say, the AVX-512 backend directly. Instead each per-ISA
+// kernel TU exports `simd_op_sweep_<isa>` (see core/vectorized_kernels.hpp)
+// which runs every facade operation at that backend's width and reports
+// the lane results through these flag-neutral structs; tests compare them
+// against scalar oracles. This header must stay free of backend includes.
+#pragma once
+
+#include "base/types.hpp"
+
+namespace vbatch::simd {
+
+/// Widest supported backend lane count (AVX-512 float).
+inline constexpr index_type op_sweep_max_width = 16;
+
+template <typename T>
+struct OpSweepInput {
+    alignas(64) T a[op_sweep_max_width];
+    alignas(64) T b[op_sweep_max_width];
+    alignas(64) T c[op_sweep_max_width];
+    /// Gather source, indexed col[row * op_sweep_max_width + lane]; the
+    /// row values must lie in [0, op_sweep_max_width).
+    alignas(64) T col[op_sweep_max_width * op_sweep_max_width];
+    /// Per-lane row indices, stored as T (gather_rows) ...
+    alignas(64) T rows[op_sweep_max_width];
+    /// ... and as integers (gather_rows_i).
+    alignas(64) index_type rows_i[op_sweep_max_width];
+};
+
+/// Per-lane results; only the first `width` entries of each array are
+/// written. Mask results are reported via bits() (bit l = lane l).
+template <typename T>
+struct OpSweepResult {
+    index_type width = 0;
+
+    alignas(64) T add[op_sweep_max_width];
+    alignas(64) T sub[op_sweep_max_width];
+    alignas(64) T mul[op_sweep_max_width];
+    alignas(64) T div[op_sweep_max_width];
+    alignas(64) T abs_v[op_sweep_max_width];
+    alignas(64) T fma_v[op_sweep_max_width];
+    alignas(64) T broadcast[op_sweep_max_width];
+
+    /// select(a > b, a, b) -- per-lane max via mask-select.
+    alignas(64) T select_gt[op_sweep_max_width];
+    /// keep(a, a < b) -- zeroing blend.
+    alignas(64) T keep_lt[op_sweep_max_width];
+    /// select((a == b) | (a > b), c, a) -- mask algebra feeding a blend.
+    alignas(64) T select_ge[op_sweep_max_width];
+    alignas(64) T gather[op_sweep_max_width];
+    alignas(64) T gather_i[op_sweep_max_width];
+
+    unsigned gt_bits = 0;
+    unsigned lt_bits = 0;
+    unsigned eq_bits = 0;
+    unsigned and_bits = 0;     ///< (a > b) & (a < c)
+    unsigned or_bits = 0;      ///< (a > b) | (a < c)
+    unsigned andnot_bits = 0;  ///< (a > b) & ~(a < c)
+    unsigned all_bits = 0;     ///< all_lanes()
+    bool any_gt = false;       ///< (a > b).any()
+    bool any_none = false;     ///< andnot(m, m).any() -- must be false
+    bool only_lane_ok = false; ///< only_lane(l).bits() == 1u << l for all l
+};
+
+}  // namespace vbatch::simd

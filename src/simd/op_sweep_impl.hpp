@@ -1,0 +1,67 @@
+// Backend-generic implementation of the facade operation sweep.
+//
+// Included only by the per-ISA kernel TUs (which have the right compile
+// flags for their backend); see op_sweep.hpp for the contract.
+#pragma once
+
+#include "simd/op_sweep.hpp"
+#include "simd/simd.hpp"
+
+namespace vbatch::simd {
+
+template <typename T, typename Backend>
+void op_sweep_run(const OpSweepInput<T>& in, OpSweepResult<T>& out) {
+    using V = Simd<T, Backend>;
+    using M = typename V::mask;
+    constexpr index_type w = V::width;
+    static_assert(w <= op_sweep_max_width);
+    out.width = w;
+
+    // The sweep runs full vectors over the first w lanes of the 16-lane
+    // input arrays; 64-byte input/output alignment covers every backend.
+    const V a = V::load(in.a);
+    const V b = V::load(in.b);
+    const V c = V::load(in.c);
+
+    (a + b).store(out.add);
+    (a - b).store(out.sub);
+    (a * b).store(out.mul);
+    (a / b).store(out.div);
+    abs(a).store(out.abs_v);
+    fma(a, b, c).store(out.fma_v);
+    V::broadcast(in.a[0]).store(out.broadcast);
+
+    const M gt = a > b;
+    const M lt = a < b;
+    const M eq = a == b;
+    const M ltc = a < c;
+    out.gt_bits = gt.bits();
+    out.lt_bits = lt.bits();
+    out.eq_bits = eq.bits();
+    out.and_bits = (gt & ltc).bits();
+    out.or_bits = (gt | ltc).bits();
+    out.andnot_bits = andnot(gt, ltc).bits();
+    out.all_bits = M::all_lanes().bits();
+    out.any_gt = gt.any();
+    out.any_none = andnot(gt, gt).any();
+
+    V::select(gt, a, b).store(out.select_gt);
+    V::keep(a, lt).store(out.keep_lt);
+    V::select(eq | gt, c, a).store(out.select_ge);
+
+    V::gather_rows(in.col, V::load(in.rows),
+                   static_cast<size_type>(op_sweep_max_width))
+        .store(out.gather);
+    V::gather_rows_i(in.col, in.rows_i,
+                     static_cast<size_type>(op_sweep_max_width))
+        .store(out.gather_i);
+
+    out.only_lane_ok = true;
+    for (index_type l = 0; l < w; ++l) {
+        if (M::only_lane(l).bits() != (1u << l)) {
+            out.only_lane_ok = false;
+        }
+    }
+}
+
+}  // namespace vbatch::simd

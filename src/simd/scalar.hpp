@@ -1,0 +1,56 @@
+// Scalar (width-1) backend: the portable fallback and the semantic
+// reference of the facade. Masks are plain bools.
+#pragma once
+
+#include <cmath>
+
+#include "simd/backend.hpp"
+
+namespace vbatch::simd {
+
+template <typename T>
+struct SimdImpl<T, ScalarBackend> {
+    using vector_type = T;
+    using mask_type = bool;
+    static constexpr index_type width = 1;
+
+    static T load(const T* p) { return *p; }
+    static void store(T* p, T v) { *p = v; }
+    static T broadcast(T x) { return x; }
+    static T zero() { return T{0}; }
+
+    static T add(T a, T b) { return a + b; }
+    static T sub(T a, T b) { return a - b; }
+    static T mul(T a, T b) { return a * b; }
+    static T div(T a, T b) { return a / b; }
+    /// Sign-bit clear, like the vector backends (abs(-0) == +0).
+    static T abs_(T a) { return std::fabs(a); }
+    /// Single-rounding a*b + c.
+    static T fma_(T a, T b, T c) { return std::fma(a, b, c); }
+
+    static bool cmp_gt(T a, T b) { return a > b; }
+    static bool cmp_lt(T a, T b) { return a < b; }
+    static bool cmp_eq(T a, T b) { return a == b; }
+
+    static T select(bool m, T a, T b) { return m ? a : b; }
+    static T keep(T a, bool m) { return m ? a : T{0}; }
+
+    static bool mask_all() { return true; }
+    static bool mask_and(bool a, bool b) { return a && b; }
+    static bool mask_or(bool a, bool b) { return a || b; }
+    /// a & ~b
+    static bool mask_andnot(bool a, bool b) { return a && !b; }
+    static bool mask_any(bool m) { return m; }
+    static unsigned mask_bits(bool m) { return m ? 1u : 0u; }
+    static bool mask_only_lane(index_type l) { return l == 0; }
+
+    static T gather_rows(const T* col, T rows, size_type stride) {
+        return col[static_cast<size_type>(rows) * stride];
+    }
+    static T gather_rows_i(const T* col, const index_type* rows,
+                           size_type stride) {
+        return col[static_cast<size_type>(rows[0]) * stride];
+    }
+};
+
+}  // namespace vbatch::simd

@@ -1,0 +1,123 @@
+// Public entry point of the lanes-parametric SIMD facade.
+//
+// `Simd<T, Backend>` is a value type holding one vector register of T;
+// `SimdMask<T, Backend>` holds that backend's lane predicate (a bool, a
+// vector bit pattern, or an AVX-512 __mmask). Kernels written once
+// against these types compile to full-width code for every backend whose
+// header is active in the TU -- the interleaved LU kernels in
+// core/chunk_kernels.hpp are the canonical consumer.
+//
+// Semantics every backend must honour (asserted by tests/test_simd.cpp
+// against the scalar backend as oracle):
+//   * arithmetic is plain IEEE per-lane (+ - * /), never contracted;
+//     fma() is the separate single-rounding primitive,
+//   * comparisons are ordered-quiet (NaN compares false),
+//   * masks form a boolean lattice: lane l of any mask is exactly true
+//     or false regardless of representation, and bits() maps lane l to
+//     bit l,
+//   * select(m, a, b) picks a where m is true; keep(a, m) zeroes lanes
+//     where m is false (x - (+0) == x bitwise, which the kernels exploit
+//     to skip a blend),
+//   * gather_rows(col, rows, stride): lane l reads
+//     col[int(rows[l]) * stride + l] (the interleaved pivot-row read).
+#pragma once
+
+#include "simd/backend.hpp"
+#include "simd/scalar.hpp"
+#include "simd/sse2.hpp"
+#include "simd/avx2.hpp"
+#include "simd/avx512.hpp"
+#include "simd/neon.hpp"
+
+namespace vbatch::simd {
+
+template <typename T, typename Backend>
+class SimdMask {
+    using impl = SimdImpl<T, Backend>;
+
+public:
+    using mask_type = typename impl::mask_type;
+    static constexpr index_type width = impl::width;
+
+    mask_type m;
+
+    /// All lanes true.
+    static SimdMask all_lanes() { return {impl::mask_all()}; }
+    /// Lane l true, every other lane false.
+    static SimdMask only_lane(index_type l) {
+        return {impl::mask_only_lane(l)};
+    }
+
+    friend SimdMask operator&(SimdMask a, SimdMask b) {
+        return {impl::mask_and(a.m, b.m)};
+    }
+    friend SimdMask operator|(SimdMask a, SimdMask b) {
+        return {impl::mask_or(a.m, b.m)};
+    }
+    /// a & ~b
+    friend SimdMask andnot(SimdMask a, SimdMask b) {
+        return {impl::mask_andnot(a.m, b.m)};
+    }
+
+    bool any() const { return impl::mask_any(m); }
+    /// Bit l of the result is lane l.
+    unsigned bits() const { return impl::mask_bits(m); }
+};
+
+template <typename T, typename Backend>
+class Simd {
+    using impl = SimdImpl<T, Backend>;
+
+public:
+    using value_type = T;
+    using vector_type = typename impl::vector_type;
+    using mask = SimdMask<T, Backend>;
+    static constexpr index_type width = impl::width;
+
+    vector_type v;
+
+    static Simd broadcast(T x) { return {impl::broadcast(x)}; }
+    static Simd zero() { return {impl::zero()}; }
+    /// p must be aligned to BackendTraits<Backend>::alignment.
+    static Simd load(const T* p) { return {impl::load(p)}; }
+    void store(T* p) const { impl::store(p, v); }
+
+    friend Simd operator+(Simd a, Simd b) { return {impl::add(a.v, b.v)}; }
+    friend Simd operator-(Simd a, Simd b) { return {impl::sub(a.v, b.v)}; }
+    friend Simd operator*(Simd a, Simd b) { return {impl::mul(a.v, b.v)}; }
+    friend Simd operator/(Simd a, Simd b) { return {impl::div(a.v, b.v)}; }
+    friend Simd abs(Simd a) { return {impl::abs_(a.v)}; }
+    /// Single-rounding a * b + c.
+    friend Simd fma(Simd a, Simd b, Simd c) {
+        return {impl::fma_(a.v, b.v, c.v)};
+    }
+
+    friend mask operator>(Simd a, Simd b) {
+        return {impl::cmp_gt(a.v, b.v)};
+    }
+    friend mask operator<(Simd a, Simd b) {
+        return {impl::cmp_lt(a.v, b.v)};
+    }
+    friend mask operator==(Simd a, Simd b) {
+        return {impl::cmp_eq(a.v, b.v)};
+    }
+
+    /// m ? a : b
+    static Simd select(mask m, Simd a, Simd b) {
+        return {impl::select(m.m, a.v, b.v)};
+    }
+    /// m ? a : +0
+    static Simd keep(Simd a, mask m) { return {impl::keep(a.v, m.m)}; }
+
+    /// lane l -> col[int(rows[l]) * stride + l]
+    static Simd gather_rows(const T* col, Simd rows, size_type stride) {
+        return {impl::gather_rows(col, rows.v, stride)};
+    }
+    /// Same with an integer index array (lane-contiguous).
+    static Simd gather_rows_i(const T* col, const index_type* rows,
+                              size_type stride) {
+        return {impl::gather_rows_i(col, rows, stride)};
+    }
+};
+
+}  // namespace vbatch::simd

@@ -1,0 +1,184 @@
+// SSE2 backend: 128-bit vectors, 2 doubles / 4 floats. Masks are vectors
+// whose lanes are all-ones / all-zero bit patterns. SSE2 is part of the
+// x86-64 baseline, so this header needs no special compile flags on that
+// target.
+#pragma once
+
+#include "simd/backend.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cmath>
+
+namespace vbatch::simd {
+
+template <>
+struct BackendTraits<Sse2Backend> {
+    static constexpr bool compiled = true;
+    static constexpr const char* name = "sse2";
+    static constexpr std::size_t vector_bytes = 16;
+    static constexpr std::size_t alignment = 16;
+    template <typename T>
+    static constexpr index_type width =
+        static_cast<index_type>(vector_bytes / sizeof(T));
+};
+
+template <>
+struct SimdImpl<double, Sse2Backend> {
+    using vector_type = __m128d;
+    using mask_type = __m128d;
+    static constexpr index_type width = 2;
+
+    static __m128d load(const double* p) { return _mm_load_pd(p); }
+    static void store(double* p, __m128d v) { _mm_store_pd(p, v); }
+    static __m128d broadcast(double x) { return _mm_set1_pd(x); }
+    static __m128d zero() { return _mm_setzero_pd(); }
+
+    static __m128d add(__m128d a, __m128d b) { return _mm_add_pd(a, b); }
+    static __m128d sub(__m128d a, __m128d b) { return _mm_sub_pd(a, b); }
+    static __m128d mul(__m128d a, __m128d b) { return _mm_mul_pd(a, b); }
+    static __m128d div(__m128d a, __m128d b) { return _mm_div_pd(a, b); }
+    static __m128d abs_(__m128d a) {
+        return _mm_andnot_pd(_mm_set1_pd(-0.0), a);
+    }
+    /// SSE2 has no FMA instruction: exact per-lane std::fma fallback.
+    static __m128d fma_(__m128d a, __m128d b, __m128d c) {
+        alignas(16) double x[2], y[2], z[2];
+        _mm_store_pd(x, a);
+        _mm_store_pd(y, b);
+        _mm_store_pd(z, c);
+        return _mm_setr_pd(std::fma(x[0], y[0], z[0]),
+                           std::fma(x[1], y[1], z[1]));
+    }
+
+    static __m128d cmp_gt(__m128d a, __m128d b) {
+        return _mm_cmpgt_pd(a, b);
+    }
+    static __m128d cmp_lt(__m128d a, __m128d b) {
+        return _mm_cmplt_pd(a, b);
+    }
+    static __m128d cmp_eq(__m128d a, __m128d b) {
+        return _mm_cmpeq_pd(a, b);
+    }
+
+    /// SSE2 has no blendv: mask ? a : b via and/andnot/or.
+    static __m128d select(__m128d m, __m128d a, __m128d b) {
+        return _mm_or_pd(_mm_and_pd(m, a), _mm_andnot_pd(m, b));
+    }
+    static __m128d keep(__m128d a, __m128d m) { return _mm_and_pd(a, m); }
+
+    static __m128d mask_all() {
+        return _mm_castsi128_pd(_mm_set1_epi32(-1));
+    }
+    static __m128d mask_and(__m128d a, __m128d b) {
+        return _mm_and_pd(a, b);
+    }
+    static __m128d mask_or(__m128d a, __m128d b) { return _mm_or_pd(a, b); }
+    static __m128d mask_andnot(__m128d a, __m128d b) {
+        return _mm_andnot_pd(b, a);
+    }
+    static bool mask_any(__m128d m) { return _mm_movemask_pd(m) != 0; }
+    static unsigned mask_bits(__m128d m) {
+        return static_cast<unsigned>(_mm_movemask_pd(m));
+    }
+    static __m128d mask_only_lane(index_type l) {
+        return _mm_cmpeq_pd(_mm_setr_pd(0.0, 1.0),
+                            _mm_set1_pd(static_cast<double>(l)));
+    }
+
+    /// lane l -> col[int(rows[l]) * stride + l]
+    static __m128d gather_rows(const double* col, __m128d rows,
+                               size_type stride) {
+        alignas(16) double r[2];
+        _mm_store_pd(r, rows);
+        return _mm_setr_pd(
+            col[static_cast<size_type>(r[0]) * stride + 0],
+            col[static_cast<size_type>(r[1]) * stride + 1]);
+    }
+    static __m128d gather_rows_i(const double* col, const index_type* rows,
+                                 size_type stride) {
+        return _mm_setr_pd(
+            col[static_cast<size_type>(rows[0]) * stride + 0],
+            col[static_cast<size_type>(rows[1]) * stride + 1]);
+    }
+};
+
+template <>
+struct SimdImpl<float, Sse2Backend> {
+    using vector_type = __m128;
+    using mask_type = __m128;
+    static constexpr index_type width = 4;
+
+    static __m128 load(const float* p) { return _mm_load_ps(p); }
+    static void store(float* p, __m128 v) { _mm_store_ps(p, v); }
+    static __m128 broadcast(float x) { return _mm_set1_ps(x); }
+    static __m128 zero() { return _mm_setzero_ps(); }
+
+    static __m128 add(__m128 a, __m128 b) { return _mm_add_ps(a, b); }
+    static __m128 sub(__m128 a, __m128 b) { return _mm_sub_ps(a, b); }
+    static __m128 mul(__m128 a, __m128 b) { return _mm_mul_ps(a, b); }
+    static __m128 div(__m128 a, __m128 b) { return _mm_div_ps(a, b); }
+    static __m128 abs_(__m128 a) {
+        return _mm_andnot_ps(_mm_set1_ps(-0.0f), a);
+    }
+    static __m128 fma_(__m128 a, __m128 b, __m128 c) {
+        alignas(16) float x[4], y[4], z[4];
+        _mm_store_ps(x, a);
+        _mm_store_ps(y, b);
+        _mm_store_ps(z, c);
+        return _mm_setr_ps(
+            std::fma(x[0], y[0], z[0]), std::fma(x[1], y[1], z[1]),
+            std::fma(x[2], y[2], z[2]), std::fma(x[3], y[3], z[3]));
+    }
+
+    static __m128 cmp_gt(__m128 a, __m128 b) { return _mm_cmpgt_ps(a, b); }
+    static __m128 cmp_lt(__m128 a, __m128 b) { return _mm_cmplt_ps(a, b); }
+    static __m128 cmp_eq(__m128 a, __m128 b) { return _mm_cmpeq_ps(a, b); }
+
+    static __m128 select(__m128 m, __m128 a, __m128 b) {
+        return _mm_or_ps(_mm_and_ps(m, a), _mm_andnot_ps(m, b));
+    }
+    static __m128 keep(__m128 a, __m128 m) { return _mm_and_ps(a, m); }
+
+    static __m128 mask_all() {
+        return _mm_castsi128_ps(_mm_set1_epi32(-1));
+    }
+    static __m128 mask_and(__m128 a, __m128 b) { return _mm_and_ps(a, b); }
+    static __m128 mask_or(__m128 a, __m128 b) { return _mm_or_ps(a, b); }
+    static __m128 mask_andnot(__m128 a, __m128 b) {
+        return _mm_andnot_ps(b, a);
+    }
+    static bool mask_any(__m128 m) { return _mm_movemask_ps(m) != 0; }
+    static unsigned mask_bits(__m128 m) {
+        return static_cast<unsigned>(_mm_movemask_ps(m));
+    }
+    static __m128 mask_only_lane(index_type l) {
+        return _mm_cmpeq_ps(_mm_setr_ps(0.0f, 1.0f, 2.0f, 3.0f),
+                            _mm_set1_ps(static_cast<float>(l)));
+    }
+
+    static __m128 gather_rows(const float* col, __m128 rows,
+                              size_type stride) {
+        alignas(16) float r[4];
+        _mm_store_ps(r, rows);
+        return _mm_setr_ps(
+            col[static_cast<size_type>(r[0]) * stride + 0],
+            col[static_cast<size_type>(r[1]) * stride + 1],
+            col[static_cast<size_type>(r[2]) * stride + 2],
+            col[static_cast<size_type>(r[3]) * stride + 3]);
+    }
+    static __m128 gather_rows_i(const float* col, const index_type* rows,
+                                size_type stride) {
+        return _mm_setr_ps(
+            col[static_cast<size_type>(rows[0]) * stride + 0],
+            col[static_cast<size_type>(rows[1]) * stride + 1],
+            col[static_cast<size_type>(rows[2]) * stride + 2],
+            col[static_cast<size_type>(rows[3]) * stride + 3]);
+    }
+};
+
+}  // namespace vbatch::simd
+
+#endif  // __SSE2__

@@ -1,0 +1,47 @@
+// gtest main for the ISA-pinned test registrations (tests/CMakeLists.txt
+// runs the SIMD-sensitive suites once per VBATCH_SIMD level). When
+// VBATCH_SIMD_REQUIRE is set and the requested ISA is not available on
+// this build/machine, exit with the ctest skip code instead of silently
+// running at the clamped dispatch level -- so a skipped matrix entry
+// shows up as SKIPPED, not as a false PASS.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/simd_dispatch.hpp"
+
+namespace {
+
+constexpr int skip_exit_code = 77;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ::testing::InitGoogleTest(&argc, argv);
+
+    const char* require = std::getenv("VBATCH_SIMD_REQUIRE");
+    const char* request = std::getenv("VBATCH_SIMD");
+    if (require != nullptr && require[0] != '\0' && require[0] != '0' &&
+        request != nullptr) {
+        vbatch::core::SimdIsa isa;
+        if (!vbatch::core::parse_simd_isa(request, isa)) {
+            std::fprintf(stderr,
+                         "VBATCH_SIMD_REQUIRE: unknown ISA '%s'\n", request);
+            return skip_exit_code;
+        }
+        if (!vbatch::core::simd_isa_available(isa)) {
+            std::fprintf(
+                stderr,
+                "VBATCH_SIMD_REQUIRE: ISA '%s' not available on this "
+                "build/machine, skipping\n",
+                request);
+            return skip_exit_code;
+        }
+    }
+    std::printf("dispatch: VBATCH_SIMD=%s -> %s\n",
+                request != nullptr ? request : "(unset)",
+                vbatch::core::simd_isa_name(
+                    vbatch::core::detect_simd_isa()));
+    return RUN_ALL_TESTS();
+}

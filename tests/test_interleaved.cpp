@@ -358,10 +358,14 @@ TEST(InterleavedDispatch, DetectionIsAvailableAndNamed) {
     const auto isas = available_simd_isas();
     ASSERT_FALSE(isas.empty());
     EXPECT_EQ(isas.front(), SimdIsa::scalar);
+    EXPECT_EQ(simd_lanes<double>(SimdIsa::avx512), 8);
+    EXPECT_EQ(simd_lanes<float>(SimdIsa::avx512), 16);
     EXPECT_EQ(simd_lanes<double>(SimdIsa::avx2), 4);
     EXPECT_EQ(simd_lanes<float>(SimdIsa::avx2), 8);
     EXPECT_EQ(simd_lanes<double>(SimdIsa::sse2), 2);
     EXPECT_EQ(simd_lanes<float>(SimdIsa::sse2), 4);
+    EXPECT_EQ(simd_lanes<double>(SimdIsa::neon), 2);
+    EXPECT_EQ(simd_lanes<float>(SimdIsa::neon), 4);
     EXPECT_EQ(simd_lanes<double>(SimdIsa::scalar), 1);
 }
 

@@ -1,0 +1,263 @@
+// Tests for the lanes-parametric SIMD facade (src/simd).
+//
+// Two layers:
+//   * operation sweep -- every facade op (arithmetic, fma, compares,
+//     mask algebra, select/keep, gathers) is run at every available
+//     backend's width through the per-ISA kernel TUs
+//     (core::run_simd_op_sweep) and compared lane-by-lane against plain
+//     scalar oracles computed here;
+//   * kernel sweep -- getrf + getrs over the Fig. 4 size range (1..32)
+//     must produce bitwise-identical factors, pivots, solutions, and
+//     breakdown reports on every available dispatch level, including the
+//     frozen state of singular lanes (the recovery contract).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/getrf.hpp"
+#include "core/simd_dispatch.hpp"
+#include "core/vectorized.hpp"
+#include "simd/op_sweep.hpp"
+
+namespace vbatch::core {
+namespace {
+
+template <typename T>
+std::uint64_t bit_pattern(T x) {
+    if constexpr (sizeof(T) == 4) {
+        std::uint32_t u;
+        std::memcpy(&u, &x, sizeof(u));
+        return u;
+    } else {
+        std::uint64_t u;
+        std::memcpy(&u, &x, sizeof(u));
+        return u;
+    }
+}
+
+#define EXPECT_BITEQ(a, b)                                                   \
+    EXPECT_EQ(bit_pattern(a), bit_pattern(b)) << "values " << (a) << " vs " \
+                                              << (b)
+
+// ---------------------------------------------------------------------
+// Operation sweep vs scalar oracles
+// ---------------------------------------------------------------------
+
+/// Deterministic input covering signs, zeros, equal lanes and a NaN-free
+/// magnitude spread (comparisons are ordered; NaN behaviour is pinned by
+/// the kernel sweep's adversarial batches instead).
+template <typename T>
+simd::OpSweepInput<T> make_sweep_input() {
+    simd::OpSweepInput<T> in{};
+    constexpr index_type n = simd::op_sweep_max_width;
+    for (index_type l = 0; l < n; ++l) {
+        in.a[l] = static_cast<T>((l % 5) - 2) * static_cast<T>(1.25) +
+                  static_cast<T>(l) * static_cast<T>(0.03125);
+        in.b[l] = static_cast<T>((l % 3) - 1) * static_cast<T>(0.75);
+        if (l % 4 == 3) {
+            in.b[l] = in.a[l];  // exercise cmp_eq hits
+        }
+        in.c[l] = static_cast<T>(0.5) - static_cast<T>(l % 7);
+        in.rows[l] = static_cast<T>((l * 5 + 3) % n);
+        in.rows_i[l] = static_cast<index_type>((l * 3 + 1) % n);
+    }
+    for (index_type r = 0; r < n; ++r) {
+        for (index_type l = 0; l < n; ++l) {
+            in.col[r * n + l] = static_cast<T>(r * 100 + l) +
+                                static_cast<T>(0.125);
+        }
+    }
+    return in;
+}
+
+template <typename T>
+void check_op_sweep(SimdIsa isa) {
+    const auto in = make_sweep_input<T>();
+    simd::OpSweepResult<T> out{};
+    run_simd_op_sweep<T>(isa, in, out);
+
+    ASSERT_EQ(out.width, simd_lanes<T>(isa)) << simd_isa_name(isa);
+    const index_type w = out.width;
+
+    unsigned gt = 0, lt = 0, eq = 0, and_m = 0, or_m = 0, andnot_m = 0;
+    bool any_gt = false;
+    for (index_type l = 0; l < w; ++l) {
+        const T a = in.a[l], b = in.b[l], c = in.c[l];
+        EXPECT_BITEQ(out.add[l], a + b);
+        EXPECT_BITEQ(out.sub[l], a - b);
+        EXPECT_BITEQ(out.mul[l], a * b);
+        EXPECT_BITEQ(out.div[l], a / b);
+        EXPECT_BITEQ(out.abs_v[l], std::fabs(a));
+        EXPECT_BITEQ(out.fma_v[l], std::fma(a, b, c));
+        EXPECT_BITEQ(out.broadcast[l], in.a[0]);
+
+        EXPECT_BITEQ(out.select_gt[l], a > b ? a : b);
+        EXPECT_BITEQ(out.keep_lt[l], a < b ? a : T{0});
+        EXPECT_BITEQ(out.select_ge[l], (a == b) || (a > b) ? c : a);
+
+        EXPECT_BITEQ(
+            out.gather[l],
+            in.col[static_cast<index_type>(in.rows[l]) *
+                       simd::op_sweep_max_width +
+                   l]);
+        EXPECT_BITEQ(out.gather_i[l],
+                     in.col[in.rows_i[l] * simd::op_sweep_max_width + l]);
+
+        gt |= (a > b ? 1u : 0u) << l;
+        lt |= (a < b ? 1u : 0u) << l;
+        eq |= (a == b ? 1u : 0u) << l;
+        and_m |= ((a > b) && (a < c) ? 1u : 0u) << l;
+        or_m |= ((a > b) || (a < c) ? 1u : 0u) << l;
+        andnot_m |= ((a > b) && !(a < c) ? 1u : 0u) << l;
+        any_gt = any_gt || a > b;
+    }
+    EXPECT_EQ(out.gt_bits, gt) << simd_isa_name(isa);
+    EXPECT_EQ(out.lt_bits, lt);
+    EXPECT_EQ(out.eq_bits, eq);
+    EXPECT_EQ(out.and_bits, and_m);
+    EXPECT_EQ(out.or_bits, or_m);
+    EXPECT_EQ(out.andnot_bits, andnot_m);
+    EXPECT_EQ(out.all_bits, (w == 32 ? ~0u : (1u << w) - 1u));
+    EXPECT_EQ(out.any_gt, any_gt);
+    EXPECT_FALSE(out.any_none);
+    EXPECT_TRUE(out.only_lane_ok) << simd_isa_name(isa);
+}
+
+class SimdIsas : public ::testing::TestWithParam<SimdIsa> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AvailableIsas, SimdIsas, ::testing::ValuesIn(available_simd_isas()),
+    [](const ::testing::TestParamInfo<SimdIsa>& info) {
+        return simd_isa_name(info.param);
+    });
+
+TEST_P(SimdIsas, OpSweepMatchesScalarOraclesDouble) {
+    check_op_sweep<double>(GetParam());
+}
+
+TEST_P(SimdIsas, OpSweepMatchesScalarOraclesFloat) {
+    check_op_sweep<float>(GetParam());
+}
+
+// ---------------------------------------------------------------------
+// Bitwise scalar == backend kernel sweep
+// ---------------------------------------------------------------------
+
+template <typename T>
+void expect_bitwise_equal_batches(const BatchedMatrices<T>& a,
+                                  const BatchedMatrices<T>& b,
+                                  const char* label) {
+    ASSERT_EQ(a.count(), b.count());
+    for (size_type i = 0; i < a.count(); ++i) {
+        const auto va = a.view(i);
+        const auto vb = b.view(i);
+        for (index_type c = 0; c < va.cols(); ++c) {
+            for (index_type r = 0; r < va.rows(); ++r) {
+                EXPECT_EQ(bit_pattern(va(r, c)), bit_pattern(vb(r, c)))
+                    << label << ": block " << i << " (" << r << "," << c
+                    << "): " << va(r, c) << " vs " << vb(r, c);
+            }
+        }
+    }
+}
+
+/// getrf + getrs at `isa` vs the scalar dispatch level: factors, pivots,
+/// statuses and solutions must agree bit for bit.
+template <typename T>
+void check_kernel_sweep(SimdIsa isa, index_type m, std::uint64_t seed) {
+    // Count beyond two full chunks of the widest lane width so padding
+    // lanes and the ragged tail chunk are always exercised.
+    const size_type count = 2 * simd_lanes<T>(isa) + 3;
+    const auto layout = make_uniform_layout(count, m);
+    auto mats = BatchedMatrices<T>::random_general(layout, seed);
+    // One singular block mid-batch: the breakdown step, frozen factors
+    // and completed permutation must match the scalar level exactly.
+    if (m >= 2 && count > 4) {
+        auto v = mats.view(4);
+        for (index_type i = 0; i < m; ++i) {
+            v(i, 1) = T{0};
+        }
+    }
+
+    auto ref = mats.clone();
+    VectorizedOptions scalar_opts;
+    scalar_opts.isa = SimdIsa::scalar;
+    scalar_opts.on_singular = SingularPolicy::report;
+    scalar_opts.parallel = false;
+    scalar_opts.monitor = true;
+    BatchedPivots ref_perm(layout);
+    const auto ref_status = getrf_batch_vectorized(ref, ref_perm,
+                                                   scalar_opts);
+
+    VectorizedOptions opts = scalar_opts;
+    opts.isa = isa;
+    BatchedPivots perm(layout);
+    const auto status = getrf_batch_vectorized(mats, perm, opts);
+
+    expect_bitwise_equal_batches(ref, mats, "factors");
+    for (size_type i = 0; i < count; ++i) {
+        const auto pa = ref_perm.span(i);
+        const auto pb = perm.span(i);
+        for (std::size_t k = 0; k < pa.size(); ++k) {
+            EXPECT_EQ(pa[k], pb[k]) << "block " << i << " pivot " << k;
+        }
+    }
+    EXPECT_EQ(ref_status.failures, status.failures);
+    EXPECT_EQ(ref_status.first_failure, status.first_failure);
+    EXPECT_EQ(ref_status.first_failure_step, status.first_failure_step);
+    ASSERT_EQ(ref_status.block_status.size(), status.block_status.size());
+    for (std::size_t i = 0; i < status.block_status.size(); ++i) {
+        EXPECT_EQ(ref_status.block_status[i], status.block_status[i])
+            << "block " << i;
+        EXPECT_EQ(ref_status.block_info[i].step, status.block_info[i].step);
+        EXPECT_EQ(bit_pattern(ref_status.block_info[i].min_pivot),
+                  bit_pattern(status.block_info[i].min_pivot));
+    }
+
+    auto rhs_ref = BatchedVectors<T>::random(layout, seed + 1);
+    auto rhs = rhs_ref.clone();
+    getrs_batch_vectorized(ref, ref_perm, rhs_ref, scalar_opts);
+    getrs_batch_vectorized(mats, perm, rhs, opts);
+    for (size_type i = 0; i < count; ++i) {
+        const auto ra = rhs_ref.span(i);
+        const auto rb = rhs.span(i);
+        for (std::size_t k = 0; k < ra.size(); ++k) {
+            EXPECT_EQ(bit_pattern(ra[k]), bit_pattern(rb[k]))
+                << "m=" << m << " block " << i << " row " << k;
+        }
+    }
+}
+
+TEST_P(SimdIsas, GetrfGetrsBitwiseEqualsScalarOverFig4SizesDouble) {
+    for (index_type m = 1; m <= max_block_size; ++m) {
+        check_kernel_sweep<double>(GetParam(), m,
+                                   1000 + static_cast<std::uint64_t>(m));
+    }
+}
+
+TEST_P(SimdIsas, GetrfGetrsBitwiseEqualsScalarOverFig4SizesFloat) {
+    for (index_type m = 1; m <= max_block_size; ++m) {
+        check_kernel_sweep<float>(GetParam(), m,
+                                  2000 + static_cast<std::uint64_t>(m));
+    }
+}
+
+TEST(SimdDispatch, ParseRoundTripsEveryIsaName) {
+    for (const SimdIsa isa :
+         {SimdIsa::scalar, SimdIsa::sse2, SimdIsa::avx2, SimdIsa::avx512,
+          SimdIsa::neon}) {
+        SimdIsa parsed;
+        ASSERT_TRUE(parse_simd_isa(simd_isa_name(isa), parsed));
+        EXPECT_EQ(parsed, isa);
+    }
+    SimdIsa parsed;
+    EXPECT_FALSE(parse_simd_isa("auto", parsed));
+    EXPECT_FALSE(parse_simd_isa("avx1024", parsed));
+    EXPECT_FALSE(parse_simd_isa(nullptr, parsed));
+}
+
+}  // namespace
+}  // namespace vbatch::core

@@ -1,0 +1,31 @@
+// Print the SIMD dispatch table of this build on this machine: which
+// backends are compiled in / available, their lane widths per precision,
+// and the level detect_simd_isa() resolves to (after the VBATCH_SIMD
+// override). CI prints this into the job summary so every run records
+// which dispatch level actually executed.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/simd_dispatch.hpp"
+
+int main() {
+    using vbatch::core::SimdIsa;
+    using vbatch::core::simd_isa_available;
+    using vbatch::core::simd_isa_name;
+    using vbatch::core::simd_lanes;
+
+    const char* request = std::getenv("VBATCH_SIMD");
+    std::printf("%-8s %14s %13s %10s\n", "isa", "lanes(double)",
+                "lanes(float)", "available");
+    for (const SimdIsa isa :
+         {SimdIsa::scalar, SimdIsa::sse2, SimdIsa::avx2, SimdIsa::avx512,
+          SimdIsa::neon}) {
+        std::printf("%-8s %14d %13d %10s\n", simd_isa_name(isa),
+                    simd_lanes<double>(isa), simd_lanes<float>(isa),
+                    simd_isa_available(isa) ? "yes" : "no");
+    }
+    std::printf("VBATCH_SIMD=%s\n", request != nullptr ? request : "(unset)");
+    std::printf("dispatch: %s\n",
+                simd_isa_name(vbatch::core::detect_simd_isa()));
+    return 0;
+}
