@@ -12,7 +12,7 @@
 
 #include "bench_common.hpp"
 #include "precond/config.hpp"
-#include "solvers/idr.hpp"
+#include "solvers/config.hpp"
 #include "sparse/suite.hpp"
 
 namespace vbatch::bench {
@@ -28,15 +28,16 @@ struct StudyResult {
     double total_seconds() const { return setup_seconds + solve_seconds; }
 };
 
-inline solvers::IdrOptions study_solver_options() {
-    solvers::IdrOptions opts;
-    opts.s = 4;
-    opts.rel_tol = 1e-6;
-    opts.max_iters = quick_mode() ? 2000 : 10000;
+inline solvers::Config study_solver_config() {
+    solvers::Config config;
+    config.method = "idr";
+    config.idr_s = 4;
+    config.rel_tol = 1e-6;
+    config.max_iters = quick_mode() ? 2000 : 10000;
     // Phase attribution + roofline traffic of every study solve flows
     // into the metrics registry and from there into the bench JSON.
-    opts.collect_phase_times = true;
-    return opts;
+    config.collect_phase_times = true;
+    return config;
 }
 
 /// IDR(4) with a prepared preconditioner.
@@ -45,9 +46,10 @@ inline StudyResult run_idr(const sparse::Csr<double>& a,
                            double setup_seconds) {
     std::vector<double> b(static_cast<std::size_t>(a.num_rows()), 1.0);
     std::vector<double> x(b.size(), 0.0);
-    const auto result = solvers::idr(a, std::span<const double>(b),
-                                     std::span<double>(x), prec,
-                                     study_solver_options());
+    static const auto solver =
+        solvers::make_solver<double>(study_solver_config());
+    const auto result = solver->solve(a, std::span<const double>(b),
+                                      std::span<double>(x), prec);
     StudyResult out;
     out.converged = result.converged();
     out.iterations = result.iterations;

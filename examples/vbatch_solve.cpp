@@ -30,10 +30,7 @@
 #include "blocking/supervariable.hpp"
 #include "obs/bench_report.hpp"
 #include "precond/config.hpp"
-#include "solvers/bicgstab.hpp"
-#include "solvers/cg.hpp"
-#include "solvers/gmres.hpp"
-#include "solvers/idr.hpp"
+#include "solvers/config.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/matrix_market.hpp"
 #include "sparse/suite.hpp"
@@ -57,19 +54,24 @@ struct Options {
 };
 
 [[noreturn]] void usage(const char* argv0) {
-    std::string backends;
-    for (const auto& name : vb::precond::registered_backends()) {
-        if (!backends.empty()) {
-            backends += "|";
+    const auto join = [](const std::vector<std::string>& names) {
+        std::string out;
+        for (const auto& name : names) {
+            if (!out.empty()) {
+                out += "|";
+            }
+            out += name;
         }
-        backends += name;
-    }
+        return out;
+    };
+    const std::string solvers = join(vb::solvers::registered_solvers());
+    const std::string backends = join(vb::precond::registered_backends());
     std::printf(
-        "usage: %s [--matrix f.mtx | --suite case] [--solver "
-        "idr|bicgstab|gmres|cg] [--precond %s] [--block-size n] [--rcm] "
+        "usage: %s [--matrix f.mtx | --suite case] [--solver %s] "
+        "[--precond %s] [--block-size n] [--rcm] "
         "[--recovery strict|boost|full] [--inject-singular n] [--tol t] "
         "[--max-iters n] [--idr-s s]\n",
-        argv0, backends.c_str());
+        argv0, solvers.c_str(), backends.c_str());
     std::exit(2);
 }
 
@@ -131,7 +133,8 @@ vb::precond::RecoveryPolicy recovery_policy(const Options& opts,
 
 int main(int argc, char** argv) {
     const auto opts = parse(argc, argv);
-    if (!vb::precond::backend_registered(opts.precond)) {
+    if (!vb::precond::backend_registered(opts.precond) ||
+        !vb::solvers::solver_registered(opts.solver)) {
         usage(argv[0]);
     }
     try {
@@ -202,35 +205,15 @@ int main(int argc, char** argv) {
         // --- solve ---
         std::vector<double> b(static_cast<std::size_t>(a.num_rows()), 1.0);
         std::vector<double> x(b.size(), 0.0);
-        vb::solvers::SolveResult result;
-        if (opts.solver == "idr") {
-            vb::solvers::IdrOptions so;
-            so.rel_tol = opts.tol;
-            so.max_iters = opts.max_iters;
-            so.s = opts.idr_s;
-            result = vb::solvers::idr(a, std::span<const double>(b),
-                                      std::span<double>(x), *prec, so);
-        } else if (opts.solver == "bicgstab") {
-            vb::solvers::SolverOptions so;
-            so.rel_tol = opts.tol;
-            so.max_iters = opts.max_iters;
-            result = vb::solvers::bicgstab(a, std::span<const double>(b),
-                                           std::span<double>(x), *prec, so);
-        } else if (opts.solver == "gmres") {
-            vb::solvers::GmresOptions so;
-            so.rel_tol = opts.tol;
-            so.max_iters = opts.max_iters;
-            result = vb::solvers::gmres(a, std::span<const double>(b),
-                                        std::span<double>(x), *prec, so);
-        } else if (opts.solver == "cg") {
-            vb::solvers::SolverOptions so;
-            so.rel_tol = opts.tol;
-            so.max_iters = opts.max_iters;
-            result = vb::solvers::cg(a, std::span<const double>(b),
-                                     std::span<double>(x), *prec, so);
-        } else {
-            usage(argv[0]);
-        }
+        vb::solvers::Config solver_config;
+        solver_config.method = opts.solver;
+        solver_config.rel_tol = opts.tol;
+        solver_config.max_iters = opts.max_iters;
+        solver_config.idr_s = opts.idr_s;
+        const auto solver =
+            vb::solvers::make_solver<double>(solver_config);
+        const auto result = solver->solve(a, std::span<const double>(b),
+                                          std::span<double>(x), *prec);
 
         std::printf("%s: %s after %d iterations, ||r||/||r0|| = %.3e, "
                     "solve %.3f ms, total %.3f ms\n",

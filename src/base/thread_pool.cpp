@@ -82,6 +82,14 @@ ThreadPool::~ThreadPool() {
     for (auto& w : workers_) {
         w.join();
     }
+    // Workers bail out on shutdown even with tasks still queued; honor
+    // the submit() contract (no task is ever lost) by draining the
+    // leftovers here, single-threaded.
+    while (!tasks_.empty()) {
+        auto task = std::move(tasks_.front());
+        tasks_.pop_front();
+        run_task(task, 0);
+    }
     if (is_global_source_) {
         obs::Registry::global().set_pool_telemetry_source(nullptr);
     }
@@ -153,28 +161,91 @@ void ThreadPool::note_inline_run(
     inline_runs_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ThreadPool::run_task(std::function<void()>& task,
+                          std::size_t stat_slot) {
+    // Tasks execute with the nested-parallelism flag raised: parallel_for
+    // inside a task inlines on this thread, keeping the task internally
+    // sequential (bitwise-deterministic) while distinct tasks spread
+    // across workers.
+    const bool was_in_body = t_in_parallel_body;
+    t_in_parallel_body = true;
+    const bool stats = pool_stats_on();
+    const auto t0 = stats ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+    task();
+    t_in_parallel_body = was_in_body;
+    if (stats) {
+        stats_[stat_slot].busy_ns.fetch_add(
+            to_ns(std::chrono::steady_clock::now() - t0),
+            std::memory_order_relaxed);
+        stats_[stat_slot].chunks.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    VBATCH_ENSURE(task != nullptr, "null task submitted");
+    if (!workers_.empty()) {
+        bool queued = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!shutdown_) {
+                tasks_.push_back(std::move(task));
+                queued = true;
+            }
+        }
+        if (queued) {
+            cv_.notify_one();
+            return;
+        }
+    }
+    // No workers (size() == 1) or destructor already triggered: run
+    // inline rather than silently dropping the task.
+    run_task(task, 0);
+}
+
+size_type ThreadPool::queued_tasks() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<size_type>(tasks_.size());
+}
+
 void ThreadPool::worker_loop(std::size_t stat_slot) {
     std::uint64_t seen_epoch = 0;
     for (;;) {
         ParallelJob* job = nullptr;
+        std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock, [&] {
-                return shutdown_ || (job_ != nullptr &&
-                                     job_epoch_ != seen_epoch);
+                return shutdown_ ||
+                       (job_ != nullptr && job_epoch_ != seen_epoch) ||
+                       !tasks_.empty();
             });
             if (shutdown_) {
                 return;
             }
-            job = job_;
-            seen_epoch = job_epoch_;
+            if (job_ != nullptr && job_epoch_ != seen_epoch) {
+                // A latency-sensitive parallel_for outranks queued tasks.
+                // Register on the job *before* releasing the lock: the
+                // posting caller retires the job only after every
+                // registered worker has decremented back out.
+                job = job_;
+                seen_epoch = job_epoch_;
+                job->active_workers.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                task = std::move(tasks_.front());
+                tasks_.pop_front();
+            }
         }
-        drain(*job, &stats_[stat_slot]);
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            job->active_workers.fetch_sub(1, std::memory_order_relaxed);
+        if (job != nullptr) {
+            drain(*job, &stats_[stat_slot]);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                job->active_workers.fetch_sub(1, std::memory_order_relaxed);
+            }
+            done_cv_.notify_all();
+        } else {
+            run_task(task, stat_slot);
         }
-        done_cv_.notify_all();
     }
 }
 
@@ -190,8 +261,12 @@ void ThreadPool::run_parallel(size_type begin, size_type end,
     job.begin = begin;
     job.end = end - begin;
     job.grain = grain;
-    job.active_workers.store(static_cast<int>(workers_.size()),
-                             std::memory_order_relaxed);
+    // Workers register themselves on adoption (under mutex_) and
+    // deregister when their drain returns, so the wait below only covers
+    // workers that actually touched *this* job. Concurrent external
+    // callers therefore never wait on workers helping someone else's job
+    // or busy inside a submitted task.
+    job.active_workers.store(0, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &job;
@@ -205,7 +280,9 @@ void ThreadPool::run_parallel(size_type begin, size_type end,
         done_cv_.wait(lock, [&] {
             return job.active_workers.load(std::memory_order_relaxed) == 0;
         });
-        job_ = nullptr;
+        if (job_ == &job) {
+            job_ = nullptr;  // a concurrent caller may have replaced it
+        }
     }
     if (pool_stats_on()) {
         dispatches_.fetch_add(1, std::memory_order_relaxed);

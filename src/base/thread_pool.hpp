@@ -15,6 +15,20 @@
 //  - Calls nested inside a worker body run inline as well; the pool has a
 //    single job slot and is not reentrant, so nested parallelism must
 //    degrade to sequential execution instead of deadlocking.
+//
+// Concurrency model: parallel_for may be called from any number of
+// external threads at once. The job slot holds the *latest* posted job;
+// workers adopt whatever job is current, register themselves on it, and
+// a posting caller only waits for workers actually registered on *its*
+// job -- so concurrent callers never deadlock waiting for workers that
+// are busy elsewhere (they just get less help).
+//
+// Fire-and-forget tasks: submit() enqueues an independent task that one
+// worker will run to completion. Tasks run with the nested-parallelism
+// flag set, so any parallel_for inside a task executes inline on that
+// worker -- many independent tasks parallelize across workers while each
+// task stays internally sequential (and therefore deterministic). This
+// is the substrate the service-layer job engine schedules solves on.
 #pragma once
 
 #include <algorithm>
@@ -22,6 +36,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -109,6 +125,17 @@ public:
         run_parallel(begin, end, FunctionRef<void(size_type)>(body), grain);
     }
 
+    /// Enqueue an independent task for asynchronous execution by one
+    /// worker. Returns immediately; there is no per-task completion
+    /// handle (callers that need one wrap the task in a promise). Tasks
+    /// must not throw. With no workers (size() == 1) the task runs
+    /// inline before submit returns. Tasks still queued at destruction
+    /// run on the destroying thread, so a submitted task is never lost.
+    void submit(std::function<void()> task);
+
+    /// Tasks accepted by submit() but not yet started (diagnostics).
+    size_type queued_tasks() const;
+
     /// The process-wide default pool. Sized by the VBATCH_THREADS
     /// environment variable when set to a positive integer, else to the
     /// hardware. Results of every vbatch parallel kernel are bitwise
@@ -162,14 +189,16 @@ private:
                       FunctionRef<void(size_type)> body, size_type grain);
     void worker_loop(std::size_t stat_slot);
     void drain(ParallelJob& job, ParticipantStat* stat);
+    void run_task(std::function<void()>& task, std::size_t stat_slot);
     void note_inline_run(std::chrono::steady_clock::duration elapsed);
 
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
-    ParallelJob* job_ = nullptr;     // guarded by mutex_
+    ParallelJob* job_ = nullptr;     // guarded by mutex_; latest job
     std::uint64_t job_epoch_ = 0;    // guarded by mutex_
     bool shutdown_ = false;          // guarded by mutex_
+    std::deque<std::function<void()>> tasks_;  // guarded by mutex_
     std::condition_variable done_cv_;
 
     // -- telemetry (relaxed atomics; written only while armed) --------

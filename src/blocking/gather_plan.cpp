@@ -5,54 +5,20 @@
 
 namespace vbatch::blocking {
 
-namespace {
-
-/// Mix one value into a running hash (splitmix-style avalanche step).
-inline void hash_mix(std::uint64_t& h, std::uint64_t v) {
-    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-}
-
-/// Hash an array through four independent interleaved streams: the
-/// per-stream latency chains overlap, which makes the fingerprint ~4x
-/// cheaper than a single serial chain on long arrays. Deterministic and
-/// order-sensitive (each stream sees a fixed residue class).
-template <typename V>
-void hash_streams(std::uint64_t (&h)[4], std::span<const V> data) {
-    const std::size_t n = data.size();
-    const std::size_t n4 = n - n % 4;
-    for (std::size_t i = 0; i < n4; i += 4) {
-        hash_mix(h[0], static_cast<std::uint64_t>(data[i]));
-        hash_mix(h[1], static_cast<std::uint64_t>(data[i + 1]));
-        hash_mix(h[2], static_cast<std::uint64_t>(data[i + 2]));
-        hash_mix(h[3], static_cast<std::uint64_t>(data[i + 3]));
-    }
-    for (std::size_t i = n4; i < n; ++i) {
-        hash_mix(h[i % 4], static_cast<std::uint64_t>(data[i]));
-    }
-}
-
-}  // namespace
-
-std::uint64_t csr_pattern_hash(std::span<const size_type> row_ptrs,
-                               std::span<const index_type> col_idxs) {
-    std::uint64_t h[4] = {0x9e3779b97f4a7c15ULL, 0xbf58476d1ce4e5b9ULL,
-                          0x94d049bb133111ebULL, 0xd6e8feb86659fd93ULL};
-    hash_streams(h, row_ptrs);
-    hash_streams(h, col_idxs);
-    std::uint64_t out = h[0];
-    hash_mix(out, h[1]);
-    hash_mix(out, h[2]);
-    hash_mix(out, h[3]);
-    return out;
-}
-
 GatherPlan::GatherPlan(std::span<const size_type> row_ptrs,
                        std::span<const index_type> col_idxs,
                        core::BatchLayoutPtr layout)
+    : GatherPlan(row_ptrs, col_idxs, std::move(layout),
+                 csr_pattern_hash(row_ptrs, col_idxs)) {}
+
+GatherPlan::GatherPlan(std::span<const size_type> row_ptrs,
+                       std::span<const index_type> col_idxs,
+                       core::BatchLayoutPtr layout,
+                       std::uint64_t pattern_hash)
     : layout_(std::move(layout)),
       num_rows_(static_cast<index_type>(row_ptrs.size()) - 1),
       nnz_(static_cast<size_type>(col_idxs.size())),
-      pattern_hash_(csr_pattern_hash(row_ptrs, col_idxs)) {
+      pattern_hash_(pattern_hash) {
     VBATCH_ENSURE(layout_ != nullptr, "gather plan needs a block layout");
     VBATCH_ENSURE(layout_->total_rows() == num_rows_,
                   "block sizes must partition the matrix");

@@ -27,11 +27,9 @@
 
 namespace vbatch::blocking {
 
-/// Order-sensitive mixing hash over the CSR structure arrays. Collisions
-/// would only matter for same-shape same-nnz patterns handed to refresh,
-/// and 64 mixed bits make that astronomically unlikely.
-std::uint64_t csr_pattern_hash(std::span<const size_type> row_ptrs,
-                               std::span<const index_type> col_idxs);
+/// The pattern fingerprint lives in the sparse layer (Csr memoizes it);
+/// re-exported here for the plan's existing callers.
+using sparse::csr_pattern_hash;
 
 class GatherPlan {
 public:
@@ -44,12 +42,33 @@ public:
                std::span<const index_type> col_idxs,
                core::BatchLayoutPtr layout);
 
+    /// Same, with the pattern fingerprint already in hand (saves the
+    /// O(nnz) rehash when the matrix memoized it).
+    GatherPlan(std::span<const size_type> row_ptrs,
+               std::span<const index_type> col_idxs,
+               core::BatchLayoutPtr layout, std::uint64_t pattern_hash);
+
     template <typename T>
     GatherPlan(const sparse::Csr<T>& a, core::BatchLayoutPtr layout)
-        : GatherPlan(a.row_ptrs(), a.col_idxs(), std::move(layout)) {}
+        : GatherPlan(a.row_ptrs(), a.col_idxs(), std::move(layout),
+                     a.pattern_hash()) {}
 
     bool empty() const noexcept { return layout_ == nullptr; }
     const core::BatchLayout& layout() const noexcept { return *layout_; }
+    /// Shared handle to the analyzed block partition; lets plan consumers
+    /// (preconditioners, the service-layer plan cache) alias one layout
+    /// instead of re-deriving it per tenant.
+    const core::BatchLayoutPtr& layout_ptr() const noexcept {
+        return layout_;
+    }
+
+    /// Heap footprint of the plan's index arrays; the service-layer cache
+    /// charges entries against its byte budget with this.
+    std::size_t byte_size() const noexcept {
+        return entry_ptrs_.capacity() * sizeof(size_type) +
+               src_.capacity() * sizeof(size_type) +
+               dst_.capacity() * sizeof(index_type);
+    }
 
     /// Number of stored entries that land inside block b.
     size_type block_entries(size_type b) const noexcept {
@@ -77,7 +96,7 @@ public:
     template <typename T>
     bool matches(const sparse::Csr<T>& a) const {
         return num_rows_ == a.num_rows() && nnz_ == a.nnz() &&
-               pattern_hash_ == csr_pattern_hash(a.row_ptrs(), a.col_idxs());
+               pattern_hash_ == a.pattern_hash();
     }
 
     /// Numeric gather of one block: zero `out` and scatter the stored

@@ -120,6 +120,46 @@ void render_pool(std::string& out, const JsonValue& doc) {
     out += "\n";
 }
 
+/// Multi-tenant service telemetry: the "service." counter families the
+/// engine and its plan cache publish (see src/service/). Rendered only
+/// when the document carries at least one of them, so non-service bench
+/// reports stay unchanged.
+void render_service(std::string& out, const JsonValue& doc) {
+    const JsonValue* counters = doc.find("counters");
+    if (counters == nullptr || !counters->is_object()) {
+        return;
+    }
+    const auto counter = [&](const char* key) {
+        return member_num(*counters, key);
+    };
+    bool any = false;
+    for (const auto& [name, value] : counters->members) {
+        if (name.rfind("service.", 0) == 0) {
+            any = true;
+            break;
+        }
+    }
+    if (!any) {
+        return;
+    }
+    const double builds = counter("service.cache.builds");
+    const double reuses = counter("service.cache.reuses");
+    const double lookups = builds + reuses;
+    appendf(out, "service: %.0f session(s) opened\n",
+            counter("service.sessions"));
+    appendf(out,
+            "  plan cache: %.0f build(s), %.0f reuse(s), %.0f "
+            "eviction(s), hit rate %5.1f%%\n",
+            builds, reuses, counter("service.cache.evictions"),
+            lookups > 0.0 ? reuses / lookups * 100.0 : 0.0);
+    appendf(out,
+            "  queue: %.0f submitted, %.0f completed, %.0f rejected\n",
+            counter("service.queue.submitted"),
+            counter("service.queue.completed"),
+            counter("service.queue.rejected"));
+    out += "\n";
+}
+
 void render_perf(std::string& out, const JsonValue& doc,
                  const Options& opts) {
     const JsonValue* perf = doc.find("perf");
@@ -212,6 +252,7 @@ std::string render_report(const JsonValue& doc, const Options& opts) {
     render_phases(out, doc);
     render_roofline(out, doc);
     render_pool(out, doc);
+    render_service(out, doc);
     render_perf(out, doc, opts);
     return out;
 }

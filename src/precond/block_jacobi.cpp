@@ -47,6 +47,119 @@ std::string backend_name(BlockJacobiBackend backend) {
     return "unknown";
 }
 
+std::size_t BlockJacobiSymbolic::byte_size() const noexcept {
+    std::size_t bytes = sizeof(BlockJacobiSymbolic);
+    if (layout) {
+        // sizes + row offsets of the partition.
+        bytes += static_cast<std::size_t>(layout->count()) *
+                 (sizeof(index_type) + sizeof(size_type));
+    }
+    bytes += plan.byte_size();
+    for (const auto& g : groups) {
+        bytes += g.indices.capacity() * sizeof(size_type) +
+                 g.row_offsets.capacity() * sizeof(size_type) +
+                 (g.gather.lane_ptrs.capacity() + g.gather.src.capacity() +
+                  g.gather.dst.capacity()) *
+                     sizeof(size_type) +
+                 sizeof(Group);
+    }
+    bytes += scalar_blocks.capacity() * sizeof(size_type) +
+             tasks.capacity() * sizeof(Task) +
+             apply_chunks.capacity() * sizeof(Chunk);
+    return bytes;
+}
+
+template <typename T>
+BlockJacobiSymbolicPtr build_block_jacobi_symbolic(
+    const sparse::Csr<T>& a, const BlockJacobiOptions& options) {
+    auto sym = std::make_shared<BlockJacobiSymbolic>();
+    sym->max_block_size = options.max_block_size;
+    {
+        ScopedTimer phase(sym->blocking_seconds);
+        if (options.layout) {
+            sym->layout = options.layout;
+        } else {
+            blocking::BlockingOptions bopts;
+            bopts.max_block_size = options.max_block_size;
+            sym->layout = blocking::supervariable_layout(a, bopts);
+        }
+    }
+    ScopedTimer phase(sym->plan_seconds);
+    sym->plan = blocking::GatherPlan(a, sym->layout);
+    if (options.backend == BlockJacobiBackend::lu_simd) {
+        // Clamp once so the kept groups, metrics and name() agree on the
+        // ISA actually executed.
+        auto isa = options.simd;
+        if (!core::simd_isa_available(isa)) {
+            isa = core::detect_simd_isa();
+        }
+        sym->isa = isa;
+        sym->lanes = core::simd_lanes<T>(isa);
+        const auto plan =
+            blocking::build_size_class_plan(*sym->layout, sym->lanes);
+        sym->groups.reserve(plan.vector_groups.size());
+        for (const auto& cls : plan.vector_groups) {
+            BlockJacobiSymbolic::Group g;
+            g.size = cls.size;
+            g.indices = cls.indices;
+            g.gather = sym->plan.interleaved_map(g.indices, sym->lanes);
+            g.row_offsets.resize(g.indices.size());
+            for (std::size_t l = 0; l < g.indices.size(); ++l) {
+                g.row_offsets[l] = sym->layout->row_offset(g.indices[l]);
+            }
+            const auto count = static_cast<size_type>(g.indices.size());
+            g.chunks = (count + sym->lanes - 1) / sym->lanes;
+            const auto gi = static_cast<size_type>(sym->groups.size());
+            for (size_type c = 0; c < g.chunks; ++c) {
+                sym->tasks.push_back({gi, c, 0, 0});
+                sym->apply_chunks.push_back({gi, c});
+            }
+            sym->groups.push_back(std::move(g));
+        }
+        sym->simd_block_count = plan.vector_block_count();
+        sym->scalar_blocks = plan.scalar_indices;
+    }
+    // Scalar-path blocks (all blocks for the non-lane backends) run in
+    // ranges of batch_entry_grain -- task units of a weight comparable
+    // to one SIMD chunk, matching the grain the batch drivers used.
+    const auto nscalar =
+        sym->lanes > 1 ? static_cast<size_type>(sym->scalar_blocks.size())
+                       : sym->layout->count();
+    for (size_type lo = 0; lo < nscalar; lo += batch_entry_grain) {
+        sym->tasks.push_back({BlockJacobiSymbolic::no_group, 0, lo,
+                              std::min(lo + batch_entry_grain, nscalar)});
+    }
+    // Every symbolic construction is one plan build, whether it happens
+    // inline in a BlockJacobi setup or ahead of time for sharing (the
+    // service plan cache); adopters count plan_reuses instead.
+    obs::Registry::global().add("block_jacobi.plan_builds", 1.0);
+    return sym;
+}
+
+template <typename T>
+void BlockJacobi<T>::validate_symbolic(const sparse::Csr<T>& a) const {
+    VBATCH_ENSURE(sym_->plan.matches(a),
+                  "block-Jacobi setup: shared symbolic was analyzed for a "
+                  "different sparsity pattern");
+    VBATCH_ENSURE(sym_->max_block_size == options_.max_block_size,
+                  "block-Jacobi setup: shared symbolic was built under a "
+                  "different block bound");
+    if (options_.backend == BlockJacobiBackend::lu_simd) {
+        auto isa = options_.simd;
+        if (!core::simd_isa_available(isa)) {
+            isa = core::detect_simd_isa();
+        }
+        VBATCH_ENSURE(sym_->lanes == core::simd_lanes<T>(isa) &&
+                          sym_->isa == isa,
+                      "block-Jacobi setup: shared symbolic was built for a "
+                      "different ISA or lane width");
+    } else {
+        VBATCH_ENSURE(sym_->lanes == 1,
+                      "block-Jacobi setup: scalar-path backend handed a "
+                      "lane-interleaved symbolic");
+    }
+}
+
 template <typename T>
 BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
                             BlockJacobiOptions options)
@@ -54,20 +167,35 @@ BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
     obs::TraceRegion trace("block_jacobi::setup");
     obs::PerfRegion perf("block_jacobi::setup");
     Timer timer;
-    {
-        ScopedTimer phase(setup_phases_.blocking_seconds);
-        if (options_.layout) {
-            layout_ = options_.layout;
-        } else {
-            blocking::BlockingOptions bopts;
-            bopts.max_block_size = options_.max_block_size;
-            layout_ = blocking::supervariable_layout(a, bopts);
-        }
-    }
-    {
+    if (options_.symbolic) {
+        sym_ = options_.symbolic;
+        symbolic_shared_ = true;
+        validate_symbolic(a);
+        // Adoption is free: blocking/plan_seconds stay zero -- that *is*
+        // the point of sharing the symbolic across tenants.
+    } else {
         obs::TraceRegion plan_trace("setup_plan");
-        ScopedTimer phase(setup_phases_.plan_seconds);
-        build_symbolic(a);
+        sym_ = build_block_jacobi_symbolic(a, options_);
+        setup_phases_.blocking_seconds = sym_->blocking_seconds;
+        setup_phases_.plan_seconds = sym_->plan_seconds;
+    }
+    layout_ = sym_->layout;
+    if (options_.backend == BlockJacobiBackend::lu_simd) {
+        options_.simd = sym_->isa;  // clamped by the builder
+    }
+    factors_ = core::BatchedMatrices<T>(layout_);
+    pivots_ = core::BatchedPivots(layout_);
+    const bool monitor =
+        options_.recovery.mode != RecoveryPolicy::Mode::strict;
+    simd_groups_.reserve(sym_->groups.size());
+    for (const auto& g : sym_->groups) {
+        SimdGroup sg;
+        sg.group = core::InterleavedGroup<T>(
+            g.size, static_cast<size_type>(g.indices.size()), sym_->isa);
+        if (monitor) {
+            sg.lane_infos.resize(g.indices.size());
+        }
+        simd_groups_.push_back(std::move(sg));
     }
     run_numeric(a);
     if (options_.backend == BlockJacobiBackend::lu_simd) {
@@ -82,14 +210,20 @@ BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
     auto& registry = obs::Registry::global();
     if (options_.backend == BlockJacobiBackend::lu_simd) {
         registry.add("block_jacobi.simd_blocks",
-                     static_cast<double>(simd_block_count_));
+                     static_cast<double>(sym_->simd_block_count));
         registry.add("block_jacobi.simd_scalar_blocks",
-                     static_cast<double>(simd_scalar_blocks_.size()));
+                     static_cast<double>(sym_->scalar_blocks.size()));
         registry.add("block_jacobi.simd_groups",
                      static_cast<double>(simd_groups_.size()));
     }
     registry.add("block_jacobi.setups", 1.0);
-    registry.add("block_jacobi.plan_builds", 1.0);
+    // A zero delta still creates the counter, keeping the bench-JSON
+    // key contract stable whether or not this setup built the plan (the
+    // builder itself counts the +1).
+    registry.add("block_jacobi.plan_builds", 0.0);
+    if (symbolic_shared_) {
+        registry.add("block_jacobi.plan_reuses", 1.0);
+    }
     registry.add("block_jacobi.blocking_seconds",
                  setup_phases_.blocking_seconds);
     registry.add("block_jacobi.plan_seconds", setup_phases_.plan_seconds);
@@ -100,7 +234,7 @@ BlockJacobi<T>::BlockJacobi(const sparse::Csr<T>& a,
 
 template <typename T>
 void BlockJacobi<T>::refresh(const sparse::Csr<T>& a) {
-    VBATCH_ENSURE(plan_.matches(a),
+    VBATCH_ENSURE(sym_->plan.matches(a),
                   "block-Jacobi refresh: matrix sparsity pattern differs "
                   "from the one the preconditioner was set up with");
     obs::TraceRegion trace("block_jacobi::refresh");
@@ -151,52 +285,6 @@ void BlockJacobi<T>::record_numeric_metrics() const {
 }
 
 template <typename T>
-void BlockJacobi<T>::build_symbolic(const sparse::Csr<T>& a) {
-    plan_ = blocking::GatherPlan(a, layout_);
-    factors_ = core::BatchedMatrices<T>(layout_);
-    pivots_ = core::BatchedPivots(layout_);
-    const bool monitor =
-        options_.recovery.mode != RecoveryPolicy::Mode::strict;
-    if (options_.backend == BlockJacobiBackend::lu_simd) {
-        // Clamp once so the kept groups, metrics and name() agree on the
-        // ISA actually executed.
-        if (!core::simd_isa_available(options_.simd)) {
-            options_.simd = core::detect_simd_isa();
-        }
-        const auto plan = blocking::build_size_class_plan(
-            *layout_, core::simd_lanes<T>(options_.simd));
-        simd_groups_.reserve(plan.vector_groups.size());
-        for (const auto& cls : plan.vector_groups) {
-            SimdGroup sg;
-            sg.indices = cls.indices;
-            sg.group = core::InterleavedGroup<T>(
-                cls.size, static_cast<size_type>(cls.indices.size()),
-                options_.simd);
-            sg.gather = plan_.interleaved_map(sg.indices,
-                                              sg.group.lanes());
-            if (monitor) {
-                sg.lane_infos.resize(sg.indices.size());
-            }
-            const auto g = static_cast<size_type>(simd_groups_.size());
-            for (size_type c = 0; c < sg.group.chunks(); ++c) {
-                setup_tasks_.push_back({g, c, 0, 0});
-            }
-            simd_groups_.push_back(std::move(sg));
-        }
-        simd_block_count_ = plan.vector_block_count();
-        simd_scalar_blocks_ = plan.scalar_indices;
-    }
-    // Scalar-path blocks (all blocks for the non-lane backends) run in
-    // ranges of batch_entry_grain -- task units of a weight comparable
-    // to one SIMD chunk, matching the grain the batch drivers used.
-    const auto nscalar = scalar_count();
-    for (size_type lo = 0; lo < nscalar; lo += batch_entry_grain) {
-        setup_tasks_.push_back(
-            {no_group, 0, lo, std::min(lo + batch_entry_grain, nscalar)});
-    }
-}
-
-template <typename T>
 void BlockJacobi<T>::run_numeric(const sparse::Csr<T>& a) {
     obs::TraceRegion trace("fused_numeric_setup");
     const bool strict =
@@ -238,13 +326,15 @@ void BlockJacobi<T>::run_numeric(const sparse::Csr<T>& a) {
     // persistent factor storage and factorizes them cache-hot -- no
     // intermediate batch container, no extract/pack/factorize barriers.
     const auto body = [&](size_type t) {
-        const auto& task = setup_tasks_[static_cast<std::size_t>(t)];
+        const auto& task = sym_->tasks[static_cast<std::size_t>(t)];
         if (task.group != no_group) {
             auto& sg = simd_groups_[static_cast<std::size_t>(task.group)];
+            const auto& gsym =
+                sym_->groups[static_cast<std::size_t>(task.group)];
             core::FactorInfo* infos =
                 monitor ? sg.lane_infos.data() : nullptr;
             Timer tg;
-            core::gather_interleaved_chunk(sg.group, sg.gather, values,
+            core::gather_interleaved_chunk(sg.group, gsym.gather, values,
                                            task.chunk, infos);
             atomic_add(gather_s, tg.seconds());
             Timer tf;
@@ -257,9 +347,10 @@ void BlockJacobi<T>::run_numeric(const sparse::Csr<T>& a) {
             // factors()/pivots() and the diagnostics stay truthful
             // regardless of the apply path taken.
             Timer tp;
-            sg.group.unpack_matrices_chunk(factors_, sg.indices,
+            sg.group.unpack_matrices_chunk(factors_, gsym.indices,
                                            task.chunk);
-            sg.group.unpack_pivots_chunk(pivots_, sg.indices, task.chunk);
+            sg.group.unpack_pivots_chunk(pivots_, gsym.indices,
+                                         task.chunk);
             atomic_add(pack_s, tp.seconds());
             const auto lanes = static_cast<size_type>(sg.group.lanes());
             const size_type lane_lo = task.chunk * lanes;
@@ -268,7 +359,7 @@ void BlockJacobi<T>::run_numeric(const sparse::Csr<T>& a) {
             for (size_type l = lane_lo; l < lane_hi; ++l) {
                 const auto step = sg.group.info()[l];
                 const auto gi =
-                    sg.indices[static_cast<std::size_t>(l)];
+                    gsym.indices[static_cast<std::size_t>(l)];
                 if (monitor) {
                     status.block_info[static_cast<std::size_t>(gi)] =
                         sg.lane_infos[static_cast<std::size_t>(l)];
@@ -293,7 +384,7 @@ void BlockJacobi<T>::run_numeric(const sparse::Csr<T>& a) {
             Timer tg;
             for (size_type i = lo; i < hi; ++i) {
                 const auto b = scalar_block(i);
-                plan_.gather_block(values, b, factors_.view(b));
+                sym_->plan.gather_block(values, b, factors_.view(b));
             }
             gsec += tg.seconds();
             Timer tf;
@@ -319,7 +410,7 @@ void BlockJacobi<T>::run_numeric(const sparse::Csr<T>& a) {
     };
     {
         obs::TraceRegion fused_trace("fused_gather_factorize");
-        const auto ntasks = static_cast<size_type>(setup_tasks_.size());
+        const auto ntasks = static_cast<size_type>(sym_->tasks.size());
         if (options_.parallel) {
             ThreadPool::global().parallel_for(0, ntasks, body, 1);
         } else {
@@ -441,7 +532,7 @@ void BlockJacobi<T>::recover(std::span<const T> values,
         const auto& fi0 = infos[static_cast<std::size_t>(b)];
         const index_type m = layout_->size(b);
         const MatrixView<T> src(pristine_buf.data(), m, m);
-        plan_.gather_block(values, b, src);
+        sym_->plan.gather_block(values, b, src);
         // Boosting needs a finite magnitude to scale the shift by; an
         // all-zero or non-finite block goes straight to the fallback.
         const double scale =
@@ -522,14 +613,16 @@ void BlockJacobi<T>::recover(std::span<const T> values,
         for (const auto b : bad) {
             dirty[static_cast<std::size_t>(b)] = 1;
         }
-        for (auto& sg : simd_groups_) {
+        for (std::size_t g = 0; g < simd_groups_.size(); ++g) {
+            auto& sg = simd_groups_[g];
+            const auto& indices = sym_->groups[g].indices;
             const bool needs_repack = std::any_of(
-                sg.indices.begin(), sg.indices.end(), [&](size_type idx) {
+                indices.begin(), indices.end(), [&](size_type idx) {
                     return dirty[static_cast<std::size_t>(idx)] != 0;
                 });
             if (needs_repack) {
-                sg.group.pack_matrices(factors_, sg.indices);
-                sg.group.pack_pivots(pivots_, sg.indices);
+                sg.group.pack_matrices(factors_, indices);
+                sg.group.pack_pivots(pivots_, indices);
             }
         }
     }
@@ -547,19 +640,12 @@ void BlockJacobi<T>::apply_fallback_block(size_type b, std::span<const T> r,
 
 template <typename T>
 void BlockJacobi<T>::build_apply_workspaces() {
-    apply_chunks_.clear();
-    for (std::size_t g = 0; g < simd_groups_.size(); ++g) {
-        auto& sg = simd_groups_[g];
+    // The chunk task list and row-offset maps are symbolic (shared);
+    // only the per-object rhs staging workspaces are allocated here.
+    for (auto& sg : simd_groups_) {
         sg.rhs = core::InterleavedVectors<T>(sg.group.size(),
                                              sg.group.count(),
                                              sg.group.isa());
-        sg.row_offsets.resize(sg.indices.size());
-        for (std::size_t l = 0; l < sg.indices.size(); ++l) {
-            sg.row_offsets[l] = layout_->row_offset(sg.indices[l]);
-        }
-        for (size_type c = 0; c < sg.group.chunks(); ++c) {
-            apply_chunks_.push_back({static_cast<size_type>(g), c});
-        }
     }
 }
 
@@ -572,14 +658,18 @@ void BlockJacobi<T>::apply_simd(std::span<const T> r, std::span<T> z) const {
     // div/mod, no per-apply InterleavedVectors, no zero-fill of padding
     // lanes -- the matrix padding is identity, so stale padding values
     // pass through the solve and stay finite without ever being read).
-    const auto nchunks = static_cast<size_type>(apply_chunks_.size());
+    const auto nchunks = static_cast<size_type>(sym_->apply_chunks.size());
     const auto total =
-        nchunks + static_cast<size_type>(simd_scalar_blocks_.size());
+        nchunks + static_cast<size_type>(sym_->scalar_blocks.size());
     const auto body = [&](size_type t) {
         if (t < nchunks) {
-            const auto& task = apply_chunks_[static_cast<std::size_t>(t)];
+            const auto& task =
+                sym_->apply_chunks[static_cast<std::size_t>(t)];
             const auto& sg =
                 simd_groups_[static_cast<std::size_t>(task.group)];
+            const auto& row_offsets =
+                sym_->groups[static_cast<std::size_t>(task.group)]
+                    .row_offsets;
             const auto m = static_cast<size_type>(sg.group.size());
             const auto lanes = static_cast<size_type>(sg.group.lanes());
             const size_type lane_lo = task.chunk * lanes;
@@ -588,7 +678,7 @@ void BlockJacobi<T>::apply_simd(std::span<const T> r, std::span<T> z) const {
             T* chunk_vals = sg.rhs.values() + task.chunk * m * lanes;
             for (size_type l = lane_lo; l < lane_hi; ++l) {
                 const T* src =
-                    r.data() + sg.row_offsets[static_cast<std::size_t>(l)];
+                    r.data() + row_offsets[static_cast<std::size_t>(l)];
                 T* dst = chunk_vals + (l - lane_lo);
                 for (size_type i = 0; i < m; ++i) {
                     dst[i * lanes] = src[i];
@@ -597,7 +687,7 @@ void BlockJacobi<T>::apply_simd(std::span<const T> r, std::span<T> z) const {
             core::getrs_interleaved_chunk(sg.group, sg.rhs, task.chunk);
             for (size_type l = lane_lo; l < lane_hi; ++l) {
                 T* dst =
-                    z.data() + sg.row_offsets[static_cast<std::size_t>(l)];
+                    z.data() + row_offsets[static_cast<std::size_t>(l)];
                 const T* src = chunk_vals + (l - lane_lo);
                 for (size_type i = 0; i < m; ++i) {
                     dst[i] = src[i * lanes];
@@ -605,7 +695,7 @@ void BlockJacobi<T>::apply_simd(std::span<const T> r, std::span<T> z) const {
             }
             return;
         }
-        const auto b = simd_scalar_blocks_[static_cast<std::size_t>(
+        const auto b = sym_->scalar_blocks[static_cast<std::size_t>(
             t - nchunks)];
         const auto off = static_cast<std::size_t>(layout_->row_offset(b));
         const auto m = static_cast<std::size_t>(layout_->size(b));
@@ -765,5 +855,9 @@ std::string BlockJacobi<T>::name() const {
 
 template class BlockJacobi<float>;
 template class BlockJacobi<double>;
+template BlockJacobiSymbolicPtr build_block_jacobi_symbolic<float>(
+    const sparse::Csr<float>&, const BlockJacobiOptions&);
+template BlockJacobiSymbolicPtr build_block_jacobi_symbolic<double>(
+    const sparse::Csr<double>&, const BlockJacobiOptions&);
 
 }  // namespace vbatch::precond

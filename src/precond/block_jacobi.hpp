@@ -43,6 +43,75 @@ enum class BlockJacobiBackend { lu, lu_simd, gauss_huard, gauss_huard_t,
 
 std::string backend_name(BlockJacobiBackend backend);
 
+/// The complete symbolic (pattern-only) state of a block-Jacobi setup:
+/// block layout, extraction gather plan, interleaved group shapes +
+/// lane gather maps, and the fused task lists. Everything in here
+/// depends only on the sparsity pattern, the block bound and (for the
+/// lane path) the vector width -- never on the values -- so one
+/// immutable instance can be shared by any number of preconditioners
+/// over same-pattern matrices (the service layer's plan cache holds
+/// exactly these, refcounted through the shared_ptr).
+struct BlockJacobiSymbolic {
+    core::BatchLayoutPtr layout;
+    /// Cached CSR -> block extraction plan (carries the 64-bit pattern
+    /// fingerprint adoption is validated against).
+    blocking::GatherPlan plan;
+    /// ISA the lane-path groups were built for; scalar when lanes == 1.
+    core::SimdIsa isa = core::SimdIsa::scalar;
+    /// Matrices per vector instruction. 1 = scalar path only (shared by
+    /// every non-lane backend of the same T-independent task split).
+    index_type lanes = 1;
+    /// The agglomeration bound the layout was derived under.
+    index_type max_block_size = 0;
+
+    /// One same-size class of the lane path (empty when lanes == 1).
+    struct Group {
+        index_type size = 0;
+        /// Block ids assigned to the lanes, in lane order.
+        std::vector<size_type> indices;
+        /// CSR-value -> lane-slot gather map.
+        core::InterleavedGatherMap gather;
+        /// row_offsets[l] = flat row offset of lane l's block.
+        std::vector<size_type> row_offsets;
+        /// Lane chunks of the group (= ceil(indices.size() / lanes)).
+        size_type chunks = 0;
+    };
+    std::vector<Group> groups;
+    /// Ragged leftovers taking the scalar path (lane path only).
+    std::vector<size_type> scalar_blocks;
+    /// Blocks solved through the interleaved lanes.
+    size_type simd_block_count = 0;
+
+    /// One unit of fused numeric work: either chunk `chunk` of
+    /// groups[group] (group != no_group) or a scalar block range
+    /// [lo, hi).
+    struct Task {
+        size_type group = no_group;
+        size_type chunk = 0;
+        size_type lo = 0;
+        size_type hi = 0;
+    };
+    static constexpr size_type no_group = -1;
+    std::vector<Task> tasks;
+    /// Every group's chunks flattened (the lane-path apply task list).
+    struct Chunk {
+        size_type group;
+        size_type chunk;
+    };
+    std::vector<Chunk> apply_chunks;
+
+    /// Build-time attribution (copied into SetupPhases when a
+    /// preconditioner builds its own symbolic; adoption costs zero).
+    double blocking_seconds = 0.0;
+    double plan_seconds = 0.0;
+
+    /// Heap footprint of the index arrays; the service-layer cache
+    /// charges entries against its byte budget with this.
+    std::size_t byte_size() const noexcept;
+};
+
+using BlockJacobiSymbolicPtr = std::shared_ptr<const BlockJacobiSymbolic>;
+
 struct BlockJacobiOptions {
     BlockJacobiBackend backend = BlockJacobiBackend::lu;
     /// Upper bound for the supervariable agglomeration (Table I sweeps
@@ -64,7 +133,25 @@ struct BlockJacobiOptions {
     /// block_status() / recovery_summary(). RecoveryPolicy::strict()
     /// restores the old throwing behavior.
     RecoveryPolicy recovery;
+    /// Adopt a prebuilt symbolic analysis (see
+    /// build_block_jacobi_symbolic) instead of running blocking +
+    /// analysis here. The instance must have been built for the same
+    /// pattern, block bound, and -- for lu_simd -- the same ISA/lane
+    /// width as this setup; adoption validates all of that and throws
+    /// vbatch::BadParameter on a mismatch. Takes precedence over
+    /// `layout`. Empty = analyze locally.
+    BlockJacobiSymbolicPtr symbolic;
 };
+
+/// Run only the symbolic layer of a block-Jacobi setup for `a` under
+/// `options` (blocking, gather-plan analysis, size-class bucketing,
+/// lane gather maps, fused task lists) and return it as an immutable
+/// shareable object. T matters only through the lane width of the
+/// lu_simd backend; every scalar-path backend of either precision can
+/// adopt the same instance.
+template <typename T>
+BlockJacobiSymbolicPtr build_block_jacobi_symbolic(
+    const sparse::Csr<T>& a, const BlockJacobiOptions& options);
 
 template <typename T>
 class BlockJacobi final : public Preconditioner<T> {
@@ -86,7 +173,7 @@ public:
     /// recovery outcomes are bitwise identical to a fresh setup on `a`;
     /// throws vbatch::BadParameter when `a`'s sparsity pattern differs
     /// from the one analyzed at construction.
-    void refresh(const sparse::Csr<T>& a);
+    void refresh(const sparse::Csr<T>& a) override;
 
     /// z := M^{-1} r. Performs no heap allocation: the lu_simd path runs
     /// on persistent per-group workspaces and precomputed row-offset maps
@@ -143,7 +230,14 @@ public:
     const core::BatchedPivots& pivots() const { return pivots_; }
 
     /// The cached symbolic extraction plan (for tests / inspection).
-    const blocking::GatherPlan& gather_plan() const { return plan_; }
+    const blocking::GatherPlan& gather_plan() const { return sym_->plan; }
+    /// The full symbolic state -- either built here or adopted from
+    /// options.symbolic; hand it to further same-pattern setups to skip
+    /// their symbolic phase entirely.
+    const BlockJacobiSymbolicPtr& symbolic() const { return sym_; }
+    /// True when this setup adopted a shared symbolic instead of
+    /// building one.
+    bool symbolic_shared() const noexcept { return symbolic_shared_; }
     /// Wall time of the last refresh() (0 before the first refresh).
     double refresh_seconds() const noexcept { return refresh_seconds_; }
 
@@ -167,15 +261,16 @@ public:
 
     /// Blocks solved through the interleaved lanes (lu_simd backend only;
     /// the remainder takes the scalar per-block path).
-    size_type num_simd_blocks() const noexcept { return simd_block_count_; }
+    size_type num_simd_blocks() const noexcept {
+        return sym_ ? sym_->simd_block_count : 0;
+    }
 
 private:
-    /// One same-size class kept in interleaved form across applications.
+    /// The *numeric* state of one same-size class; the group shapes,
+    /// lane assignments and gather maps live in the shared symbolic
+    /// (sym_->groups, indexed in parallel with this vector).
     struct SimdGroup {
         core::InterleavedGroup<T> group;
-        std::vector<size_type> indices;
-        /// CSR-value -> lane-slot gather map (symbolic; one per group).
-        core::InterleavedGatherMap gather;
         /// Per-lane entry/pivot statistics scratch of the fused numeric
         /// pass (monitored setups only). Chunk tasks write disjoint lane
         /// ranges.
@@ -187,44 +282,26 @@ private:
         /// exclusively by the chunk tasks of this group, each of which
         /// touches a disjoint chunk.
         mutable core::InterleavedVectors<T> rhs;
-        /// row_offsets[l] = flat row offset of lane l's block -- the
-        /// layout->row_offset indirection resolved once at setup.
-        std::vector<size_type> row_offsets;
     };
 
-    /// One unit of apply work: chunk `chunk` of simd_groups_[group].
-    struct ApplyChunk {
-        size_type group;
-        size_type chunk;
-    };
+    static constexpr size_type no_group = BlockJacobiSymbolic::no_group;
 
-    /// One unit of fused numeric work, built once by the symbolic phase:
-    /// either chunk `chunk` of simd_groups_[group] (group != no_group) or
-    /// the scalar-path blocks scalar_block(lo..hi-1).
-    struct SetupTask {
-        size_type group = no_group;
-        size_type chunk = 0;
-        size_type lo = 0;
-        size_type hi = 0;
-    };
-    static constexpr size_type no_group = -1;
-
-    /// Symbolic phase: gather plan, size-class bucketing, interleaved
-    /// group + gather-map construction and the fused task list.
-    void build_symbolic(const sparse::Csr<T>& a);
+    /// Check an adopted shared symbolic against `a` and the options
+    /// (pattern fingerprint, block bound, ISA/lane width).
+    void validate_symbolic(const sparse::Csr<T>& a) const;
     /// Fused numeric phase: one parallel pass gathering + factorizing all
     /// blocks into the persistent storage, then breakdown recovery.
     /// Shared by construction and refresh(); resets all numeric state.
     void run_numeric(const sparse::Csr<T>& a);
     /// i-th block of the scalar (non-lane) path.
     size_type scalar_block(size_type i) const {
-        return options_.backend == BlockJacobiBackend::lu_simd
-                   ? simd_scalar_blocks_[static_cast<std::size_t>(i)]
+        return sym_->lanes > 1
+                   ? sym_->scalar_blocks[static_cast<std::size_t>(i)]
                    : i;
     }
     size_type scalar_count() const {
-        return options_.backend == BlockJacobiBackend::lu_simd
-                   ? static_cast<size_type>(simd_scalar_blocks_.size())
+        return sym_->lanes > 1
+                   ? static_cast<size_type>(sym_->scalar_blocks.size())
                    : layout_->count();
     }
     /// Build the persistent rhs workspaces, offset maps and the flat
@@ -247,20 +324,16 @@ private:
                               std::span<T> z) const;
 
     BlockJacobiOptions options_;
-    core::BatchLayoutPtr layout_;
-    /// Cached symbolic extraction plan; refresh() reuses it verbatim.
-    blocking::GatherPlan plan_;
-    /// Fused numeric task list (symbolic; SIMD chunks + scalar ranges).
-    std::vector<SetupTask> setup_tasks_;
+    /// The (possibly shared) symbolic state: layout, gather plan, group
+    /// shapes + lane maps and the fused task lists. Immutable; refresh()
+    /// and all numeric passes only read it.
+    BlockJacobiSymbolicPtr sym_;
+    bool symbolic_shared_ = false;
+    core::BatchLayoutPtr layout_;  // alias of sym_->layout
     core::BatchedMatrices<T> factors_;
     core::BatchedPivots pivots_;
+    /// Numeric lane-path state, indexed in parallel with sym_->groups.
     std::vector<SimdGroup> simd_groups_;
-    std::vector<size_type> simd_scalar_blocks_;
-    /// Every group's chunks flattened into one task list so a single
-    /// parallel_for spreads all groups (and the scalar leftovers appended
-    /// behind them) over the pool.
-    std::vector<ApplyChunk> apply_chunks_;
-    size_type simd_block_count_ = 0;
     /// Bytes one apply streams (factors + r + z) and the flops of the
     /// batched triangular solves, precomputed at setup and fed to the
     /// metrics registry / roofline attribution per application.

@@ -27,6 +27,8 @@
 
 namespace vbatch::precond {
 
+struct BlockJacobiSymbolic;
+
 /// Everything needed to build a preconditioner, in one place. Fields a
 /// backend does not use are ignored (e.g. "jacobi" ignores the block
 /// bound and the recovery policy).
@@ -45,6 +47,11 @@ struct Config {
     RecoveryPolicy recovery;
     /// Reuse a precomputed block structure (empty = detect).
     core::BatchLayoutPtr layout;
+    /// Adopt a shared symbolic analysis (block-Jacobi backends; see
+    /// make_symbolic / build_block_jacobi_symbolic). Validated against
+    /// the matrix at setup; takes precedence over `layout`. Empty =
+    /// analyze locally.
+    std::shared_ptr<const BlockJacobiSymbolic> symbolic;
 };
 
 template <typename T>
@@ -73,5 +80,19 @@ void register_backend(const std::string& name,
 std::vector<std::string> registered_backends();
 
 bool backend_registered(const std::string& name);
+
+/// True when `backend` names a built-in with a shareable symbolic phase
+/// (the block-Jacobi family); make_symbolic returns non-null exactly for
+/// these.
+bool symbolic_backend(const std::string& backend);
+
+/// Run only the symbolic (pattern-dependent) layer of the setup
+/// config.backend would perform on `a`, for sharing across same-pattern
+/// matrices via Config::symbolic. Returns nullptr for backends without
+/// a symbolic phase ("none", "jacobi", and custom registrations) --
+/// those are simply rebuilt per matrix.
+template <typename T>
+std::shared_ptr<const BlockJacobiSymbolic> make_symbolic(
+    const sparse::Csr<T>& a, const Config& config);
 
 }  // namespace vbatch::precond

@@ -29,10 +29,8 @@ PreconditionerFactory<double>& slot<double>(Entry& e) {
     return e.f64;
 }
 
-template <typename T>
-PreconditionerPtr<T> make_block_jacobi(const sparse::Csr<T>& a,
-                                       const Config& config,
-                                       BlockJacobiBackend backend) {
+BlockJacobiOptions block_jacobi_options(const Config& config,
+                                        BlockJacobiBackend backend) {
     BlockJacobiOptions opts;
     opts.backend = backend;
     opts.max_block_size = config.max_block_size;
@@ -41,7 +39,30 @@ PreconditionerPtr<T> make_block_jacobi(const sparse::Csr<T>& a,
     opts.parallel = config.parallel;
     opts.layout = config.layout;
     opts.recovery = config.recovery;
-    return std::make_unique<BlockJacobi<T>>(a, std::move(opts));
+    opts.symbolic = config.symbolic;
+    return opts;
+}
+
+/// Backend keys whose setup has a shareable symbolic phase.
+const std::map<std::string, BlockJacobiBackend>& block_jacobi_kinds() {
+    static const std::map<std::string, BlockJacobiBackend> kinds = {
+        {"lu", BlockJacobiBackend::lu},
+        {"lu-simd", BlockJacobiBackend::lu_simd},
+        {"gh", BlockJacobiBackend::gauss_huard},
+        {"gh-t", BlockJacobiBackend::gauss_huard_t},
+        {"gje-inv", BlockJacobiBackend::gje_inversion},
+        {"gje", BlockJacobiBackend::gje_inversion},
+        {"cholesky", BlockJacobiBackend::cholesky},
+    };
+    return kinds;
+}
+
+template <typename T>
+PreconditionerPtr<T> make_block_jacobi(const sparse::Csr<T>& a,
+                                       const Config& config,
+                                       BlockJacobiBackend backend) {
+    return std::make_unique<BlockJacobi<T>>(
+        a, block_jacobi_options(config, backend));
 }
 
 Entry block_jacobi_entry(BlockJacobiBackend backend) {
@@ -149,6 +170,22 @@ bool backend_registered(const std::string& name) {
     return it != entries.end() && (it->second.f32 || it->second.f64);
 }
 
+bool symbolic_backend(const std::string& backend) {
+    return block_jacobi_kinds().count(backend) > 0;
+}
+
+template <typename T>
+std::shared_ptr<const BlockJacobiSymbolic> make_symbolic(
+    const sparse::Csr<T>& a, const Config& config) {
+    const auto& kinds = block_jacobi_kinds();
+    const auto it = kinds.find(config.backend);
+    if (it == kinds.end()) {
+        return nullptr;
+    }
+    return build_block_jacobi_symbolic(
+        a, block_jacobi_options(config, it->second));
+}
+
 template PreconditionerPtr<float> make_preconditioner<float>(
     const sparse::Csr<float>&, const Config&);
 template PreconditionerPtr<double> make_preconditioner<double>(
@@ -157,5 +194,9 @@ template void register_backend<float>(const std::string&,
                                       PreconditionerFactory<float>);
 template void register_backend<double>(const std::string&,
                                        PreconditionerFactory<double>);
+template std::shared_ptr<const BlockJacobiSymbolic> make_symbolic<float>(
+    const sparse::Csr<float>&, const Config&);
+template std::shared_ptr<const BlockJacobiSymbolic> make_symbolic<double>(
+    const sparse::Csr<double>&, const Config&);
 
 }  // namespace vbatch::precond

@@ -10,6 +10,11 @@
 #include "base/types.hpp"
 #include "core/block_status.hpp"
 
+namespace vbatch::sparse {
+template <typename T>
+class Csr;
+}  // namespace vbatch::sparse
+
 namespace vbatch::precond {
 
 /// Left preconditioner M^{-1}: the solver calls apply(r, z) for z = M^{-1}r.
@@ -20,6 +25,15 @@ public:
 
     /// z := M^{-1} r. r and z must not alias.
     virtual void apply(std::span<const T> r, std::span<T> z) const = 0;
+
+    /// Numeric re-setup after `a`'s values changed under an unchanged
+    /// sparsity pattern (the time-stepping / Newton / service
+    /// update_values case). Preconditioners whose state depends on the
+    /// values MUST override this to rerun their numeric phase; the
+    /// default is a no-op for stateless preconditioners (identity).
+    /// Implementations may throw vbatch::BadParameter when `a` does not
+    /// match the pattern they were set up with.
+    virtual void refresh(const sparse::Csr<T>& a) { (void)a; }
 
     virtual std::string name() const = 0;
 

@@ -35,6 +35,20 @@ public:
         }
     }
 
+    /// Recompute the inverse diagonal from `a`'s current values.
+    void refresh(const sparse::Csr<T>& a) override {
+        VBATCH_ENSURE(static_cast<std::size_t>(a.num_rows()) ==
+                          inv_diag_.size(),
+                      "Jacobi refresh: matrix size changed");
+        Timer timer;
+        for (index_type i = 0; i < a.num_rows(); ++i) {
+            const T d = a.at(i, i);
+            VBATCH_ENSURE(d != T{}, "zero diagonal entry");
+            inv_diag_[static_cast<std::size_t>(i)] = T{1} / d;
+        }
+        setup_seconds_ = timer.seconds();
+    }
+
     std::string name() const override { return "jacobi"; }
     double setup_seconds() const override { return setup_seconds_; }
     size_type num_blocks() const override {

@@ -1,0 +1,119 @@
+#include "service/engine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace vbatch::service {
+
+namespace {
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+    if (const char* v = std::getenv(name)) {
+        const long parsed = std::atol(v);
+        if (parsed > 0) {
+            return static_cast<std::size_t>(parsed);
+        }
+    }
+    return fallback;
+}
+
+std::size_t queue_capacity_of(const EngineOptions& options) {
+    return options.queue_capacity != 0
+               ? options.queue_capacity
+               : env_or("VBATCH_SERVICE_QUEUE", 256);
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : cache_(options.cache),
+      queue_(queue_capacity_of(options)),
+      admission_(options.admission) {}
+
+Engine::~Engine() {
+    drain();
+    queue_.close();
+}
+
+bool Engine::submit_job(std::function<void()> job) {
+    // Count the job before enqueueing so drain() can never observe a
+    // window where an accepted job is in neither the counter nor the
+    // queue.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++outstanding_;
+    }
+    auto wrapped = [this, job = std::move(job)] {
+        job();
+        finish_job();
+    };
+    const bool accepted = admission_ == Admission::block
+                              ? queue_.push(std::move(wrapped))
+                              : queue_.try_push(std::move(wrapped));
+    auto& registry = obs::Registry::global();
+    if (!accepted) {
+        {
+            // Notify while still holding the mutex: a drain()er can only
+            // return after re-acquiring it, i.e. strictly after the
+            // broadcast finished, which makes destroying the engine right
+            // after drain() safe.
+            std::lock_guard<std::mutex> lock(mutex_);
+            --outstanding_;
+            ++rejected_;
+            idle_cv_.notify_all();
+        }
+        registry.add("service.queue.rejected", 1.0);
+        return false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++submitted_;
+        peak_depth_ = std::max(peak_depth_, queue_.size());
+    }
+    registry.add("service.queue.submitted", 1.0);
+    // One drainer per accepted job: each pool task pops exactly one
+    // queued job, so the bounded queue is the only admission point and
+    // the pool's own deque never outgrows it.
+    ThreadPool::global().submit([this] {
+        if (auto task = queue_.try_pop()) {
+            (*task)();
+        }
+    });
+    return true;
+}
+
+void Engine::finish_job() {
+    // Count before the job stops being outstanding so drain() is also a
+    // barrier for the telemetry: a registry snapshot taken after drain()
+    // sees every completion.
+    obs::Registry::global().add("service.queue.completed", 1.0);
+    {
+        // Notify under the lock (see submit_job): lets ~Engine destroy
+        // the condition variable immediately after drain() observes
+        // outstanding_ == 0 without racing this broadcast.
+        std::lock_guard<std::mutex> lock(mutex_);
+        --outstanding_;
+        ++completed_;
+        idle_cv_.notify_all();
+    }
+}
+
+void Engine::drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+EngineStats Engine::stats() const {
+    EngineStats out;
+    out.cache = cache_.stats();
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.sessions_opened = sessions_opened_;
+    out.submitted = submitted_;
+    out.rejected = rejected_;
+    out.completed = completed_;
+    out.outstanding = outstanding_;
+    out.peak_depth = peak_depth_;
+    return out;
+}
+
+}  // namespace vbatch::service

@@ -1,0 +1,120 @@
+// Bounded MPMC job queue -- the admission-control stage in front of the
+// thread pool.
+//
+// ThreadPool::submit's internal deque is unbounded by design (a lost
+// task is worse than a long queue); a multi-tenant service, in
+// contrast, must bound how much work it accepts so a burst of clients
+// degrades into rejected or briefly-blocked submissions instead of an
+// unbounded memory ramp. BoundedQueue is that bound: a fixed-capacity
+// ring guarded by one mutex and two condition variables, with both
+// blocking (push) and non-blocking (try_push) producers. close() wakes
+// every waiter and drains producers/consumers deterministically, so
+// shutdown never strands a thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "base/macros.hpp"
+
+namespace vbatch::service {
+
+template <typename T>
+class BoundedQueue {
+public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+        VBATCH_ENSURE(capacity_ > 0, "queue capacity must be positive");
+    }
+
+    /// Enqueue, waiting while full. False iff the queue was closed.
+    bool push(T item) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_) {
+            return false;
+        }
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Enqueue only if there is room right now. False when full or closed.
+    bool try_push(T item) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_) {
+                return false;
+            }
+            items_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Dequeue, waiting while empty. nullopt iff closed and drained.
+    std::optional<T> pop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) {
+            return std::nullopt;
+        }
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// Dequeue only if an item is ready right now.
+    std::optional<T> try_pop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (items_.empty()) {
+            return std::nullopt;
+        }
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// Reject future pushes and wake every waiter. Items already queued
+    /// remain poppable (pop drains, then reports nullopt).
+    void close() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    std::size_t size() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const noexcept { return capacity_; }
+
+    bool closed() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace vbatch::service

@@ -1,0 +1,101 @@
+// Unified solver configuration and string-keyed factory, mirroring
+// precond::Config / make_preconditioner.
+//
+// Benches, examples and the service layer used to hand-roll an if/else
+// chain over the solver free functions (idr/bicgstab/gmres/cg) each time
+// a method name arrived from a CLI flag or a request. The Config +
+// make_solver pair centralizes that: one POD carries the method key and
+// every per-method knob, and the registry maps keys to type-erased
+// Solver objects so downstream tools never switch on the method again.
+//
+// Built-in keys: "cg", "bicgstab", "idr", "gmres". register_solver()
+// adds project-specific ones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solvers/solver_base.hpp"
+#include "sparse/csr.hpp"
+
+namespace vbatch::solvers {
+
+/// Everything needed to select and tune a solver, in one place. Fields a
+/// method does not use are ignored (e.g. "cg" ignores the IDR shadow
+/// space and the GMRES restart).
+struct Config {
+    /// Registered method key; see registered_solvers().
+    std::string method = "idr";
+    /// Stop when ||r|| <= rel_tol * ||r0||.
+    double rel_tol = 1e-6;
+    /// Iteration budget.
+    index_type max_iters = 10000;
+    /// Record ||r|| after every iteration (memory; plots/tests).
+    bool keep_residual_history = false;
+    /// Phase-time attribution + roofline traffic export.
+    bool collect_phase_times = false;
+    /// IDR(s): shadow-space dimension.
+    index_type idr_s = 4;
+    /// IDR(s): seed of the random shadow space P.
+    std::uint64_t idr_shadow_seed = 7;
+    /// IDR(s): angle safeguard for the omega computation.
+    double idr_kappa = 0.7;
+    /// IDR(s): minimal-residual smoothing.
+    bool idr_smoothing = false;
+    /// GMRES: restart length.
+    index_type gmres_restart = 30;
+
+    /// The base options shared by every method, extracted once.
+    SolverOptions base() const {
+        SolverOptions o;
+        o.rel_tol = rel_tol;
+        o.max_iters = max_iters;
+        o.keep_residual_history = keep_residual_history;
+        o.collect_phase_times = collect_phase_times;
+        return o;
+    }
+};
+
+/// Type-erased solver handle: solve A x = b with the method and knobs
+/// baked in at make_solver time. x holds the initial guess on entry and
+/// the solution on exit. Stateless and immutable after construction, so
+/// one instance may be shared by concurrent solves on distinct vectors.
+template <typename T>
+class Solver {
+public:
+    virtual ~Solver() = default;
+    virtual SolveResult solve(const sparse::Csr<T>& a, std::span<const T> b,
+                              std::span<T> x,
+                              const precond::Preconditioner<T>& prec)
+        const = 0;
+    /// The registered key this solver was built from.
+    virtual std::string name() const = 0;
+};
+
+template <typename T>
+using SolverPtr = std::unique_ptr<Solver<T>>;
+
+/// Constructor signature kept by the registry.
+template <typename T>
+using SolverFactory = std::function<SolverPtr<T>(const Config&)>;
+
+/// Build the solver selected by config.method. Throws
+/// vbatch::BadParameter (listing the registered keys) on an unknown
+/// method.
+template <typename T>
+SolverPtr<T> make_solver(const Config& config = {});
+
+/// Register (or replace) a method under `name` for value type T.
+/// Registration is not thread-safe; do it during startup.
+template <typename T>
+void register_solver(const std::string& name, SolverFactory<T> factory);
+
+/// Sorted list of keys with at least one registered value type.
+std::vector<std::string> registered_solvers();
+
+bool solver_registered(const std::string& name);
+
+}  // namespace vbatch::solvers

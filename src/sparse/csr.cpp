@@ -77,13 +77,13 @@ Csr<T>::Csr(index_type num_rows, index_type num_cols,
                           "column indices not strictly increasing");
         }
     }
-    rebuild_spmv_partition();
+    reset_spmv_partition();
 }
 
 template <typename T>
-void Csr<T>::rebuild_spmv_partition() {
-    spmv_parts_.clear();
-    spmv_parts_.push_back(0);
+void Csr<T>::build_spmv_partition(std::vector<size_type>& parts) const {
+    parts.clear();
+    parts.push_back(0);
     if (num_rows_ == 0) {
         return;
     }
@@ -100,12 +100,12 @@ void Csr<T>::rebuild_spmv_partition() {
         const auto it = std::lower_bound(row_ptrs_.begin(), row_ptrs_.end(),
                                          goal);
         const auto row = static_cast<size_type>(it - row_ptrs_.begin());
-        if (row <= spmv_parts_.back() || row >= num_rows_) {
+        if (row <= parts.back() || row >= num_rows_) {
             continue;  // keep boundaries strictly increasing
         }
-        spmv_parts_.push_back(row);
+        parts.push_back(row);
     }
-    spmv_parts_.push_back(num_rows_);
+    parts.push_back(num_rows_);
 }
 
 template <typename T>
@@ -135,9 +135,9 @@ void Csr<T>::drop_small_entries(T threshold) {
     values_.resize(out);
     row_ptrs_ = std::move(row_ptrs);
     // nnz distribution changed; a stale partition would still be *correct*
-    // (boundaries stay within [0, num_rows]) but unbalanced -- rebuild so
-    // the balance invariant survives structural edits.
-    rebuild_spmv_partition();
+    // (boundaries stay within [0, num_rows]) but unbalanced -- swap in a
+    // fresh slot so the balance invariant survives structural edits.
+    reset_spmv_partition();
 }
 
 template <typename T>
@@ -212,14 +212,15 @@ void Csr<T>::spmv(T alpha, std::span<const T> x, T beta,
         return acc;
     };
     const bool plain = alpha == T{1} && beta == T{};
-    const auto nparts = static_cast<size_type>(spmv_parts_.size()) - 1;
+    const auto parts = spmv_partition();
+    const auto nparts = static_cast<size_type>(parts.size()) - 1;
     ThreadPool::global().parallel_for(
         0, nparts,
         [&](size_type part) {
             const auto row_beg = static_cast<index_type>(
-                spmv_parts_[static_cast<std::size_t>(part)]);
+                parts[static_cast<std::size_t>(part)]);
             const auto row_end = static_cast<index_type>(
-                spmv_parts_[static_cast<std::size_t>(part) + 1]);
+                parts[static_cast<std::size_t>(part) + 1]);
             if (plain) {
                 for (auto i = row_beg; i < row_end; ++i) {
                     y[static_cast<std::size_t>(i)] = row_sum(i);

@@ -12,14 +12,20 @@
 // matrix caches an nnz-balanced partition of its rows -- part boundaries
 // found by binary search on row_ptrs so every part covers about the same
 // number of stored entries. The partition depends only on the sparsity
-// structure, so it is rebuilt exactly when the structure changes
-// (construction and structural mutators) and reused across every spmv.
+// structure; it is built lazily on the first spmv through std::call_once
+// (so concurrent readers of a shared matrix race-freely agree on one
+// partition) and invalidated exactly when the structure changes
+// (construction and structural mutators).
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "base/types.hpp"
+#include "sparse/pattern_hash.hpp"
 
 namespace vbatch::sparse {
 
@@ -36,7 +42,7 @@ class Csr {
 public:
     Csr() : num_rows_(0), num_cols_(0) {
         row_ptrs_.push_back(0);
-        rebuild_spmv_partition();
+        reset_spmv_partition();
     }
 
     /// Build from an unordered triplet list; duplicate entries are summed.
@@ -81,9 +87,28 @@ public:
 
     /// The cached nnz-balanced row partition spmv runs over: part p covers
     /// rows [partition[p], partition[p+1]), and all parts hold roughly
-    /// equal nnz. Exposed for tests and diagnostics.
-    std::span<const size_type> spmv_partition() const noexcept {
-        return spmv_parts_;
+    /// equal nnz. Built on first use (thread-safe: concurrent callers on
+    /// the same matrix serialize through a call_once and observe the one
+    /// published partition). Exposed for tests and diagnostics.
+    std::span<const size_type> spmv_partition() const {
+        StructureCache& cache = *structure_;
+        std::call_once(cache.partition_once,
+                       [&] { build_spmv_partition(cache.parts); });
+        return cache.parts;
+    }
+
+    /// 64-bit fingerprint of the sparsity pattern (csr_pattern_hash over
+    /// row_ptrs/col_idxs). Memoized per structure with the same lazy
+    /// call_once discipline as the spmv partition: copies of an analyzed
+    /// matrix share the computed hash, set_values keeps it, and
+    /// structural mutators invalidate it. The service-layer plan cache
+    /// keys shared symbolic analyses on this value.
+    std::uint64_t pattern_hash() const {
+        StructureCache& cache = *structure_;
+        std::call_once(cache.hash_once, [&] {
+            cache.pattern_hash = csr_pattern_hash(row_ptrs_, col_idxs_);
+        });
+        return cache.pattern_hash;
     }
 
     /// Number of stored entries in row i.
@@ -101,17 +126,36 @@ public:
     bool is_symmetric(T tol) const;
 
 private:
-    /// Recompute spmv_parts_ from row_ptrs_. Called from every path that
-    /// establishes or changes the sparsity structure, so spmv never sees a
-    /// stale partition.
-    void rebuild_spmv_partition();
+    /// Lazily-built artifacts derived from the sparsity structure alone
+    /// (spmv partition, pattern fingerprint). Lives behind a shared_ptr
+    /// so the non-copyable once_flags don't pin the matrix, copies of an
+    /// analyzed matrix share the already-built results, and structural
+    /// mutators can atomically swap in a fresh unbuilt slot.
+    struct StructureCache {
+        std::once_flag partition_once;
+        std::vector<size_type> parts;
+        std::once_flag hash_once;
+        std::uint64_t pattern_hash = 0;
+    };
+
+    /// Compute the nnz-balanced boundaries from row_ptrs_ into `parts`.
+    /// Runs exactly once per structure, under the slot's call_once.
+    void build_spmv_partition(std::vector<size_type>& parts) const;
+
+    /// Install a fresh unbuilt cache slot. Called from every path that
+    /// establishes or changes the sparsity structure, so spmv/pattern_hash
+    /// never see stale artifacts. Not safe against concurrent readers --
+    /// structural mutation of a shared matrix was never supported.
+    void reset_spmv_partition() {
+        structure_ = std::make_shared<StructureCache>();
+    }
 
     index_type num_rows_;
     index_type num_cols_;
     std::vector<size_type> row_ptrs_;
     std::vector<index_type> col_idxs_;
     std::vector<T> values_;
-    std::vector<size_type> spmv_parts_;
+    std::shared_ptr<StructureCache> structure_;
 };
 
 }  // namespace vbatch::sparse

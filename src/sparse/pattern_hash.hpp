@@ -1,0 +1,23 @@
+// 64-bit fingerprint of a CSR sparsity pattern.
+//
+// Lives in the sparse layer so Csr itself can memoize it (the hash is a
+// pure function of row_ptrs/col_idxs) and higher layers -- the gather
+// plan, the service-layer plan cache -- can key shared symbolic state on
+// it without recomputing. blocking/gather_plan.hpp re-exports the name
+// for existing callers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "base/types.hpp"
+
+namespace vbatch::sparse {
+
+/// Order-sensitive mixing hash over the CSR structure arrays. Collisions
+/// would only matter for same-shape same-nnz patterns handed to refresh,
+/// and 64 mixed bits make that astronomically unlikely.
+std::uint64_t csr_pattern_hash(std::span<const size_type> row_ptrs,
+                               std::span<const index_type> col_idxs);
+
+}  // namespace vbatch::sparse
