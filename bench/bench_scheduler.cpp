@@ -1,0 +1,309 @@
+// Scheduler A/B study: the work-stealing pool against the legacy
+// work-sharing pool, on the three axes the scheduler rewrite targets.
+//
+//   submit    fire-and-forget task throughput, fanned out from an
+//             external thread (injection queue in both modes) and from
+//             inside a worker (lock-free own-deque push vs. the shared
+//             mutex queue).
+//   nested    a parallel_for nested inside a pool task. Sharing runs it
+//             inline-sequential; stealing splits it across idle
+//             workers. The *overlap* series uses timed-wait bodies, so
+//             it measures scheduler concurrency itself and transfers
+//             across machines (including single-core CI runners); the
+//             compute series is recorded for trajectory but is
+//             hardware-bound and not gated.
+//   service   mixed multi-tenant traffic through service::Engine under
+//             both disciplines; the headline is the p99 ratio.
+//
+// Both modes run in one process on the global pool via set_mode (the
+// workers service both disciplines; only publication changes), so the
+// comparison shares threads, memory layout, and warmup. Only ratio
+// series go into the committed baseline.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/statistics.hpp"
+#include "base/thread_pool.hpp"
+#include "base/timer.hpp"
+#include "bench_common.hpp"
+#include "obs/bench_report.hpp"
+#include "service/engine.hpp"
+#include "sparse/generators.hpp"
+
+namespace vb = vbatch;
+
+namespace {
+
+const char* mode_name(vb::SchedMode mode) {
+    return mode == vb::SchedMode::stealing ? "stealing" : "sharing";
+}
+
+/// Busy-wait for `target` to reach `want` (sub-millisecond completion
+/// latencies would drown in a condvar round-trip).
+void spin_until(const std::atomic<int>& target, int want) {
+    while (target.load(std::memory_order_acquire) < want) {
+        std::this_thread::yield();
+    }
+}
+
+std::vector<double> tenant_values(const vb::sparse::Csr<double>& a,
+                                  std::size_t tenant) {
+    std::vector<double> v(a.values().begin(), a.values().end());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] *= 1.0 + 1e-3 * static_cast<double>((i + 3 * tenant) % 7);
+    }
+    return v;
+}
+
+}  // namespace
+
+int main() {
+    const bool quick = vb::bench::quick_mode();
+    auto& pool = vb::ThreadPool::global();
+    const auto threads = pool.size();
+
+    vb::obs::BenchReport report("scheduler");
+    report.config("quick", quick);
+    report.config("threads", static_cast<vb::size_type>(threads));
+
+    // -- Scenario 1: task-submit throughput ----------------------------
+    const int num_tasks = quick ? 4000 : 40000;
+    const int reps = quick ? 3 : 5;
+    report.config("submit_tasks", static_cast<vb::size_type>(num_tasks));
+
+    vb::bench::print_header("Submit throughput | no-op tasks");
+    std::printf("%10s %16s %16s\n", "mode", "external (t/s)",
+                "from-worker (t/s)");
+
+    const auto submit_rate = [&](vb::SchedMode mode, bool from_worker) {
+        pool.set_mode(mode);
+        double best = 0.0;
+        for (int r = 0; r < reps; ++r) {
+            std::atomic<int> ran{0};
+            const auto fan_out = [&] {
+                for (int i = 0; i < num_tasks; ++i) {
+                    pool.submit([&ran] {
+                        ran.fetch_add(1, std::memory_order_release);
+                    });
+                }
+            };
+            vb::Timer timer;
+            if (from_worker) {
+                pool.submit(fan_out);
+            } else {
+                fan_out();
+            }
+            spin_until(ran, num_tasks);
+            best = std::max(best,
+                            static_cast<double>(num_tasks) / timer.seconds());
+        }
+        pool.set_mode(vb::SchedMode::stealing);
+        return best;
+    };
+
+    for (const auto mode :
+         {vb::SchedMode::sharing, vb::SchedMode::stealing}) {
+        const double external = submit_rate(mode, false);
+        const double from_worker = submit_rate(mode, true);
+        std::printf("%10s %16.0f %16.0f\n", mode_name(mode), external,
+                    from_worker);
+        report.series(std::string("submit_throughput/external_") +
+                          mode_name(mode),
+                      "tasks", {{static_cast<double>(num_tasks), external}},
+                      "tasks/s");
+        report.series(std::string("submit_throughput/from_worker_") +
+                          mode_name(mode),
+                      "tasks",
+                      {{static_cast<double>(num_tasks), from_worker}},
+                      "tasks/s");
+    }
+
+    // -- Scenario 2: nested parallel_for inside a pool task ------------
+    // Overlap series: each lane waits a fixed interval, so wall time
+    // divides by however many lanes the scheduler actually overlaps --
+    // a pure concurrency probe, independent of core count. Sharing
+    // inlines the nested loop (wall = lanes * interval); stealing
+    // spreads it (wall ~ interval).
+    const int lanes = 8;
+    const auto lane_wait = std::chrono::milliseconds(2);
+    const int nested_reps = quick ? 5 : 9;
+    report.config("nested_lanes", static_cast<vb::size_type>(lanes));
+
+    const auto nested_wall = [&](vb::SchedMode mode, bool compute) {
+        pool.set_mode(mode);
+        double best = 1e300;
+        for (int r = 0; r < nested_reps; ++r) {
+            std::atomic<int> done{0};
+            std::atomic<std::uint64_t> sink{0};
+            vb::Timer timer;
+            pool.submit([&] {
+                pool.parallel_for(
+                    0, lanes,
+                    [&](vb::size_type i) {
+                        if (compute) {
+                            // FNV-ish churn, sized so one lane takes on
+                            // the order of the wait interval.
+                            std::uint64_t h =
+                                1469598103934665603ull +
+                                static_cast<std::uint64_t>(i);
+                            for (int k = 0; k < 400000; ++k) {
+                                h = (h ^ static_cast<std::uint64_t>(k)) *
+                                    1099511628211ull;
+                            }
+                            sink.fetch_add(h, std::memory_order_relaxed);
+                        } else {
+                            const auto t0 =
+                                std::chrono::steady_clock::now();
+                            while (std::chrono::steady_clock::now() - t0 <
+                                   lane_wait) {
+                                std::this_thread::yield();
+                            }
+                        }
+                    },
+                    1);
+                done.fetch_add(1, std::memory_order_release);
+            });
+            spin_until(done, 1);
+            best = std::min(best, timer.seconds());
+        }
+        pool.set_mode(vb::SchedMode::stealing);
+        return best;
+    };
+
+    vb::bench::print_header("Nested parallel_for | inside a pool task");
+    std::printf("%10s %14s %14s\n", "series", "sharing (s)", "stealing (s)");
+    const double overlap_sharing =
+        nested_wall(vb::SchedMode::sharing, false);
+    const double overlap_stealing =
+        nested_wall(vb::SchedMode::stealing, false);
+    const double compute_sharing = nested_wall(vb::SchedMode::sharing, true);
+    const double compute_stealing =
+        nested_wall(vb::SchedMode::stealing, true);
+    const double overlap_speedup = overlap_sharing / overlap_stealing;
+    const double compute_speedup = compute_sharing / compute_stealing;
+    std::printf("%10s %14.6f %14.6f  (%.2fx)\n", "overlap", overlap_sharing,
+                overlap_stealing, overlap_speedup);
+    std::printf("%10s %14.6f %14.6f  (%.2fx)\n", "compute", compute_sharing,
+                compute_stealing, compute_speedup);
+
+    report.series("nested_wall/overlap_sharing", "lanes",
+                  {{static_cast<double>(lanes), overlap_sharing}}, "seconds");
+    report.series("nested_wall/overlap_stealing", "lanes",
+                  {{static_cast<double>(lanes), overlap_stealing}},
+                  "seconds");
+    // The gated headline: nested work must actually reach idle workers.
+    report.series("nested_speedup/overlap_stealing_vs_sharing", "lanes",
+                  {{static_cast<double>(lanes), overlap_speedup}}, "x");
+    // Hardware-bound (== 1 on a single-core machine): artifact only.
+    report.series("nested_speedup/compute_stealing_vs_sharing", "lanes",
+                  {{static_cast<double>(lanes), compute_speedup}}, "x");
+    report.config("overlap_speedup", overlap_speedup);
+
+    // -- Scenario 3: service mixed traffic -----------------------------
+    const auto pattern = vb::sparse::fem_block_matrix<double>(
+        quick ? 24 : 64, 2, 8, 2, 0.25, /*seed=*/101);
+    const int num_tenants = 3;
+    const int clients = 2;
+    const int requests_per_client = quick ? 8 : 32;
+    report.config("tenants", static_cast<vb::size_type>(num_tenants));
+    report.config("clients", static_cast<vb::size_type>(clients));
+    report.config("requests_per_client",
+                  static_cast<vb::size_type>(requests_per_client));
+
+    vb::service::SessionOptions soptions;
+    soptions.precond.backend = "lu";
+    soptions.precond.max_block_size = 16;
+    soptions.solver.method = "idr";
+    soptions.solver.rel_tol = 1e-6;
+    soptions.solver.max_iters = 2000;
+
+    vb::service::Engine engine;
+    std::vector<vb::service::SessionPtr<double>> sessions;
+    for (int t = 0; t < num_tenants; ++t) {
+        auto a = pattern;
+        a.set_values(std::span<const double>(
+            tenant_values(pattern, static_cast<std::size_t>(t))));
+        sessions.push_back(engine.open_session(std::move(a), soptions));
+    }
+
+    vb::bench::print_header("Service traffic | p50/p95/p99 per mode");
+    std::printf("%10s %12s %12s %12s\n", "mode", "p50 (s)", "p95 (s)",
+                "p99 (s)");
+
+    const auto traffic_percentiles = [&](vb::SchedMode mode) {
+        pool.set_mode(mode);
+        std::vector<std::vector<double>> latencies(
+            static_cast<std::size_t>(clients));
+        std::vector<std::thread> drivers;
+        for (int c = 0; c < clients; ++c) {
+            drivers.emplace_back([&, c] {
+                auto& lat = latencies[static_cast<std::size_t>(c)];
+                for (int r = 0; r < requests_per_client; ++r) {
+                    auto& session =
+                        *sessions[static_cast<std::size_t>(c + r) %
+                                  sessions.size()];
+                    vb::service::SolveRequest<double> request;
+                    if (r % 3 == 0) {
+                        request.values = tenant_values(
+                            session.matrix(),
+                            static_cast<std::size_t>(c + r));
+                    }
+                    request.rhs.assign(
+                        static_cast<std::size_t>(session.num_rows()), 1.0);
+                    vb::Timer t;
+                    auto response =
+                        session.submit(std::move(request)).get();
+                    if (response.accepted) {
+                        lat.push_back(t.seconds());
+                    }
+                }
+            });
+        }
+        for (auto& d : drivers) {
+            d.join();
+        }
+        engine.drain();
+        pool.set_mode(vb::SchedMode::stealing);
+        std::vector<double> all;
+        for (auto& lat : latencies) {
+            all.insert(all.end(), lat.begin(), lat.end());
+        }
+        return vb::summarize(std::move(all));
+    };
+
+    // Warm both paths once (plans resident, pool pages touched).
+    (void)traffic_percentiles(vb::SchedMode::stealing);
+    const auto sharing = traffic_percentiles(vb::SchedMode::sharing);
+    const auto stealing = traffic_percentiles(vb::SchedMode::stealing);
+    std::printf("%10s %12.6f %12.6f %12.6f\n", "sharing", sharing.p50,
+                sharing.p95, sharing.p99);
+    std::printf("%10s %12.6f %12.6f %12.6f\n", "stealing", stealing.p50,
+                stealing.p95, stealing.p99);
+
+    for (const auto& [name, s] :
+         {std::pair<const char*, const vb::Summary&>{"sharing", sharing},
+          {"stealing", stealing}}) {
+        report.series(std::string("service_latency/") + name, "percentile",
+                      {{50.0, s.p50}, {95.0, s.p95}, {99.0, s.p99}},
+                      "seconds");
+    }
+    // Gated: direct dispatch must not regress tail latency. > 1 means
+    // stealing is faster at the tail.
+    const double p99_ratio = sharing.p99 / stealing.p99;
+    report.series("service_p99_ratio/sharing_vs_stealing", "clients",
+                  {{static_cast<double>(clients), p99_ratio}}, "x");
+    std::printf("\np99 ratio sharing/stealing: %.2fx\n", p99_ratio);
+
+    if (overlap_speedup < 1.5) {
+        std::printf("WARNING: nested overlap speedup %.2fx below the 1.5x "
+                    "target\n",
+                    overlap_speedup);
+    }
+
+    report.write_if_enabled();
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 
 #include "base/macros.hpp"
 #include "obs/trace.hpp"
@@ -11,10 +12,47 @@ namespace vbatch {
 
 namespace {
 
-/// Set while the current thread runs a parallel_for body (worker or
-/// participating caller); nested parallel_for calls observe it and run
-/// inline instead of touching the single job slot.
+/// Set while the current thread runs a parallel_for body or a submitted
+/// task (worker or participating caller). In sharing mode nested
+/// parallel_for calls observe it and run inline instead of touching the
+/// single job slot; in stealing mode it only feeds in_worker().
 thread_local bool t_in_parallel_body = false;
+
+/// Set while an enclosing drain/run_range/run_task is already charging
+/// this thread's wall time to a participant stat slot; nested units then
+/// skip busy_ns (their time is inside the enclosing measurement) but
+/// still count their chunks.
+thread_local bool t_busy_timed = false;
+
+/// The calling thread's scheduling home on a particular pool: its deque
+/// slot and telemetry slot. Workers bind permanently in worker_loop;
+/// external threads bind for the duration of a root stealing
+/// parallel_for via a leased slot. Saved/restored around cross-pool
+/// calls, so a worker of pool A doing a root parallel_for on pool B
+/// binds to B only for that call.
+struct Binding {
+    const void* pool = nullptr;
+    std::size_t slot = 0;
+    std::size_t stat_slot = 0;
+};
+thread_local Binding t_binding;
+
+/// Per-thread xorshift state for randomized steal-victim selection
+/// (decorrelates thieves so they do not all hammer slot 0).
+thread_local std::uint64_t t_rng_state = 0;
+
+std::uint64_t next_rng(std::size_t seed_hint) {
+    if (t_rng_state == 0) {
+        t_rng_state = 0x9e3779b97f4a7c15ull ^
+                      (static_cast<std::uint64_t>(seed_hint) + 1);
+    }
+    std::uint64_t x = t_rng_state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    t_rng_state = x;
+    return x;
+}
 
 /// VBATCH_THREADS: positive integer = exact pool size for the global
 /// pool; unset/invalid = hardware_concurrency().
@@ -57,14 +95,29 @@ std::uint64_t to_ns(std::chrono::steady_clock::duration d) {
 
 }  // namespace
 
+SchedMode sched_mode_from_env() {
+    const char* env = std::getenv("VBATCH_SCHED");
+    if (env != nullptr && std::string_view(env) == "sharing") {
+        return SchedMode::sharing;
+    }
+    return SchedMode::stealing;
+}
+
 ThreadPool::ThreadPool(unsigned num_threads)
+    : ThreadPool(num_threads, sched_mode_from_env()) {}
+
+ThreadPool::ThreadPool(unsigned num_threads, SchedMode mode)
     : epoch_(std::chrono::steady_clock::now()) {
+    mode_.store(mode, std::memory_order_relaxed);
     if (num_threads == 0) {
         num_threads = std::max(1u, std::thread::hardware_concurrency());
     }
     stats_ = std::make_unique<ParticipantStat[]>(num_threads);
+    const std::size_t num_workers = num_threads - 1;
+    num_slots_ = num_workers + external_slots;
+    slots_ = std::make_unique<Slot[]>(num_slots_);
     // The calling thread always participates, so spawn one fewer worker.
-    workers_.reserve(num_threads - 1);
+    workers_.reserve(num_workers);
     for (unsigned i = 0; i + 1 < num_threads; ++i) {
         workers_.emplace_back([this, i] {
             obs::set_thread_name("vbatch-worker-" + std::to_string(i + 1));
@@ -77,18 +130,33 @@ ThreadPool::~ThreadPool() {
     {
         std::lock_guard<std::mutex> lock(mutex_);
         shutdown_ = true;
+        shutdown_flag_.store(true, std::memory_order_release);
     }
+    wake_epoch_.fetch_add(1, std::memory_order_seq_cst);
     cv_.notify_all();
     for (auto& w : workers_) {
         w.join();
     }
     // Workers bail out on shutdown even with tasks still queued; honor
     // the submit() contract (no task is ever lost) by draining the
-    // leftovers here, single-threaded.
+    // leftovers here, single-threaded: first the injection queue, then
+    // every per-worker task deque (safe now that all other threads are
+    // joined).
     while (!tasks_.empty()) {
-        auto task = std::move(tasks_.front());
+        auto node = std::move(tasks_.front());
         tasks_.pop_front();
-        run_task(task, 0);
+        run_task(node->fn, 0);
+    }
+    for (std::size_t s = 0; s < num_slots_; ++s) {
+        while (TaskNode* node = slots_[s].tasks.pop()) {
+            run_task(node->fn, 0);
+            delete node;
+        }
+        // Range tasks cannot legitimately outlive their (stack-held,
+        // joined) job; free any stragglers without touching the job.
+        while (RangeTask* r = slots_[s].ranges.pop()) {
+            delete r;
+        }
     }
     if (is_global_source_) {
         obs::Registry::global().set_pool_telemetry_source(nullptr);
@@ -122,12 +190,324 @@ size_type ThreadPool::check_range(size_type begin, size_type end) {
     std::abort();  // unreachable; ENSURE throws
 }
 
+// ---------------------------------------------------------------------
+// Wake protocol (shared by both modes)
+// ---------------------------------------------------------------------
+
+void ThreadPool::publish_wake() {
+    wake_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    // Dekker-style handshake with park()/join_job(): a sleeper first
+    // increments sleepers_ (seq_cst), then re-reads the epoch before
+    // blocking. If we read sleepers_ == 0 here, the sleeper's increment
+    // is later in the seq_cst order than our epoch bump, so its re-read
+    // sees the new epoch and it never blocks. If we read > 0, the
+    // notify below (taken after the mutex, so ordered with the
+    // sleeper's predicate check) wakes it.
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+        { std::lock_guard<std::mutex> lock(mutex_); }
+        cv_.notify_all();
+    }
+}
+
+bool ThreadPool::park(std::uint64_t seen_epoch) {
+    if (pool_stats_on()) {
+        parks_.fetch_add(1, std::memory_order_relaxed);
+    }
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+            return shutdown_ || !tasks_.empty() ||
+                   wake_epoch_.load(std::memory_order_seq_cst) !=
+                       seen_epoch;
+        });
+    }
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    return !shutdown_flag_.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------
+// Stealing engine
+// ---------------------------------------------------------------------
+
+void ThreadPool::run_range(StealJob& job, size_type lo, size_type hi,
+                           std::size_t slot, std::size_t stat_slot) {
+    const size_type grain = job.grain;
+    const bool was_in_body = t_in_parallel_body;
+    t_in_parallel_body = true;
+    const bool stats = pool_stats_on();
+    const bool timer = stats && !t_busy_timed;
+    if (timer) {
+        t_busy_timed = true;
+    }
+    const auto t0 = timer ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+    std::uint64_t chunks = 0;
+    while (lo < hi) {
+        if (hi - lo > grain && slots_[slot].ranges.empty()) {
+            // Lazy binary split: our deque being empty means thieves (or
+            // our own progress) consumed everything stealable, so expose
+            // the upper half. The midpoint is grain-aligned relative to
+            // the job origin, which keeps every executed chunk on the
+            // same {origin + m*grain} boundaries as the sharing pool's
+            // fetch_add decomposition -- the determinism invariant.
+            const size_type nchunks = (hi - lo + grain - 1) / grain;
+            const size_type mid = lo + (nchunks / 2) * grain;
+            slots_[slot].ranges.push(new RangeTask{&job, mid, hi});
+            if (stats) {
+                splits_.fetch_add(1, std::memory_order_relaxed);
+            }
+            publish_wake();
+            hi = mid;
+            continue;
+        }
+        const size_type chunk_hi = std::min(lo + grain, hi);
+        for (size_type k = lo; k < chunk_hi; ++k) {
+            job.body(job.begin + k);
+        }
+        const size_type done = chunk_hi - lo;
+        lo = chunk_hi;
+        ++chunks;
+        if (job.remaining.fetch_sub(done, std::memory_order_acq_rel) ==
+            done) {
+            // Last iterations of the whole job just retired: wake the
+            // root's join. Only pool-owned state is touched from here
+            // on -- the joiner may already be destroying the job.
+            publish_wake();
+        }
+    }
+    t_in_parallel_body = was_in_body;
+    if (stats) {
+        if (timer) {
+            t_busy_timed = false;
+            stats_[stat_slot].busy_ns.fetch_add(
+                to_ns(std::chrono::steady_clock::now() - t0),
+                std::memory_order_relaxed);
+        }
+        stats_[stat_slot].chunks.fetch_add(chunks,
+                                           std::memory_order_relaxed);
+    }
+}
+
+void ThreadPool::execute_range(RangeTask* task, std::size_t slot,
+                               std::size_t stat_slot) {
+    StealJob* job = task->job;
+    const size_type lo = task->lo;
+    const size_type hi = task->hi;
+    delete task;
+    run_range(*job, lo, hi, slot, stat_slot);
+}
+
+bool ThreadPool::run_one_own_range(std::size_t slot,
+                                   std::size_t stat_slot) {
+    RangeTask* task = slots_[slot].ranges.pop();
+    if (task == nullptr) {
+        return false;
+    }
+    execute_range(task, slot, stat_slot);
+    return true;
+}
+
+int ThreadPool::try_steal_range(std::size_t slot, std::size_t stat_slot) {
+    bool contended = false;
+    const std::size_t n = num_slots_;
+    const std::size_t start =
+        static_cast<std::size_t>(next_rng(slot) % n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t victim = (start + k) % n;
+        if (victim == slot) {
+            continue;
+        }
+        RangeTask* task = nullptr;
+        switch (slots_[victim].ranges.steal(&task)) {
+        case StealResult::got:
+            if (pool_stats_on()) {
+                steals_.fetch_add(1, std::memory_order_relaxed);
+            }
+            execute_range(task, slot, stat_slot);
+            return 1;
+        case StealResult::abort:
+            contended = true;
+            if (pool_stats_on()) {
+                steal_fails_.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+        case StealResult::empty:
+            break;
+        }
+    }
+    return contended ? -1 : 0;
+}
+
+int ThreadPool::try_steal_task(std::size_t slot, std::size_t stat_slot) {
+    bool contended = false;
+    const std::size_t n = num_slots_;
+    const std::size_t start =
+        static_cast<std::size_t>(next_rng(slot) % n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t victim = (start + k) % n;
+        if (victim == slot) {
+            continue;
+        }
+        TaskNode* node = nullptr;
+        switch (slots_[victim].tasks.steal(&node)) {
+        case StealResult::got:
+            if (pool_stats_on()) {
+                steals_.fetch_add(1, std::memory_order_relaxed);
+            }
+            run_task(node->fn, stat_slot);
+            delete node;
+            return 1;
+        case StealResult::abort:
+            contended = true;
+            if (pool_stats_on()) {
+                steal_fails_.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+        case StealResult::empty:
+            break;
+        }
+    }
+    return contended ? -1 : 0;
+}
+
+bool ThreadPool::run_one_injected_task(std::size_t stat_slot) {
+    std::unique_ptr<TaskNode> node;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tasks_.empty()) {
+            return false;
+        }
+        node = std::move(tasks_.front());
+        tasks_.pop_front();
+    }
+    run_task(node->fn, stat_slot);
+    return true;
+}
+
+void ThreadPool::join_job(StealJob& job, std::size_t slot,
+                          std::size_t stat_slot) {
+    // Help until every iteration of `job` has retired. A joiner only
+    // ever executes *range* tasks -- running a stolen function task here
+    // could re-enter a lock the enclosing task already holds (e.g. two
+    // same-session service jobs nested on one stack).
+    for (;;) {
+        if (job.remaining.load(std::memory_order_acquire) == 0) {
+            return;
+        }
+        const std::uint64_t e0 =
+            wake_epoch_.load(std::memory_order_seq_cst);
+        if (run_one_own_range(slot, stat_slot)) {
+            continue;
+        }
+        const int stole = try_steal_range(slot, stat_slot);
+        if (stole != 0) {
+            continue;  // ran something, or contended: rescan
+        }
+        // Clean all-empty sweep: the unfinished iterations are inside
+        // other threads' run_range calls. They will either split (epoch
+        // bump) or retire the last iteration (epoch bump), so sleeping
+        // on the epoch cannot miss the completion.
+        if (job.remaining.load(std::memory_order_acquire) == 0) {
+            return;
+        }
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] {
+                return wake_epoch_.load(std::memory_order_seq_cst) !=
+                           e0 ||
+                       job.remaining.load(std::memory_order_relaxed) ==
+                           0;
+            });
+        }
+        sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+std::size_t ThreadPool::acquire_external_slot() {
+    for (std::size_t s = workers_.size(); s < num_slots_; ++s) {
+        bool expected = false;
+        if (slots_[s].leased.compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+            return s;
+        }
+    }
+    return num_slots_;  // all leased: caller falls back to inline
+}
+
+void ThreadPool::drain_leftover_ranges(std::size_t slot,
+                                       std::size_t stat_slot) {
+    // An exiting external joiner may hold ranges of *other* jobs it
+    // split while helping. Its slot becomes owner-less on release, and
+    // a stranded range would only move if some thread happened to sweep
+    // past -- so execute them now. (Invariant: a non-empty deque always
+    // has an active owner or an imminent thief.)
+    while (run_one_own_range(slot, stat_slot)) {
+    }
+}
+
+void ThreadPool::run_stealing(size_type begin, size_type end,
+                              FunctionRef<void(size_type)> body,
+                              size_type grain) {
+    const size_type n = end - begin;
+    std::size_t slot;
+    std::size_t stat_slot;
+    const Binding saved = t_binding;
+    bool leased = false;
+    if (t_binding.pool == this) {
+        slot = t_binding.slot;
+        stat_slot = t_binding.stat_slot;
+    } else {
+        slot = acquire_external_slot();
+        if (slot == num_slots_) {
+            // Every external slot is leased by a concurrent caller: run
+            // inline. Correct (just not accelerated), and counted so
+            // vbatch_prof shows the pressure.
+            if (pool_stats_on()) {
+                const auto t0 = std::chrono::steady_clock::now();
+                for (size_type i = begin; i < end; ++i) {
+                    body(i);
+                }
+                note_inline_run(std::chrono::steady_clock::now() - t0);
+                return;
+            }
+            for (size_type i = begin; i < end; ++i) {
+                body(i);
+            }
+            return;
+        }
+        stat_slot = 0;
+        t_binding = Binding{this, slot, stat_slot};
+        leased = true;
+    }
+    StealJob job(body, begin, grain, n);
+    run_range(job, 0, n, slot, stat_slot);
+    join_job(job, slot, stat_slot);
+    if (leased) {
+        drain_leftover_ranges(slot, stat_slot);
+        t_binding = saved;
+        slots_[slot].leased.store(false, std::memory_order_release);
+    }
+    if (pool_stats_on()) {
+        dispatches_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy (sharing) engine
+// ---------------------------------------------------------------------
+
 void ThreadPool::drain(ParallelJob& job, ParticipantStat* stat) {
     const size_type grain = job.grain;
     const bool was_in_body = t_in_parallel_body;
     t_in_parallel_body = true;
     const bool stats = pool_stats_on() && stat != nullptr;
-    const auto t0 = stats ? std::chrono::steady_clock::now()
+    const bool timer = stats && !t_busy_timed;
+    if (timer) {
+        t_busy_timed = true;
+    }
+    const auto t0 = timer ? std::chrono::steady_clock::now()
                           : std::chrono::steady_clock::time_point{};
     size_type claimed = 0;
     std::uint64_t chunks = 0;
@@ -146,9 +526,12 @@ void ThreadPool::drain(ParallelJob& job, ParticipantStat* stat) {
     }
     t_in_parallel_body = was_in_body;
     if (stats) {
-        stat->busy_ns.fetch_add(
-            to_ns(std::chrono::steady_clock::now() - t0),
-            std::memory_order_relaxed);
+        if (timer) {
+            t_busy_timed = false;
+            stat->busy_ns.fetch_add(
+                to_ns(std::chrono::steady_clock::now() - t0),
+                std::memory_order_relaxed);
+        }
         stat->chunks.fetch_add(chunks, std::memory_order_relaxed);
         atomic_max(job.max_claimed, claimed);
     }
@@ -156,95 +539,165 @@ void ThreadPool::drain(ParallelJob& job, ParticipantStat* stat) {
 
 void ThreadPool::note_inline_run(
     std::chrono::steady_clock::duration elapsed) {
-    stats_[0].busy_ns.fetch_add(to_ns(elapsed), std::memory_order_relaxed);
-    stats_[0].chunks.fetch_add(1, std::memory_order_relaxed);
+    // Nested inline runs land on whatever participant is executing
+    // (worker stat slots via the thread binding), not blindly on slot 0
+    // -- that blindness was the old undercount that made nested work
+    // invisible to vbatch_prof. busy_ns is skipped when an enclosing
+    // unit is already charging this thread's time.
+    const std::size_t s =
+        t_binding.pool == this ? t_binding.stat_slot : 0;
+    if (!t_busy_timed) {
+        stats_[s].busy_ns.fetch_add(to_ns(elapsed),
+                                    std::memory_order_relaxed);
+    }
+    stats_[s].chunks.fetch_add(1, std::memory_order_relaxed);
     inline_runs_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ThreadPool::run_task(std::function<void()>& task,
                           std::size_t stat_slot) {
-    // Tasks execute with the nested-parallelism flag raised: parallel_for
-    // inside a task inlines on this thread, keeping the task internally
-    // sequential (bitwise-deterministic) while distinct tasks spread
-    // across workers.
+    // Tasks execute with the worker flag raised. In sharing mode that
+    // makes parallel_for inside a task inline on this thread (the
+    // legacy job slot is not reentrant); in stealing mode nested calls
+    // dispatch normally and the flag only feeds in_worker().
     const bool was_in_body = t_in_parallel_body;
     t_in_parallel_body = true;
     const bool stats = pool_stats_on();
-    const auto t0 = stats ? std::chrono::steady_clock::now()
+    const bool timer = stats && !t_busy_timed;
+    if (timer) {
+        t_busy_timed = true;
+    }
+    const auto t0 = timer ? std::chrono::steady_clock::now()
                           : std::chrono::steady_clock::time_point{};
     task();
     t_in_parallel_body = was_in_body;
     if (stats) {
-        stats_[stat_slot].busy_ns.fetch_add(
-            to_ns(std::chrono::steady_clock::now() - t0),
-            std::memory_order_relaxed);
+        if (timer) {
+            t_busy_timed = false;
+            stats_[stat_slot].busy_ns.fetch_add(
+                to_ns(std::chrono::steady_clock::now() - t0),
+                std::memory_order_relaxed);
+        }
         stats_[stat_slot].chunks.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
     VBATCH_ENSURE(task != nullptr, "null task submitted");
-    if (!workers_.empty()) {
-        bool queued = false;
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (!shutdown_) {
-                tasks_.push_back(std::move(task));
-                queued = true;
-            }
-        }
-        if (queued) {
-            cv_.notify_one();
-            return;
+    if (workers_.empty()) {
+        // No workers (size() == 1): run inline rather than queueing a
+        // task nobody would drain before destruction.
+        run_task(task, 0);
+        return;
+    }
+    if (mode() == SchedMode::stealing && t_binding.pool == this &&
+        t_binding.slot < workers_.size()) {
+        // Worker-side submit: lock-free push onto our own task deque.
+        // (External threads use the injection queue below -- a leased
+        // slot's deque loses its owner when the lease ends, so function
+        // tasks never live there.)
+        slots_[t_binding.slot].tasks.push(
+            new TaskNode{std::move(task)});
+        publish_wake();
+        return;
+    }
+    bool queued = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!shutdown_) {
+            tasks_.push_back(
+                std::make_unique<TaskNode>(TaskNode{std::move(task)}));
+            queued = true;
         }
     }
-    // No workers (size() == 1) or destructor already triggered: run
-    // inline rather than silently dropping the task.
+    if (queued) {
+        publish_wake();
+        return;
+    }
+    // Destructor already triggered: run inline rather than dropping.
     run_task(task, 0);
 }
 
 size_type ThreadPool::queued_tasks() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return static_cast<size_type>(tasks_.size());
+    size_type n = static_cast<size_type>(tasks_.size());
+    for (std::size_t s = 0; s < num_slots_; ++s) {
+        n += slots_[s].tasks.approx_size();
+    }
+    return n;
+}
+
+ThreadPool::ParallelJob* ThreadPool::try_adopt_legacy_job(
+    std::uint64_t& seen_epoch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job_ == nullptr || job_epoch_ == seen_epoch) {
+        return nullptr;
+    }
+    // Register on the job *before* releasing the lock: the posting
+    // caller retires the job only after every registered worker has
+    // decremented back out.
+    seen_epoch = job_epoch_;
+    job_->active_workers.fetch_add(1, std::memory_order_relaxed);
+    return job_;
 }
 
 void ThreadPool::worker_loop(std::size_t stat_slot) {
-    std::uint64_t seen_epoch = 0;
+    const std::size_t slot = stat_slot - 1;
+    t_binding = Binding{this, slot, stat_slot};
+    std::uint64_t seen_job_epoch = 0;
+    // One unified loop services both disciplines, so set_mode only has
+    // to redirect publishers. Priority: the latency-sensitive legacy
+    // job slot, then cache-hot own ranges, stolen ranges, own tasks,
+    // stolen tasks, the injection queue -- and park only after a sweep
+    // that saw everything empty with no steal contention.
     for (;;) {
-        ParallelJob* job = nullptr;
-        std::function<void()> task;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [&] {
-                return shutdown_ ||
-                       (job_ != nullptr && job_epoch_ != seen_epoch) ||
-                       !tasks_.empty();
-            });
-            if (shutdown_) {
-                return;
-            }
-            if (job_ != nullptr && job_epoch_ != seen_epoch) {
-                // A latency-sensitive parallel_for outranks queued tasks.
-                // Register on the job *before* releasing the lock: the
-                // posting caller retires the job only after every
-                // registered worker has decremented back out.
-                job = job_;
-                seen_epoch = job_epoch_;
-                job->active_workers.fetch_add(1, std::memory_order_relaxed);
-            } else {
-                task = std::move(tasks_.front());
-                tasks_.pop_front();
+        if (shutdown_flag_.load(std::memory_order_acquire)) {
+            return;
+        }
+        const std::uint64_t e0 =
+            wake_epoch_.load(std::memory_order_seq_cst);
+        bool progress = false;
+        bool contended = false;
+        if (legacy_jobs_pending_.load(std::memory_order_acquire) > 0) {
+            if (ParallelJob* job = try_adopt_legacy_job(seen_job_epoch)) {
+                drain(*job, &stats_[stat_slot]);
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    job->active_workers.fetch_sub(
+                        1, std::memory_order_relaxed);
+                }
+                done_cv_.notify_all();
+                progress = true;
             }
         }
-        if (job != nullptr) {
-            drain(*job, &stats_[stat_slot]);
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                job->active_workers.fetch_sub(1, std::memory_order_relaxed);
+        if (!progress) {
+            progress = run_one_own_range(slot, stat_slot);
+        }
+        if (!progress) {
+            const int r = try_steal_range(slot, stat_slot);
+            progress = r == 1;
+            contended = contended || r == -1;
+        }
+        if (!progress) {
+            if (TaskNode* node = slots_[slot].tasks.pop()) {
+                run_task(node->fn, stat_slot);
+                delete node;
+                progress = true;
             }
-            done_cv_.notify_all();
-        } else {
-            run_task(task, stat_slot);
+        }
+        if (!progress) {
+            const int r = try_steal_task(slot, stat_slot);
+            progress = r == 1;
+            contended = contended || r == -1;
+        }
+        if (!progress) {
+            progress = run_one_injected_task(stat_slot);
+        }
+        if (progress || contended) {
+            continue;
+        }
+        if (!park(e0)) {
+            return;
         }
     }
 }
@@ -271,8 +724,9 @@ void ThreadPool::run_parallel(size_type begin, size_type end,
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &job;
         ++job_epoch_;
+        legacy_jobs_pending_.fetch_add(1, std::memory_order_relaxed);
     }
-    cv_.notify_all();
+    publish_wake();
     drain(job, &stats_[0]);
     // Wait for workers still inside drain() before the job leaves scope.
     {
@@ -283,6 +737,7 @@ void ThreadPool::run_parallel(size_type begin, size_type end,
         if (job_ == &job) {
             job_ = nullptr;  // a concurrent caller may have replaced it
         }
+        legacy_jobs_pending_.fetch_sub(1, std::memory_order_relaxed);
     }
     if (pool_stats_on()) {
         dispatches_.fetch_add(1, std::memory_order_relaxed);
@@ -293,7 +748,9 @@ void ThreadPool::run_parallel(size_type begin, size_type end,
         const auto n = static_cast<std::uint64_t>(job.end);
         if (n > 0 && max_claimed > 0) {
             // Imbalance = max claimed / fair share, in permille so the
-            // accumulator stays integral.
+            // accumulator stays integral. (Sharing mode only: stealing
+            // balances by construction, and its steal/split counters
+            // tell the distribution story instead.)
             const std::uint64_t permille =
                 max_claimed * participants * 1000 / n;
             imbalance_last_permille_.store(permille,
@@ -325,6 +782,14 @@ obs::PoolTelemetry ThreadPool::telemetry() const {
         dispatches_.load(std::memory_order_relaxed));
     t.inline_runs = static_cast<size_type>(
         inline_runs_.load(std::memory_order_relaxed));
+    t.steals =
+        static_cast<size_type>(steals_.load(std::memory_order_relaxed));
+    t.steal_fails = static_cast<size_type>(
+        steal_fails_.load(std::memory_order_relaxed));
+    t.splits =
+        static_cast<size_type>(splits_.load(std::memory_order_relaxed));
+    t.parks =
+        static_cast<size_type>(parks_.load(std::memory_order_relaxed));
     const auto disp = dispatches_.load(std::memory_order_relaxed);
     t.mean_imbalance =
         disp > 0 ? static_cast<double>(imbalance_sum_permille_.load(

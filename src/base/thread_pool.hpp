@@ -1,34 +1,47 @@
-// Minimal work-sharing thread pool used to dispatch independent batch
-// entries across host cores.
+// Host scheduler for the batched kernels: a thread pool with two
+// interchangeable dispatch disciplines behind one parallel_for/submit
+// API.
+//
+//  * stealing (default): per-worker Chase-Lev deques (work_deque.hpp).
+//    parallel_for publishes lazily split half-ranges that idle workers
+//    steal, so a call nested inside a pool task -- every service-layer
+//    solve -- spreads across idle threads instead of degrading to
+//    sequential execution. submit() pushes fire-and-forget tasks onto
+//    the submitting worker's own deque (lock-free) or, from external
+//    threads, onto a shared injection queue.
+//  * sharing (legacy, VBATCH_SCHED=sharing): the original single
+//    mutex-guarded job slot + task queue. Nested parallel_for runs
+//    inline-sequential. Kept selectable for A/B comparison
+//    (bench_scheduler) and as an escape hatch.
+//
+// Determinism is preserved by construction in both modes: the chunk
+// decomposition of a parallel_for range is a pure function of (n, grain)
+// -- grain-sized chunks at grain-aligned offsets -- and only the
+// chunk->thread assignment is dynamic. Every parallel reduction in the
+// tree (blas/blas1.hpp, sparse spmv) combines fixed-index per-chunk
+// partials in order, so results are bitwise identical across scheduler
+// modes, thread counts, and steal interleavings (proven cross-process by
+// tests/determinism_probe fixtures over VBATCH_SCHED x VBATCH_THREADS).
 //
 // Design notes (CP.4, CP.3): users submit *tasks* via parallel_for; the
-// pool never exposes raw threads. Tasks must not share writable state --
-// the batched kernels satisfy this by construction because every batch
-// entry owns a disjoint slice of the storage.
+// pool never exposes raw threads. parallel_for bodies must not share
+// writable state across distinct indices -- the batched kernels satisfy
+// this by construction because every batch entry owns a disjoint slice
+// of the storage. Range subtasks carry only (job*, lo, hi), so any
+// thread may execute any pending range: a blocked join helps by running
+// stolen ranges. Fire-and-forget *function* tasks, in contrast, may
+// take locks (a service job holds its session mutex), so they are only
+// ever started from a worker's top-level loop, never from inside a
+// join -- nesting two same-session jobs on one stack would self-deadlock.
 //
-// Hot-path properties of parallel_for:
+// Hot-path properties of parallel_for (both modes):
 //  - Ranges at or below one grain run inline on the calling thread: no
-//    mutex, no condition variable, no type-erasure allocation. Small
-//    per-block solves therefore cost exactly the loop body.
+//    mutex, no wake, no type-erasure allocation. Small per-block solves
+//    cost exactly the loop body (plus, when VBATCH_POOL_STATS is armed,
+//    one relaxed stat update -- nested inline runs are accounted to the
+//    executing participant's slot so vbatch_prof sees nested work).
 //  - The callable is passed by FunctionRef, so no std::function is ever
-//    constructed (the old signature heap-allocated one per call).
-//  - Calls nested inside a worker body run inline as well; the pool has a
-//    single job slot and is not reentrant, so nested parallelism must
-//    degrade to sequential execution instead of deadlocking.
-//
-// Concurrency model: parallel_for may be called from any number of
-// external threads at once. The job slot holds the *latest* posted job;
-// workers adopt whatever job is current, register themselves on it, and
-// a posting caller only waits for workers actually registered on *its*
-// job -- so concurrent callers never deadlock waiting for workers that
-// are busy elsewhere (they just get less help).
-//
-// Fire-and-forget tasks: submit() enqueues an independent task that one
-// worker will run to completion. Tasks run with the nested-parallelism
-// flag set, so any parallel_for inside a task executes inline on that
-// worker -- many independent tasks parallelize across workers while each
-// task stays internally sequential (and therefore deterministic). This
-// is the substrate the service-layer job engine schedules solves on.
+//    constructed.
 #pragma once
 
 #include <algorithm>
@@ -45,6 +58,7 @@
 
 #include "base/function_ref.hpp"
 #include "base/types.hpp"
+#include "base/work_deque.hpp"
 #include "obs/metrics.hpp"
 
 namespace vbatch {
@@ -70,11 +84,23 @@ inline bool pool_stats_on() noexcept {
 /// back to the automatic n/(8*threads) choice).
 inline constexpr size_type batch_entry_grain = 64;
 
+/// Scheduling discipline of a ThreadPool (see the header comment).
+enum class SchedMode {
+    stealing,  ///< per-worker deques, reentrant nested parallel_for
+    sharing,   ///< legacy single job slot, nested calls run inline
+};
+
+/// VBATCH_SCHED: "sharing" selects the legacy pool; anything else
+/// (unset, "stealing") selects the work-stealing scheduler.
+SchedMode sched_mode_from_env();
+
 class ThreadPool {
 public:
     /// Create a pool with `num_threads` workers; 0 means
-    /// hardware_concurrency() (at least 1).
+    /// hardware_concurrency() (at least 1). The mode defaults to the
+    /// VBATCH_SCHED environment probe.
     explicit ThreadPool(unsigned num_threads = 0);
+    ThreadPool(unsigned num_threads, SchedMode mode);
 
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
@@ -85,14 +111,32 @@ public:
         return static_cast<unsigned>(workers_.size()) + 1;  // + caller
     }
 
-    /// Run body(i) for every i in [begin, end). Blocks until all iterations
-    /// are done. Iterations are distributed in contiguous chunks of
-    /// `grain` (0 = choose automatically). The calling thread participates.
-    /// body must be safe to invoke concurrently for distinct i.
+    SchedMode mode() const noexcept {
+        return mode_.load(std::memory_order_relaxed);
+    }
+
+    /// Switch the dispatch discipline. The caller must have quiesced the
+    /// pool (no parallel_for in flight, no outstanding tasks); the
+    /// workers themselves service both disciplines at all times, so the
+    /// switch only redirects where *new* work is published. Used by
+    /// bench_scheduler for in-process A/B runs.
+    void set_mode(SchedMode mode) noexcept {
+        mode_.store(mode, std::memory_order_relaxed);
+    }
+
+    /// Run body(i) for every i in [begin, end). Blocks until all
+    /// iterations are done. Iterations are distributed in contiguous
+    /// chunks of `grain` (0 = choose automatically); the decomposition
+    /// into chunks depends only on (n, grain), never on the scheduler
+    /// mode or on which thread runs a chunk. The calling thread
+    /// participates. body must be safe to invoke concurrently for
+    /// distinct i.
     ///
-    /// Ranges that fit in one grain -- and any call made from inside a
-    /// pool worker -- execute inline on the calling thread without paying
-    /// for dispatch.
+    /// Ranges that fit in one grain execute inline on the calling thread
+    /// without paying for dispatch. In sharing mode any call made from
+    /// inside a pool worker also runs inline (the legacy single job slot
+    /// is not reentrant); in stealing mode nested calls dispatch like
+    /// any other and their half-ranges are stolen by idle workers.
     template <typename F>
     void parallel_for(size_type begin, size_type end, const F& body,
                       size_type grain = 0) {
@@ -103,13 +147,14 @@ public:
         }
         if (grain <= 0) {
             // Aim for ~8 chunks per participant to balance load without
-            // excessive atomic traffic; never chop finer than a handful of
-            // iterations, which would be pure dispatch overhead.
+            // excessive atomic traffic; never chop finer than a handful
+            // of iterations, which would be pure dispatch overhead.
             grain = std::max<size_type>(auto_grain_floor,
                                         n / (8 * size()));
         }
-        if (workers_.empty() || n <= grain || in_worker()) {
-            if (pool_stats_on() && !in_worker()) {
+        const bool sharing = mode() == SchedMode::sharing;
+        if (workers_.empty() || n <= grain || (sharing && in_worker())) {
+            if (pool_stats_on()) {
                 const auto t0 = std::chrono::steady_clock::now();
                 for (size_type i = begin; i < end; ++i) {
                     body(i);
@@ -122,7 +167,13 @@ public:
             }
             return;
         }
-        run_parallel(begin, end, FunctionRef<void(size_type)>(body), grain);
+        if (sharing) {
+            run_parallel(begin, end, FunctionRef<void(size_type)>(body),
+                         grain);
+        } else {
+            run_stealing(begin, end, FunctionRef<void(size_type)>(body),
+                         grain);
+        }
     }
 
     /// Enqueue an independent task for asynchronous execution by one
@@ -131,39 +182,52 @@ public:
     /// must not throw. With no workers (size() == 1) the task runs
     /// inline before submit returns. Tasks still queued at destruction
     /// run on the destroying thread, so a submitted task is never lost.
+    ///
+    /// Stealing mode: a submit from a pool worker pushes onto that
+    /// worker's own deque (lock-free); external submitters go through
+    /// the shared injection queue. Sharing mode: always the queue.
     void submit(std::function<void()> task);
 
-    /// Tasks accepted by submit() but not yet started (diagnostics).
+    /// Tasks accepted by submit() but not yet started (diagnostics;
+    /// includes per-worker deque contents in stealing mode).
     size_type queued_tasks() const;
 
     /// The process-wide default pool. Sized by the VBATCH_THREADS
     /// environment variable when set to a positive integer, else to the
-    /// hardware. Results of every vbatch parallel kernel are bitwise
-    /// independent of this size (deterministic chunked reductions), so
-    /// VBATCH_THREADS only trades latency, never accuracy.
+    /// hardware; scheduled per VBATCH_SCHED. Results of every vbatch
+    /// parallel kernel are bitwise independent of both knobs
+    /// (deterministic chunked decomposition + in-order combination), so
+    /// they only trade latency, never accuracy.
     static ThreadPool& global();
 
-    /// True while the calling thread is executing a parallel_for body on
-    /// behalf of this process's pools (nested calls run inline).
+    /// True while the calling thread is executing a parallel_for body or
+    /// a submitted task on behalf of this process's pools.
     static bool in_worker() noexcept;
 
-    /// Programmatic switch for busy/idle + imbalance collection (the
-    /// VBATCH_POOL_STATS environment variable arms the same flag at
+    /// Programmatic switch for busy/idle + steal/split/park collection
+    /// (the VBATCH_POOL_STATS environment variable arms the same flag at
     /// startup). Counters accumulate from pool construction; arming
     /// mid-run under-reports utilization for the un-instrumented past.
     static void set_stats_enabled(bool on) noexcept;
 
-    /// Snapshot this pool's utilization telemetry. Busy seconds and
-    /// dispatch counts are only collected while stats are armed;
+    /// Snapshot this pool's utilization telemetry. Busy seconds, steal
+    /// and dispatch counts are only collected while stats are armed;
     /// workers/wall_seconds are always valid.
     obs::PoolTelemetry telemetry() const;
 
 private:
     /// Floor for the automatically chosen grain: below this many
-    /// iterations per chunk the fetch_add + cache-miss cost of claiming a
-    /// chunk rivals the work itself.
+    /// iterations per chunk the fetch_add + cache-miss cost of claiming
+    /// a chunk rivals the work itself.
     static constexpr size_type auto_grain_floor = 16;
 
+    /// Deque slots available to external (non-worker) threads whose
+    /// root parallel_for needs a stealable home for its half-ranges.
+    /// Concurrent external callers beyond this fall back to inline
+    /// execution (correct, just not accelerated).
+    static constexpr std::size_t external_slots = 16;
+
+    // -- legacy (sharing) structures ----------------------------------
     struct ParallelJob {
         const FunctionRef<void(size_type)>* body = nullptr;
         size_type begin = 0;
@@ -175,7 +239,47 @@ private:
         std::atomic<size_type> max_claimed{0};
     };
 
-    /// Per-participant telemetry slot (slot 0 = the calling thread /
+    // -- stealing structures ------------------------------------------
+    /// One parallel_for in flight: lives on the root caller's stack for
+    /// the duration of the (blocking) call, so range subtasks may refer
+    /// to it by pointer. `remaining` counts not-yet-executed iterations;
+    /// the thread that retires the last iteration publishes a pool-wide
+    /// wake so the root's join can return.
+    struct StealJob {
+        StealJob(FunctionRef<void(size_type)> b, size_type begin_,
+                 size_type grain_, size_type n)
+            : body(b), begin(begin_), grain(grain_), remaining(n) {}
+        const FunctionRef<void(size_type)> body;
+        const size_type begin;
+        const size_type grain;
+        std::atomic<size_type> remaining;
+    };
+
+    /// A stealable half-open range [lo, hi) of `job` (job-relative
+    /// indices). Heap-allocated at split time, freed by the executor.
+    struct RangeTask {
+        StealJob* job;
+        size_type lo;
+        size_type hi;
+    };
+
+    /// A fire-and-forget task node (owning; freed by the executor).
+    struct TaskNode {
+        std::function<void()> fn;
+    };
+
+    /// Per-thread scheduling home: a range deque (parallel_for splits)
+    /// and a task deque (worker-submitted function tasks). Workers own
+    /// slots [0, workers); external root callers lease slots beyond
+    /// that. Cache-line aligned so owner push/pop never false-shares
+    /// with a neighbour.
+    struct alignas(64) Slot {
+        WorkDeque<RangeTask> ranges;
+        WorkDeque<TaskNode> tasks;
+        std::atomic<bool> leased{false};  // external slots only
+    };
+
+    /// Per-participant telemetry slot (slot 0 = external callers /
     /// inline fast path, slot i+1 = worker i). Cache-line sized so
     /// armed recording never bounces lines between participants.
     struct alignas(64) ParticipantStat {
@@ -187,24 +291,63 @@ private:
                                               size_type end);
     void run_parallel(size_type begin, size_type end,
                       FunctionRef<void(size_type)> body, size_type grain);
+    void run_stealing(size_type begin, size_type end,
+                      FunctionRef<void(size_type)> body, size_type grain);
     void worker_loop(std::size_t stat_slot);
     void drain(ParallelJob& job, ParticipantStat* stat);
     void run_task(std::function<void()>& task, std::size_t stat_slot);
     void note_inline_run(std::chrono::steady_clock::duration elapsed);
 
+    // -- stealing engine (thread_pool.cpp) ----------------------------
+    void run_range(StealJob& job, size_type lo, size_type hi,
+                   std::size_t slot, std::size_t stat_slot);
+    void execute_range(RangeTask* task, std::size_t slot,
+                       std::size_t stat_slot);
+    void join_job(StealJob& job, std::size_t slot, std::size_t stat_slot);
+    bool run_one_own_range(std::size_t slot, std::size_t stat_slot);
+    /// 1 = ran something, 0 = all observably empty, -1 = contended
+    /// (lost a CAS race; do not park, rescan instead).
+    int try_steal_range(std::size_t slot, std::size_t stat_slot);
+    int try_steal_task(std::size_t slot, std::size_t stat_slot);
+    bool run_one_injected_task(std::size_t stat_slot);
+    void drain_leftover_ranges(std::size_t slot, std::size_t stat_slot);
+    std::size_t acquire_external_slot();
+    void publish_wake();
+    bool park(std::uint64_t seen_epoch);  // false = shutting down
+    ParallelJob* try_adopt_legacy_job(std::uint64_t& seen_epoch);
+
     std::vector<std::thread> workers_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
+    std::atomic<SchedMode> mode_{SchedMode::stealing};
     ParallelJob* job_ = nullptr;     // guarded by mutex_; latest job
     std::uint64_t job_epoch_ = 0;    // guarded by mutex_
     bool shutdown_ = false;          // guarded by mutex_
-    std::deque<std::function<void()>> tasks_;  // guarded by mutex_
+    std::atomic<bool> shutdown_flag_{false};  // lock-free mirror
+    /// Number of run_parallel calls currently between posting their job
+    /// and retiring it; workers consult the job slot only while > 0.
+    std::atomic<int> legacy_jobs_pending_{0};
+    std::deque<std::unique_ptr<TaskNode>> tasks_;  // guarded by mutex_
     std::condition_variable done_cv_;
+    /// Bumped on every publish (task, split, legacy job, completion,
+    /// shutdown); parked threads re-scan when it moves. The epoch is
+    /// read before scanning and re-checked under mutex_ before
+    /// sleeping, which closes the publish/park race without a lock on
+    /// the publish fast path when nobody sleeps.
+    std::atomic<std::uint64_t> wake_epoch_{0};
+    std::atomic<int> sleepers_{0};
+
+    std::unique_ptr<Slot[]> slots_;  // workers_.size() + external_slots
+    std::size_t num_slots_ = 0;
 
     // -- telemetry (relaxed atomics; written only while armed) --------
     std::unique_ptr<ParticipantStat[]> stats_;  // size() slots
     std::atomic<std::uint64_t> dispatches_{0};
     std::atomic<std::uint64_t> inline_runs_{0};
+    std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::uint64_t> steal_fails_{0};
+    std::atomic<std::uint64_t> splits_{0};
+    std::atomic<std::uint64_t> parks_{0};
     std::atomic<std::uint64_t> imbalance_sum_permille_{0};
     std::atomic<std::uint64_t> imbalance_last_permille_{0};
     std::chrono::steady_clock::time_point epoch_;

@@ -1,0 +1,193 @@
+// Chase-Lev work-stealing deque: the per-worker substrate of the
+// stealing scheduler (thread_pool.hpp).
+//
+// One *owner* thread pushes and pops at the bottom (LIFO, so the owner
+// keeps working on the most recently split -- cache-hot -- half-range),
+// while any number of *thief* threads steal from the top (FIFO, so a
+// thief takes the oldest and therefore largest pending range, which it
+// will re-split itself). The memory ordering follows the C11 formulation
+// of Le, Pop, Cohen & Zappa Nardelli, "Correct and Efficient
+// Work-Stealing for Weak Memory Models" (PPoPP'13):
+//
+//  * push:  store the cell, then bump bottom with a release store (the
+//           paper's release-fence + relaxed-store, strengthened so the
+//           publication is visible to TSan, which ignores fences);
+//  * pop:   reserve the bottom slot first, seq_cst-fence, then read top;
+//           the one-element case races with thieves and is resolved by a
+//           seq_cst CAS on top;
+//  * steal: read top (acquire), seq_cst-fence, read bottom (acquire);
+//           claim the cell with a seq_cst CAS on top. A failed CAS means
+//           another thief (or the owner, in the one-element case) won --
+//           reported as `abort` so callers can distinguish "contended"
+//           from "empty" (parking on a contended deque would strand work).
+//
+// Cells are std::atomic<T*>: the algorithm tolerates a thief reading a
+// cell that the owner is concurrently overwriting after a wrap-around --
+// the subsequent CAS on top discards the stale read -- and making the
+// cells atomic keeps that benign race out of TSan's sight.
+//
+// The ring grows by doubling when full. Thieves may still hold a pointer
+// to a retired buffer while the owner publishes the new one, so retired
+// buffers are kept alive (owner-only list) until the deque is destroyed;
+// a deque's lifetime footprint is bounded by twice its high-water size.
+//
+// Invariants (documented for DESIGN.md section 9):
+//  I1  every pushed item is returned by exactly one pop() or steal();
+//  I2  pop() and push() are owner-only; steal() is safe from any thread;
+//  I3  top only ever increases; bottom only decreases inside pop();
+//  I4  empty() is a relaxed snapshot -- it may report empty while a
+//      concurrent push is in flight, so it is a scheduling heuristic,
+//      never a correctness signal.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace vbatch {
+
+/// Result of a steal attempt: `item` is non-null only for `got`.
+enum class StealResult : unsigned char {
+    got,    ///< an item was stolen
+    empty,  ///< the deque was observably empty
+    abort,  ///< lost a race with the owner or another thief; retry later
+};
+
+template <typename T>
+class WorkDeque {
+public:
+    explicit WorkDeque(size_type initial_capacity = 64)
+        : buffer_(new Buffer(round_up_pow2(initial_capacity))) {}
+
+    WorkDeque(const WorkDeque&) = delete;
+    WorkDeque& operator=(const WorkDeque&) = delete;
+
+    ~WorkDeque() { delete buffer_.load(std::memory_order_relaxed); }
+
+    /// Owner only: publish `item` at the bottom. Never fails (grows).
+    void push(T* item) {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        Buffer* buf = buffer_.load(std::memory_order_relaxed);
+        if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
+            buf = grow(buf, t, b);
+        }
+        buf->cell(b).store(item, std::memory_order_relaxed);
+        // Release *store* rather than the paper's release-fence +
+        // relaxed-store: equivalent ordering for thieves (whose acquire
+        // load of bottom then happens-after the cell write AND the
+        // caller's writes into *item), and -- unlike a fence -- visible
+        // to TSan, which does not model atomic_thread_fence.
+        bottom_.store(b + 1, std::memory_order_release);
+    }
+
+    /// Owner only: take the most recently pushed item; nullptr = empty.
+    T* pop() {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        Buffer* buf = buffer_.load(std::memory_order_relaxed);
+        bottom_.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_relaxed);
+        if (t > b) {
+            // Already empty: undo the reservation.
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        T* item = buf->cell(b).load(std::memory_order_relaxed);
+        if (t == b) {
+            // Last element: race against thieves for it via top.
+            if (!top_.compare_exchange_strong(t, t + 1,
+                                              std::memory_order_seq_cst,
+                                              std::memory_order_relaxed)) {
+                item = nullptr;  // a thief won
+            }
+            bottom_.store(b + 1, std::memory_order_relaxed);
+        }
+        return item;
+    }
+
+    /// Any thread: try to take the oldest item from the top.
+    StealResult steal(T** out) {
+        *out = nullptr;
+        std::int64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const std::int64_t b = bottom_.load(std::memory_order_acquire);
+        if (t >= b) {
+            return StealResult::empty;
+        }
+        Buffer* buf = buffer_.load(std::memory_order_acquire);
+        T* item = buf->cell(t).load(std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+            return StealResult::abort;
+        }
+        *out = item;
+        return StealResult::got;
+    }
+
+    /// Relaxed size snapshot (scheduling heuristic; see I4).
+    bool empty() const noexcept {
+        return bottom_.load(std::memory_order_relaxed) <=
+               top_.load(std::memory_order_relaxed);
+    }
+
+    size_type approx_size() const noexcept {
+        const std::int64_t d = bottom_.load(std::memory_order_relaxed) -
+                               top_.load(std::memory_order_relaxed);
+        return d > 0 ? static_cast<size_type>(d) : 0;
+    }
+
+    size_type capacity() const noexcept {
+        return buffer_.load(std::memory_order_relaxed)->capacity;
+    }
+
+private:
+    struct Buffer {
+        explicit Buffer(size_type cap)
+            : capacity(cap),
+              cells(std::make_unique<std::atomic<T*>[]>(
+                  static_cast<std::size_t>(cap))) {}
+        std::atomic<T*>& cell(std::int64_t index) noexcept {
+            return cells[static_cast<std::size_t>(
+                index & (static_cast<std::int64_t>(capacity) - 1))];
+        }
+        const size_type capacity;  // power of two
+        std::unique_ptr<std::atomic<T*>[]> cells;
+    };
+
+    static size_type round_up_pow2(size_type n) noexcept {
+        size_type p = 8;
+        while (p < n) {
+            p *= 2;
+        }
+        return p;
+    }
+
+    /// Owner only: double the ring, copy live cells, retire the old
+    /// buffer (thieves may still be reading it).
+    Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+        auto next = std::make_unique<Buffer>(old->capacity * 2);
+        for (std::int64_t i = t; i < b; ++i) {
+            next->cell(i).store(old->cell(i).load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+        }
+        Buffer* raw = next.get();
+        retired_.emplace_back(old);
+        buffer_.store(raw, std::memory_order_release);
+        next.release();
+        return raw;
+    }
+
+    alignas(64) std::atomic<std::int64_t> top_{0};
+    alignas(64) std::atomic<std::int64_t> bottom_{0};
+    std::atomic<Buffer*> buffer_;
+    /// Buffers superseded by grow(); freed only at destruction (owner
+    /// touches this vector exclusively, so no lock is needed).
+    std::vector<std::unique_ptr<Buffer>> retired_;
+};
+
+}  // namespace vbatch

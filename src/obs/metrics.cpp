@@ -263,6 +263,14 @@ void write_pool_members(JsonWriter& json, const PoolTelemetry& pool) {
     json.value(static_cast<std::uint64_t>(pool.dispatches));
     json.key("inline_runs");
     json.value(static_cast<std::uint64_t>(pool.inline_runs));
+    json.key("steals");
+    json.value(static_cast<std::uint64_t>(pool.steals));
+    json.key("steal_fails");
+    json.value(static_cast<std::uint64_t>(pool.steal_fails));
+    json.key("splits");
+    json.value(static_cast<std::uint64_t>(pool.splits));
+    json.key("parks");
+    json.value(static_cast<std::uint64_t>(pool.parks));
     json.key("mean_imbalance");
     json.value(pool.mean_imbalance);
     json.key("last_imbalance");

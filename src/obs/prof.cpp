@@ -104,6 +104,18 @@ void render_pool(std::string& out, const JsonValue& doc) {
             static_cast<int>(member_num(*pool, "workers")),
             static_cast<unsigned long>(member_num(*pool, "dispatches")),
             static_cast<unsigned long>(member_num(*pool, "inline_runs")));
+    // Steal-scheduler counters (absent from pre-scheduler baselines, so
+    // probe before rendering -- --diff must keep working against them).
+    if (pool->find("steals") != nullptr) {
+        appendf(out,
+                "  stealing: %lu steals / %lu failed, %lu splits, "
+                "%lu parks\n",
+                static_cast<unsigned long>(member_num(*pool, "steals")),
+                static_cast<unsigned long>(
+                    member_num(*pool, "steal_fails")),
+                static_cast<unsigned long>(member_num(*pool, "splits")),
+                static_cast<unsigned long>(member_num(*pool, "parks")));
+    }
     if (was_armed) {
         appendf(out,
                 "  utilization %5.1f%%  busy %.3fs  idle %.3fs  "

@@ -27,57 +27,40 @@ std::size_t queue_capacity_of(const EngineOptions& options) {
 
 Engine::Engine(EngineOptions options)
     : cache_(options.cache),
-      queue_(queue_capacity_of(options)),
+      capacity_(queue_capacity_of(options)),
       admission_(options.admission) {}
 
-Engine::~Engine() {
-    drain();
-    queue_.close();
-}
+Engine::~Engine() { drain(); }
 
 bool Engine::submit_job(std::function<void()> job) {
-    // Count the job before enqueueing so drain() can never observe a
-    // window where an accepted job is in neither the counter nor the
-    // queue.
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++outstanding_;
-    }
-    auto wrapped = [this, job = std::move(job)] {
-        job();
-        finish_job();
-    };
-    const bool accepted = admission_ == Admission::block
-                              ? queue_.push(std::move(wrapped))
-                              : queue_.try_push(std::move(wrapped));
+    // Admission is a counter, not a hand-off queue: an accepted job is
+    // pushed straight onto the pool's deques (one submit, no
+    // one-drainer-per-job indirection), and outstanding_ vs capacity_
+    // bounds how many live in the pool at once. The counter moves under
+    // mutex_, so drain() can never observe a window where an accepted
+    // job is in neither the counter nor the pool.
     auto& registry = obs::Registry::global();
-    if (!accepted) {
-        {
-            // Notify while still holding the mutex: a drain()er can only
-            // return after re-acquiring it, i.e. strictly after the
-            // broadcast finished, which makes destroying the engine right
-            // after drain() safe.
-            std::lock_guard<std::mutex> lock(mutex_);
-            --outstanding_;
-            ++rejected_;
-            idle_cv_.notify_all();
-        }
-        registry.add("service.queue.rejected", 1.0);
-        return false;
-    }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (outstanding_ >= capacity_) {
+            if (admission_ == Admission::reject) {
+                ++rejected_;
+                lock.unlock();
+                registry.add("service.queue.rejected", 1.0);
+                return false;
+            }
+            // Backpressure: wait for completions to open a slot.
+            // finish_job broadcasts idle_cv_ on every decrement.
+            idle_cv_.wait(lock, [&] { return outstanding_ < capacity_; });
+        }
+        ++outstanding_;
         ++submitted_;
-        peak_depth_ = std::max(peak_depth_, queue_.size());
+        peak_depth_ = std::max(peak_depth_, outstanding_);
     }
     registry.add("service.queue.submitted", 1.0);
-    // One drainer per accepted job: each pool task pops exactly one
-    // queued job, so the bounded queue is the only admission point and
-    // the pool's own deque never outgrows it.
-    ThreadPool::global().submit([this] {
-        if (auto task = queue_.try_pop()) {
-            (*task)();
-        }
+    ThreadPool::global().submit([this, job = std::move(job)] {
+        job();
+        finish_job();
     });
     return true;
 }
@@ -88,9 +71,10 @@ void Engine::finish_job() {
     // sees every completion.
     obs::Registry::global().add("service.queue.completed", 1.0);
     {
-        // Notify under the lock (see submit_job): lets ~Engine destroy
-        // the condition variable immediately after drain() observes
-        // outstanding_ == 0 without racing this broadcast.
+        // Notify under the lock: lets ~Engine destroy the condition
+        // variable immediately after drain() observes outstanding_ == 0
+        // without racing this broadcast, and wakes both drain()ers and
+        // submitters blocked on admission backpressure.
         std::lock_guard<std::mutex> lock(mutex_);
         --outstanding_;
         ++completed_;

@@ -17,19 +17,22 @@
 // Three shared facilities sit under the sessions:
 //  * a sharded PlanCache so same-pattern tenants share one symbolic
 //    analysis (private numeric factors each; see plan_cache.hpp),
-//  * a BoundedQueue in front of the global ThreadPool providing
-//    admission control (reject or block when full) and backpressure
-//    telemetry,
+//  * counter-based admission control in front of the global ThreadPool
+//    (reject or block when the outstanding-job cap is hit) with
+//    backpressure telemetry -- accepted jobs go straight onto the
+//    pool's work-stealing deques, with no intermediate hand-off queue,
 //  * service.* counters in the metrics registry (cache hits, queue
 //    traffic) that flow into bench JSON like every other subsystem.
 //
 // Threading: Session::solve/update_values/submit are safe to call from
 // any thread; one session serializes its own requests through a session
 // mutex while distinct sessions proceed in parallel. Async jobs run as
-// ThreadPool tasks, whose nested parallel loops inline -- each job is
-// deterministic (bitwise-reproducible) regardless of how many other
-// tenants run beside it. The Engine must outlive its sessions; a
-// session drains its own in-flight jobs on destruction.
+// ThreadPool tasks; under the stealing scheduler a job's nested
+// parallel loops spread across idle workers (under VBATCH_SCHED=sharing
+// they inline), and either way each job is deterministic
+// (bitwise-reproducible) regardless of how many other tenants run
+// beside it. The Engine must outlive its sessions; a session drains its
+// own in-flight jobs on destruction.
 #pragma once
 
 #include <condition_variable>
@@ -49,13 +52,12 @@
 #include "obs/metrics.hpp"
 #include "precond/config.hpp"
 #include "service/plan_cache.hpp"
-#include "service/queue.hpp"
 #include "solvers/config.hpp"
 #include "sparse/csr.hpp"
 
 namespace vbatch::service {
 
-/// What to do with a submission that finds the job queue full.
+/// What to do with a submission that finds the outstanding-job cap hit.
 enum class Admission {
     /// Fail fast: the future resolves immediately with accepted=false.
     reject,
@@ -66,7 +68,8 @@ enum class Admission {
 
 struct EngineOptions {
     PlanCacheOptions cache;
-    /// Job-queue capacity; 0 = $VBATCH_SERVICE_QUEUE, default 256.
+    /// Cap on jobs accepted but not yet completed;
+    /// 0 = $VBATCH_SERVICE_QUEUE, default 256.
     std::size_t queue_capacity = 0;
     Admission admission = Admission::reject;
 };
@@ -79,7 +82,7 @@ struct EngineStats {
     std::size_t rejected = 0;   ///< async jobs refused at admission
     std::size_t completed = 0;  ///< async jobs finished
     std::size_t outstanding = 0;
-    std::size_t peak_depth = 0;  ///< high-water queue depth
+    std::size_t peak_depth = 0;  ///< high-water outstanding-job count
 };
 
 /// One tenant request: optionally swap the matrix values (same pattern),
@@ -274,21 +277,20 @@ public:
 
     EngineStats stats() const;
     PlanCache& plan_cache() noexcept { return cache_; }
-    std::size_t queue_capacity() const noexcept {
-        return queue_.capacity();
-    }
+    std::size_t queue_capacity() const noexcept { return capacity_; }
 
 private:
     template <typename U>
     friend class Session;
 
-    /// Admission-controlled enqueue. True = accepted (the job will run
-    /// exactly once on a pool worker); false = rejected by policy.
+    /// Admission-controlled dispatch. True = accepted (the job went
+    /// straight onto the pool and will run exactly once on a worker);
+    /// false = rejected by policy.
     bool submit_job(std::function<void()> job);
     void finish_job();
 
     PlanCache cache_;
-    BoundedQueue<std::function<void()>> queue_;
+    std::size_t capacity_;
     Admission admission_;
 
     mutable std::mutex mutex_;

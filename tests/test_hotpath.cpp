@@ -473,7 +473,9 @@ TEST(ThreadPoolFastPath, SmallRangeRunsInline) {
 }
 
 TEST(ThreadPoolFastPath, NestedParallelForRunsInlineWithoutDeadlock) {
-    ThreadPool pool(4);
+    // Sharing mode: the single job slot is not reentrant, so a nested
+    // call must degrade to sequential execution (deadlock otherwise).
+    ThreadPool pool(4, SchedMode::sharing);
     std::atomic<int> inner_total{0};
     std::atomic<int> marked_worker{0};
     pool.parallel_for(
@@ -482,8 +484,6 @@ TEST(ThreadPoolFastPath, NestedParallelForRunsInlineWithoutDeadlock) {
             if (ThreadPool::in_worker()) {
                 marked_worker.fetch_add(1, std::memory_order_relaxed);
             }
-            // A nested call must degrade to sequential execution instead
-            // of touching the single job slot (deadlock otherwise).
             pool.parallel_for(
                 0, 4,
                 [&](size_type) {
@@ -494,6 +494,34 @@ TEST(ThreadPoolFastPath, NestedParallelForRunsInlineWithoutDeadlock) {
         1);
     EXPECT_EQ(marked_worker.load(), 8);
     EXPECT_EQ(inner_total.load(), 32);
+    EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPoolFastPath, NestedParallelForDispatchesUnderStealing) {
+    // Stealing mode: a nested call splits into stealable half-ranges
+    // instead of inlining. Every (outer, inner) pair must still run
+    // exactly once, with no deadlock between the nested joins.
+    ThreadPool pool(4, SchedMode::stealing);
+    constexpr int outer = 16;
+    constexpr int inner = 64;
+    std::vector<std::atomic<int>> hits(
+        static_cast<std::size_t>(outer * inner));
+    pool.parallel_for(
+        0, outer,
+        [&](size_type i) {
+            EXPECT_TRUE(ThreadPool::in_worker());
+            pool.parallel_for(
+                0, inner,
+                [&](size_type j) {
+                    hits[static_cast<std::size_t>(i * inner + j)]
+                        .fetch_add(1, std::memory_order_relaxed);
+                },
+                1);
+        },
+        1);
+    for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
     EXPECT_FALSE(ThreadPool::in_worker());
 }
 

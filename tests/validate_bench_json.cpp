@@ -145,7 +145,8 @@ void check_perf(const std::string& path, const JsonValue& perf) {
 void check_pool(const std::string& path, const JsonValue& pool) {
     for (const char* key :
          {"workers", "wall_seconds", "busy_seconds", "idle_seconds",
-          "utilization", "dispatches", "inline_runs", "mean_imbalance",
+          "utilization", "dispatches", "inline_runs", "steals",
+          "steal_fails", "splits", "parks", "mean_imbalance",
           "last_imbalance"}) {
         require(path, pool, key, JsonValue::Type::number);
     }
