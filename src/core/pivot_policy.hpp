@@ -1,0 +1,23 @@
+// Pivoting strategy of the LU factorization kernels.
+//
+// The paper's kernels pivot implicitly on every column (magnitude scan +
+// row-gather reads). After a two-sided random butterfly transform
+// (core/rbt.hpp) pivoting is statistically unnecessary, so the chunk and
+// scalar kernels also compile a `none` instantiation that drops the
+// compare/select mask lattice and the pivot-row gathers entirely; the
+// block-Jacobi recovery chain supplies the safety net the literature
+// lacks (a degenerate no-pivot factorization is redone with implicit
+// pivoting from pristine values).
+#pragma once
+
+namespace vbatch::core {
+
+enum class PivotPolicy {
+    /// Implicit partial pivoting (the paper's kernel; the default).
+    implicit,
+    /// No pivoting: row k is the pivot of step k. Exact-zero diagonal
+    /// entries still report breakdown.
+    none,
+};
+
+}  // namespace vbatch::core

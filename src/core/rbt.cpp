@@ -1,0 +1,206 @@
+#include "core/rbt.hpp"
+
+#include <cstdlib>
+
+namespace vbatch::core {
+
+std::uint64_t default_rbt_seed() {
+    if (const char* env = std::getenv("VBATCH_RBT_SEED")) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0') {
+            return static_cast<std::uint64_t>(v);
+        }
+    }
+    return 42;
+}
+
+template <typename T>
+void RbtTransforms<T>::level_coeffs(size_type block, int side,
+                                    index_type level, index_type m,
+                                    T* out) const {
+    rbt::for_each_segment(m, level, [&](index_type lo, index_type len) {
+        const index_type p = (len + 1) / 2;
+        const index_type q = len - p;
+        for (index_type i = 0; i < q; ++i) {
+            out[lo + i] = rbt::rbt_coefficient<T>(
+                seed_, block, side, level, lo + i, /*paired=*/true);
+            out[lo + p + i] = rbt::rbt_coefficient<T>(
+                seed_, block, side, level, lo + p + i, /*paired=*/true);
+        }
+        if (p > q) {
+            out[lo + q] = rbt::rbt_coefficient<T>(
+                seed_, block, side, level, lo + q, /*paired=*/false);
+        }
+    });
+}
+
+template <typename T>
+void RbtTransforms<T>::transform_block(size_type block,
+                                       MatrixView<T> a) const {
+    const index_type m = a.rows();
+    T uc[rbt::max_rbt_depth][max_block_size];
+    T vc[rbt::max_rbt_depth][max_block_size];
+    for (index_type t = 0; t < depth_; ++t) {
+        level_coeffs(block, rbt::rbt_side_u, t, m, uc[t]);
+        level_coeffs(block, rbt::rbt_side_v, t, m, vc[t]);
+    }
+    // Columns first: col := U^T col (B^T levels outer->inner), then rows
+    // (A V = (V^T A^T)^T: B^T over column pairs) -- the element-wise op
+    // order of rbt_transform_chunk, so scalar and SIMD paths agree
+    // bitwise on the same block.
+    for (index_type c = 0; c < m; ++c) {
+        T* col = a.col(c);
+        for (index_type t = 0; t < depth_; ++t) {
+            const T* lc = uc[t];
+            rbt::for_each_segment(m, t, [&](index_type lo, index_type len) {
+                const index_type p = (len + 1) / 2;
+                const index_type q = len - p;
+                for (index_type i = 0; i < q; ++i) {
+                    const T r = lc[lo + i];
+                    const T s = lc[lo + p + i];
+                    const T v0 = col[lo + i];
+                    const T v1 = col[lo + p + i];
+                    const T t0 = v0 + v1;
+                    const T t1 = v0 - v1;
+                    col[lo + i] = r * t0;
+                    col[lo + p + i] = s * t1;
+                }
+                if (p > q) {
+                    col[lo + q] = lc[lo + q] * col[lo + q];
+                }
+            });
+        }
+    }
+    for (index_type t = 0; t < depth_; ++t) {
+        const T* lc = vc[t];
+        rbt::for_each_segment(m, t, [&](index_type lo, index_type len) {
+            const index_type p = (len + 1) / 2;
+            const index_type q = len - p;
+            for (index_type i = 0; i < q; ++i) {
+                const T r = lc[lo + i];
+                const T s = lc[lo + p + i];
+                T* c0 = a.col(lo + i);
+                T* c1 = a.col(lo + p + i);
+                for (index_type rr = 0; rr < m; ++rr) {
+                    const T v0 = c0[rr];
+                    const T v1 = c1[rr];
+                    const T t0 = v0 + v1;
+                    const T t1 = v0 - v1;
+                    c0[rr] = r * t0;
+                    c1[rr] = s * t1;
+                }
+            }
+            if (p > q) {
+                const T u = lc[lo + q];
+                T* cc = a.col(lo + q);
+                for (index_type rr = 0; rr < m; ++rr) {
+                    cc[rr] = u * cc[rr];
+                }
+            }
+        });
+    }
+}
+
+template <typename T>
+void RbtTransforms<T>::forward(size_type block, std::span<T> b) const {
+    const auto m = static_cast<index_type>(b.size());
+    T lc[max_block_size];
+    for (index_type t = 0; t < depth_; ++t) {
+        level_coeffs(block, rbt::rbt_side_u, t, m, lc);
+        rbt::for_each_segment(m, t, [&](index_type lo, index_type len) {
+            const index_type p = (len + 1) / 2;
+            const index_type q = len - p;
+            for (index_type i = 0; i < q; ++i) {
+                const T r = lc[lo + i];
+                const T s = lc[lo + p + i];
+                const T v0 = b[static_cast<std::size_t>(lo + i)];
+                const T v1 = b[static_cast<std::size_t>(lo + p + i)];
+                const T t0 = v0 + v1;
+                const T t1 = v0 - v1;
+                b[static_cast<std::size_t>(lo + i)] = r * t0;
+                b[static_cast<std::size_t>(lo + p + i)] = s * t1;
+            }
+            if (p > q) {
+                b[static_cast<std::size_t>(lo + q)] =
+                    lc[lo + q] * b[static_cast<std::size_t>(lo + q)];
+            }
+        });
+    }
+}
+
+template <typename T>
+void RbtTransforms<T>::backward(size_type block, std::span<T> x) const {
+    const auto m = static_cast<index_type>(x.size());
+    T lc[max_block_size];
+    for (index_type t = depth_ - 1; t >= 0; --t) {
+        level_coeffs(block, rbt::rbt_side_v, t, m, lc);
+        rbt::for_each_segment(m, t, [&](index_type lo, index_type len) {
+            const index_type p = (len + 1) / 2;
+            const index_type q = len - p;
+            for (index_type i = 0; i < q; ++i) {
+                const T r = lc[lo + i];
+                const T s = lc[lo + p + i];
+                const T p0 = r * x[static_cast<std::size_t>(lo + i)];
+                const T p1 = s * x[static_cast<std::size_t>(lo + p + i)];
+                x[static_cast<std::size_t>(lo + i)] = p0 + p1;
+                x[static_cast<std::size_t>(lo + p + i)] = p0 - p1;
+            }
+            if (p > q) {
+                x[static_cast<std::size_t>(lo + q)] =
+                    lc[lo + q] * x[static_cast<std::size_t>(lo + q)];
+            }
+        });
+    }
+}
+
+template <typename T>
+void RbtTransforms<T>::fill_group_coeffs(std::span<const size_type> blocks,
+                                         index_type m, index_type lanes,
+                                         size_type lane_stride, T* ucoef,
+                                         T* vcoef) const {
+    T tmp[max_block_size];
+    const size_type chunks =
+        lane_stride / static_cast<size_type>(lanes);
+    for (size_type chunk = 0; chunk < chunks; ++chunk) {
+        for (index_type t = 0; t < depth_; ++t) {
+            const size_type level_base =
+                (chunk * static_cast<size_type>(depth_) +
+                 static_cast<size_type>(t)) *
+                static_cast<size_type>(m) * static_cast<size_type>(lanes);
+            for (index_type lane = 0; lane < lanes; ++lane) {
+                const size_type l =
+                    chunk * static_cast<size_type>(lanes) +
+                    static_cast<size_type>(lane);
+                const size_type base =
+                    level_base + static_cast<size_type>(lane);
+                if (l >= static_cast<size_type>(blocks.size())) {
+                    for (index_type i = 0; i < m; ++i) {
+                        const auto at =
+                            base + static_cast<size_type>(i) * lanes;
+                        ucoef[at] = T{1};
+                        vcoef[at] = T{1};
+                    }
+                    continue;
+                }
+                const size_type block =
+                    blocks[static_cast<std::size_t>(l)];
+                level_coeffs(block, rbt::rbt_side_u, t, m, tmp);
+                for (index_type i = 0; i < m; ++i) {
+                    ucoef[base + static_cast<size_type>(i) * lanes] =
+                        tmp[i];
+                }
+                level_coeffs(block, rbt::rbt_side_v, t, m, tmp);
+                for (index_type i = 0; i < m; ++i) {
+                    vcoef[base + static_cast<size_type>(i) * lanes] =
+                        tmp[i];
+                }
+            }
+        }
+    }
+}
+
+template class RbtTransforms<float>;
+template class RbtTransforms<double>;
+
+}  // namespace vbatch::core

@@ -1,0 +1,80 @@
+// Deterministic seeded recursive butterfly transforms (RBT) for batches
+// of small blocks -- the pivoting-free preprocessing of Lindquist/
+// Luszczek/Dongarra (PAPERS.md, generalized to arbitrary sizes; no
+// power-of-2 padding of storage).
+//
+// Each block b gets two independent depth-d butterflies U_b and V_b; the
+// block is replaced by U_b^T A_b V_b before a *pivot-free* LU
+// (getrf_nopivot / PivotPolicy::none), and each solve wraps the
+// triangular sweeps in the matching vector transforms:
+//
+//   A' = U^T A V,  A' = L U  (no pivoting)
+//   solve A x = b:  y' = solve(L U, U^T b),  x = V y'
+//
+// Coefficients are a pure counter-based function of
+// (seed, block, side, level, index) -- see core/rbt_scheme.hpp -- so the
+// transforms are identical regardless of thread count, scheduler mode,
+// or grouping, and a refresh() regenerates exactly the same butterflies.
+//
+// The scalar entry points below mirror the chunk kernels
+// (rbt_transform_chunk et al. in core/chunk_kernels.hpp) element for
+// element, preserving the bitwise scalar==SIMD contract.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/batch_storage.hpp"
+#include "core/rbt_scheme.hpp"
+
+namespace vbatch::core {
+
+/// Process-wide default butterfly seed: VBATCH_RBT_SEED (decimal uint64)
+/// when set, else 42.
+std::uint64_t default_rbt_seed();
+
+/// Butterfly generator + scalar apply for one preconditioner's blocks.
+/// Stateless apart from (seed, depth): coefficients are regenerated on
+/// the fly for the scalar paths and packed once per interleaved group
+/// for the SIMD paths.
+template <typename T>
+class RbtTransforms {
+public:
+    RbtTransforms() = default;
+    RbtTransforms(std::uint64_t seed, index_type depth)
+        : seed_(seed), depth_(rbt::clamp_rbt_depth(depth)) {}
+
+    std::uint64_t seed() const noexcept { return seed_; }
+    index_type depth() const noexcept { return depth_; }
+
+    /// All m coefficients of one level of block `block`'s side-`side`
+    /// butterfly (side = rbt::rbt_side_u or rbt::rbt_side_v).
+    void level_coeffs(size_type block, int side, index_type level,
+                      index_type m, T* out) const;
+
+    /// A := U^T A V of block `block`, in place.
+    void transform_block(size_type block, MatrixView<T> a) const;
+
+    /// b := U^T b (right-hand side preparation before the solve).
+    void forward(size_type block, std::span<T> b) const;
+
+    /// x := V y (solution recovery after the solve).
+    void backward(size_type block, std::span<T> x) const;
+
+    /// Fill the lane-interleaved coefficient tables of one interleaved
+    /// group: lane l carries block `blocks[l]`'s butterflies, padding
+    /// lanes (l >= blocks.size()) carry the all-ones identity butterfly
+    /// (whose Gram matrix W^T W is SPD, so the pivot-free kernel never
+    /// breaks down on padding). Buffers hold
+    /// (lane_stride/lanes)*depth*m*lanes values laid out
+    /// coef[((chunk*depth + t)*m + i)*lanes + lane].
+    void fill_group_coeffs(std::span<const size_type> blocks, index_type m,
+                           index_type lanes, size_type lane_stride,
+                           T* ucoef, T* vcoef) const;
+
+private:
+    std::uint64_t seed_ = 42;
+    index_type depth_ = 2;
+};
+
+}  // namespace vbatch::core

@@ -1,0 +1,109 @@
+// Index scheme and coefficient generation of recursive butterfly
+// transforms for arbitrary sizes (Lindquist/Luszczek/Dongarra,
+// PAPERS.md) -- the pure, SIMD-free layer shared by the scalar driver
+// (core/rbt.cpp) and the backend-templated chunk kernels
+// (core/chunk_kernels.hpp).
+//
+// A depth-d recursive butterfly W of size n is
+//
+//   W = B_n * diag(W_p, W_q),   p = ceil(n/2), q = floor(n/2),
+//
+// where the generalized butterfly B_n pairs element i with element p+i
+// (i < q) and, for odd n, leaves the middle element q unpaired:
+//
+//   (B x)_i     = r_i x_i + s_i x_{p+i}
+//   (B x)_{p+i} = r_i x_i - s_i x_{p+i}
+//   (B x)_q     = u x_q                       (odd n only)
+//
+// No power-of-2 padding anywhere: the recursion halves exact lengths, so
+// a level of a size-n butterfly holds exactly n coefficients (r_i at the
+// top index of a pair, s_i at the bottom index, u at an unpaired index).
+// The 1/sqrt(2) butterfly normalization is folded into the paired
+// coefficients, making one pair application exactly 2 mul + 1 add +
+// 1 sub.
+//
+// Coefficients are e^{rho/10} with rho uniform in [-1, 1) -- close to 1,
+// as the RBT literature prescribes -- and are a pure counter-based
+// function of (seed, block, side, level, index): generation order
+// (threads, chunks, scheduler mode) cannot change them.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "base/random.hpp"
+#include "base/types.hpp"
+
+namespace vbatch::core::rbt {
+
+/// Depth bound: max_block_size = 32 halves to length-1 segments within
+/// 6 levels; deeper levels would only rescale single elements.
+inline constexpr index_type max_rbt_depth = 6;
+
+inline index_type clamp_rbt_depth(index_type depth) {
+    return depth < 1 ? 1 : (depth > max_rbt_depth ? max_rbt_depth : depth);
+}
+
+/// Visit every segment [lo, lo+len) of level `level` of the recursive
+/// halving of [0, n): level 0 is the whole block, level t+1 splits each
+/// level-t segment into its ceil/floor halves (a length-1 segment only
+/// keeps its left child). fn(lo, len) is called in ascending lo order.
+template <typename Fn>
+void for_each_segment(index_type n, index_type level, Fn&& fn) {
+    struct Rec {
+        static void go(index_type lo, index_type len, index_type lvl,
+                       Fn& f) {
+            if (len <= 0) {
+                return;
+            }
+            if (lvl == 0) {
+                f(lo, len);
+                return;
+            }
+            const index_type p = (len + 1) / 2;
+            go(lo, p, lvl - 1, f);
+            go(lo + p, len - p, lvl - 1, f);
+        }
+    };
+    Rec::go(0, n, level, fn);
+}
+
+/// Sides of the two-sided transform U^T A V.
+inline constexpr int rbt_side_u = 0;
+inline constexpr int rbt_side_v = 1;
+
+/// Counter-based key: one SplitMix64 avalanche over a mix of the
+/// coordinates. Pure function -- no generation-order dependence.
+inline std::uint64_t rbt_key(std::uint64_t seed, std::uint64_t block,
+                             std::uint64_t side, std::uint64_t level,
+                             std::uint64_t index) noexcept {
+    std::uint64_t s = seed;
+    s += 0x9e3779b97f4a7c15ULL * (block + 1);
+    s += 0xbf58476d1ce4e5b9ULL * (side + 1);
+    s += 0x94d049bb133111ebULL * (level + 1);
+    s += 0xd1b54a32d192ed03ULL * (index + 1);
+    return splitmix64(s);
+}
+
+/// Raw random factor e^{rho/10}, rho uniform in [-1, 1).
+inline double rbt_factor(std::uint64_t key) noexcept {
+    const double rho =
+        static_cast<double>(key >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+    return std::exp(rho * 0.1);
+}
+
+/// Coefficient at absolute position `index` of (block, side, level).
+/// Paired positions fold in the 1/sqrt(2) butterfly normalization;
+/// unpaired (odd-middle) positions carry the raw factor.
+template <typename T>
+T rbt_coefficient(std::uint64_t seed, std::uint64_t block, int side,
+                  index_type level, index_type index, bool paired) {
+    constexpr double inv_sqrt2 = 0.70710678118654752440;
+    const double f = rbt_factor(
+        rbt_key(seed, block, static_cast<std::uint64_t>(side),
+                static_cast<std::uint64_t>(level),
+                static_cast<std::uint64_t>(index)));
+    return static_cast<T>(paired ? f * inv_sqrt2 : f);
+}
+
+}  // namespace vbatch::core::rbt

@@ -15,9 +15,33 @@ namespace vbatch::core {
 
 namespace {
 
+/// Widest compiled vector width (AVX-512 float); bounds the per-lane
+/// stat scratch arrays of the facade-ported pack/scan helpers.
+constexpr size_type max_simd_lanes = 16;
+
 template <typename T>
-void run_getrf_chunk(SimdIsa isa, T* a, index_type* perm, index_type* info,
-                     index_type m, size_type stride) {
+void run_getrf_chunk(SimdIsa isa, PivotPolicy pivot, T* a, index_type* perm,
+                     index_type* info, index_type m, size_type stride) {
+    if (pivot == PivotPolicy::none) {
+        switch (isa) {
+        case SimdIsa::scalar:
+            getrf_nopivot_chunk_scalar(a, perm, info, m, stride);
+            break;
+        case SimdIsa::sse2:
+            getrf_nopivot_chunk_sse2(a, perm, info, m, stride);
+            break;
+        case SimdIsa::avx2:
+            getrf_nopivot_chunk_avx2(a, perm, info, m, stride);
+            break;
+        case SimdIsa::avx512:
+            getrf_nopivot_chunk_avx512(a, perm, info, m, stride);
+            break;
+        case SimdIsa::neon:
+            getrf_nopivot_chunk_neon(a, perm, info, m, stride);
+            break;
+        }
+        return;
+    }
     switch (isa) {
     case SimdIsa::scalar:
         getrf_chunk_scalar(a, perm, info, m, stride);
@@ -38,8 +62,29 @@ void run_getrf_chunk(SimdIsa isa, T* a, index_type* perm, index_type* info,
 }
 
 template <typename T>
-void run_getrs_chunk(SimdIsa isa, const T* lu, const index_type* perm,
-                     T* b, index_type m, size_type stride) {
+void run_getrs_chunk(SimdIsa isa, PivotPolicy pivot, const T* lu,
+                     const index_type* perm, T* b, index_type m,
+                     size_type stride) {
+    if (pivot == PivotPolicy::none) {
+        switch (isa) {
+        case SimdIsa::scalar:
+            getrs_nopivot_chunk_scalar(lu, b, m, stride);
+            break;
+        case SimdIsa::sse2:
+            getrs_nopivot_chunk_sse2(lu, b, m, stride);
+            break;
+        case SimdIsa::avx2:
+            getrs_nopivot_chunk_avx2(lu, b, m, stride);
+            break;
+        case SimdIsa::avx512:
+            getrs_nopivot_chunk_avx512(lu, b, m, stride);
+            break;
+        case SimdIsa::neon:
+            getrs_nopivot_chunk_neon(lu, b, m, stride);
+            break;
+        }
+        return;
+    }
     switch (isa) {
     case SimdIsa::scalar:
         getrs_chunk_scalar(lu, perm, b, m, stride);
@@ -55,6 +100,134 @@ void run_getrs_chunk(SimdIsa isa, const T* lu, const index_type* perm,
         break;
     case SimdIsa::neon:
         getrs_chunk_neon(lu, perm, b, m, stride);
+        break;
+    }
+}
+
+template <typename T>
+void run_pack_zero_chunk(SimdIsa isa, T* vals, size_type n) {
+    switch (isa) {
+    case SimdIsa::scalar: pack_zero_chunk_scalar(vals, n); break;
+    case SimdIsa::sse2: pack_zero_chunk_sse2(vals, n); break;
+    case SimdIsa::avx2: pack_zero_chunk_avx2(vals, n); break;
+    case SimdIsa::avx512: pack_zero_chunk_avx512(vals, n); break;
+    case SimdIsa::neon: pack_zero_chunk_neon(vals, n); break;
+    }
+}
+
+template <typename T>
+void run_pack_entry_stats_chunk(SimdIsa isa, const T* vals, size_type n,
+                                T* max_entry, unsigned* nonfinite_bits) {
+    switch (isa) {
+    case SimdIsa::scalar:
+        pack_entry_stats_chunk_scalar(vals, n, max_entry, nonfinite_bits);
+        break;
+    case SimdIsa::sse2:
+        pack_entry_stats_chunk_sse2(vals, n, max_entry, nonfinite_bits);
+        break;
+    case SimdIsa::avx2:
+        pack_entry_stats_chunk_avx2(vals, n, max_entry, nonfinite_bits);
+        break;
+    case SimdIsa::avx512:
+        pack_entry_stats_chunk_avx512(vals, n, max_entry, nonfinite_bits);
+        break;
+    case SimdIsa::neon:
+        pack_entry_stats_chunk_neon(vals, n, max_entry, nonfinite_bits);
+        break;
+    }
+}
+
+template <typename T>
+void run_diag_scan_chunk(SimdIsa isa, const T* lu, index_type m,
+                         size_type stride, T* min_piv, T* max_piv,
+                         unsigned* nonfinite_bits) {
+    switch (isa) {
+    case SimdIsa::scalar:
+        diag_scan_chunk_scalar(lu, m, stride, min_piv, max_piv,
+                               nonfinite_bits);
+        break;
+    case SimdIsa::sse2:
+        diag_scan_chunk_sse2(lu, m, stride, min_piv, max_piv,
+                             nonfinite_bits);
+        break;
+    case SimdIsa::avx2:
+        diag_scan_chunk_avx2(lu, m, stride, min_piv, max_piv,
+                             nonfinite_bits);
+        break;
+    case SimdIsa::avx512:
+        diag_scan_chunk_avx512(lu, m, stride, min_piv, max_piv,
+                               nonfinite_bits);
+        break;
+    case SimdIsa::neon:
+        diag_scan_chunk_neon(lu, m, stride, min_piv, max_piv,
+                             nonfinite_bits);
+        break;
+    }
+}
+
+template <typename T>
+void run_rbt_transform_chunk(SimdIsa isa, T* a, const T* ucoef,
+                             const T* vcoef, index_type m, index_type depth,
+                             size_type stride) {
+    switch (isa) {
+    case SimdIsa::scalar:
+        rbt_transform_chunk_scalar(a, ucoef, vcoef, m, depth, stride);
+        break;
+    case SimdIsa::sse2:
+        rbt_transform_chunk_sse2(a, ucoef, vcoef, m, depth, stride);
+        break;
+    case SimdIsa::avx2:
+        rbt_transform_chunk_avx2(a, ucoef, vcoef, m, depth, stride);
+        break;
+    case SimdIsa::avx512:
+        rbt_transform_chunk_avx512(a, ucoef, vcoef, m, depth, stride);
+        break;
+    case SimdIsa::neon:
+        rbt_transform_chunk_neon(a, ucoef, vcoef, m, depth, stride);
+        break;
+    }
+}
+
+template <typename T>
+void run_rbt_forward_chunk(SimdIsa isa, T* b, const T* ucoef, index_type m,
+                           index_type depth, size_type stride) {
+    switch (isa) {
+    case SimdIsa::scalar:
+        rbt_forward_chunk_scalar(b, ucoef, m, depth, stride);
+        break;
+    case SimdIsa::sse2:
+        rbt_forward_chunk_sse2(b, ucoef, m, depth, stride);
+        break;
+    case SimdIsa::avx2:
+        rbt_forward_chunk_avx2(b, ucoef, m, depth, stride);
+        break;
+    case SimdIsa::avx512:
+        rbt_forward_chunk_avx512(b, ucoef, m, depth, stride);
+        break;
+    case SimdIsa::neon:
+        rbt_forward_chunk_neon(b, ucoef, m, depth, stride);
+        break;
+    }
+}
+
+template <typename T>
+void run_rbt_backward_chunk(SimdIsa isa, T* x, const T* vcoef, index_type m,
+                            index_type depth, size_type stride) {
+    switch (isa) {
+    case SimdIsa::scalar:
+        rbt_backward_chunk_scalar(x, vcoef, m, depth, stride);
+        break;
+    case SimdIsa::sse2:
+        rbt_backward_chunk_sse2(x, vcoef, m, depth, stride);
+        break;
+    case SimdIsa::avx2:
+        rbt_backward_chunk_avx2(x, vcoef, m, depth, stride);
+        break;
+    case SimdIsa::avx512:
+        rbt_backward_chunk_avx512(x, vcoef, m, depth, stride);
+        break;
+    case SimdIsa::neon:
+        rbt_backward_chunk_neon(x, vcoef, m, depth, stride);
         break;
     }
 }
@@ -156,7 +329,7 @@ FactorizeStatus getrf_interleaved(InterleavedGroup<T>& g,
     // Chunk-local layout: chunk c owns m*m*lanes contiguous values and
     // m*lanes pivots; the in-chunk lane stride is the vector width.
     const auto body = [&](size_type c) {
-        run_getrf_chunk(isa, g.values() + c * m * m * lanes,
+        run_getrf_chunk(isa, opts.pivot, g.values() + c * m * m * lanes,
                         g.pivots() + c * m * lanes, g.info() + c * lanes,
                         m, lanes);
     };
@@ -212,12 +385,48 @@ FactorizeStatus getrf_interleaved(InterleavedGroup<T>& g,
 }
 
 template <typename T>
-void getrf_interleaved_chunk(InterleavedGroup<T>& g, size_type chunk) {
+void getrf_interleaved_chunk(InterleavedGroup<T>& g, size_type chunk,
+                             PivotPolicy pivot) {
     const auto m = static_cast<size_type>(g.size());
     const size_type lanes = g.lanes();
-    run_getrf_chunk(g.isa(), g.values() + chunk * m * m * lanes,
+    run_getrf_chunk(g.isa(), pivot, g.values() + chunk * m * m * lanes,
                     g.pivots() + chunk * m * lanes,
                     g.info() + chunk * lanes, g.size(), lanes);
+}
+
+template <typename T>
+void rbt_transform_interleaved_chunk(InterleavedGroup<T>& g, const T* ucoef,
+                                     const T* vcoef, index_type depth,
+                                     size_type chunk) {
+    const auto m = static_cast<size_type>(g.size());
+    const size_type lanes = g.lanes();
+    const size_type coff = chunk * static_cast<size_type>(depth) * m * lanes;
+    run_rbt_transform_chunk(g.isa(), g.values() + chunk * m * m * lanes,
+                            ucoef + coff, vcoef + coff, g.size(), depth,
+                            lanes);
+}
+
+template <typename T>
+void rbt_forward_interleaved_chunk(const InterleavedGroup<T>& g,
+                                   InterleavedVectors<T>& b, const T* ucoef,
+                                   index_type depth, size_type chunk) {
+    const auto m = static_cast<size_type>(g.size());
+    const size_type lanes = g.lanes();
+    const size_type coff = chunk * static_cast<size_type>(depth) * m * lanes;
+    run_rbt_forward_chunk(g.isa(), b.values() + chunk * m * lanes,
+                          ucoef + coff, g.size(), depth, lanes);
+}
+
+template <typename T>
+void rbt_backward_interleaved_chunk(const InterleavedGroup<T>& g,
+                                    InterleavedVectors<T>& b,
+                                    const T* vcoef, index_type depth,
+                                    size_type chunk) {
+    const auto m = static_cast<size_type>(g.size());
+    const size_type lanes = g.lanes();
+    const size_type coff = chunk * static_cast<size_type>(depth) * m * lanes;
+    run_rbt_backward_chunk(g.isa(), b.values() + chunk * m * lanes,
+                           vcoef + coff, g.size(), depth, lanes);
 }
 
 template <typename T>
@@ -230,9 +439,7 @@ void gather_interleaved_chunk(InterleavedGroup<T>& g,
     const size_type lane_lo = chunk * lanes;
     const size_type lane_hi = std::min(lane_lo + lanes, g.count());
     T* chunk_vals = g.values() + chunk * m * m * lanes;
-    for (size_type q = 0; q < m * m * lanes; ++q) {
-        chunk_vals[q] = T{};
-    }
+    run_pack_zero_chunk(g.isa(), chunk_vals, m * m * lanes);
     // Only the tail chunk has padding lanes; re-establish their identity
     // (the kernels rely on it to run full-width without masking).
     for (size_type l = lane_hi; l < lane_lo + lanes; ++l) {
@@ -240,32 +447,36 @@ void gather_interleaved_chunk(InterleavedGroup<T>& g,
             g.values()[g.value_index(d, d, l)] = T{1};
         }
     }
+    // The scatter itself is irregular (per-lane index lists) and stays
+    // scalar; the entry statistics moved off it onto a full-width sweep
+    // over the packed chunk below.
     for (size_type l = lane_lo; l < lane_hi; ++l) {
         const auto beg =
             static_cast<std::size_t>(map.lane_ptrs[static_cast<std::size_t>(l)]);
         const auto end = static_cast<std::size_t>(
             map.lane_ptrs[static_cast<std::size_t>(l) + 1]);
-        if (infos == nullptr) {
-            for (auto e = beg; e < end; ++e) {
-                g.values()[map.dst[e]] =
-                    values[static_cast<std::size_t>(map.src[e])];
-            }
-            continue;
-        }
-        // Entry statistics ride along with the gather. Pattern zeros can
-        // neither raise max|a_ij| nor be non-finite, so the stats equal
-        // getrf_interleaved's dense prepass over the packed lane.
-        FactorInfo fi;
         for (auto e = beg; e < end; ++e) {
-            const T v = values[static_cast<std::size_t>(map.src[e])];
-            g.values()[map.dst[e]] = v;
-            const double av = std::abs(static_cast<double>(v));
-            if (!std::isfinite(av)) {
-                fi.finite = false;
-            } else if (av > fi.max_entry) {
-                fi.max_entry = av;
-            }
+            g.values()[map.dst[e]] =
+                values[static_cast<std::size_t>(map.src[e])];
         }
+    }
+    if (infos == nullptr) {
+        return;
+    }
+    // Entry statistics: vector per-lane max|a_ij| + finite sweep over the
+    // packed chunk. Pattern zeros can neither raise max|a_ij| nor be
+    // non-finite, so the stats equal the former gather-fused scalar scan
+    // (and getrf_interleaved's dense prepass); padding lanes are swept
+    // too but their slots are never read back.
+    alignas(64) T max_entry[max_simd_lanes];
+    unsigned nonfinite = 0;
+    run_pack_entry_stats_chunk(g.isa(), chunk_vals, m * m * lanes,
+                               max_entry, &nonfinite);
+    for (size_type l = lane_lo; l < lane_hi; ++l) {
+        const auto lane = l - lane_lo;
+        FactorInfo fi;
+        fi.max_entry = static_cast<double>(max_entry[lane]);
+        fi.finite = ((nonfinite >> lane) & 1u) == 0;
         infos[l] = fi;
     }
 }
@@ -277,6 +488,16 @@ void scan_interleaved_chunk(const InterleavedGroup<T>& g, size_type chunk,
     const size_type lanes = g.lanes();
     const size_type lane_lo = chunk * lanes;
     const size_type lane_hi = std::min(lane_lo + lanes, g.count());
+    // Vector per-lane min/max |u_kk| sweep over the chunk's U diagonals
+    // (non-finite entries excluded and flagged, like the former scalar
+    // loop); the per-lane info fold below stays scalar.
+    alignas(64) T min_piv[max_simd_lanes];
+    alignas(64) T max_piv[max_simd_lanes];
+    unsigned nonfinite = 0;
+    run_diag_scan_chunk(g.isa(),
+                        g.values() + chunk * static_cast<size_type>(m) * m *
+                                         lanes,
+                        m, lanes, min_piv, max_piv, &nonfinite);
     for (size_type l = lane_lo; l < lane_hi; ++l) {
         auto& info = infos[l];
         if (g.info()[l] != 0) {
@@ -284,25 +505,24 @@ void scan_interleaved_chunk(const InterleavedGroup<T>& g, size_type chunk,
             info.min_pivot = 0.0;
             continue;
         }
-        for (index_type k = 0; k < m; ++k) {
-            const double p = std::abs(
-                static_cast<double>(g.values()[g.value_index(k, k, l)]));
-            if (!std::isfinite(p)) {
-                info.finite = false;
-            } else {
-                info.min_pivot = std::min(info.min_pivot, p);
-                info.max_pivot = std::max(info.max_pivot, p);
-            }
+        const auto lane = l - lane_lo;
+        if ((nonfinite >> lane) & 1u) {
+            info.finite = false;
         }
+        info.min_pivot = std::min(info.min_pivot,
+                                  static_cast<double>(min_piv[lane]));
+        info.max_pivot = std::max(info.max_pivot,
+                                  static_cast<double>(max_piv[lane]));
     }
 }
 
 template <typename T>
 void getrs_interleaved_chunk(const InterleavedGroup<T>& g,
-                             InterleavedVectors<T>& b, size_type chunk) {
+                             InterleavedVectors<T>& b, size_type chunk,
+                             PivotPolicy pivot) {
     const auto m = static_cast<size_type>(g.size());
     const size_type lanes = g.lanes();
-    run_getrs_chunk(g.isa(), g.values() + chunk * m * m * lanes,
+    run_getrs_chunk(g.isa(), pivot, g.values() + chunk * m * m * lanes,
                     g.pivots() + chunk * m * lanes,
                     b.values() + chunk * m * lanes, g.size(), lanes);
 }
@@ -317,7 +537,7 @@ void getrs_interleaved(const InterleavedGroup<T>& g,
     obs::TraceRegion trace("getrs_interleaved");
     record_launch("trsv", g.isa(), g.count());
     const auto body = [&](size_type c) {
-        getrs_interleaved_chunk(g, b, c);
+        getrs_interleaved_chunk(g, b, c, opts.pivot);
     };
     if (opts.parallel) {
         ThreadPool::global().parallel_for(0, g.chunks(), body, 1);
@@ -422,9 +642,17 @@ void getrs_batch_vectorized(const BatchedMatrices<T>& lu,
                                        const VectorizedOptions&);            \
     template void getrs_interleaved_chunk<T>(const InterleavedGroup<T>&,     \
                                              InterleavedVectors<T>&,         \
-                                             size_type);                     \
+                                             size_type, PivotPolicy);        \
     template void getrf_interleaved_chunk<T>(InterleavedGroup<T>&,           \
-                                             size_type);                     \
+                                             size_type, PivotPolicy);        \
+    template void rbt_transform_interleaved_chunk<T>(                        \
+        InterleavedGroup<T>&, const T*, const T*, index_type, size_type);    \
+    template void rbt_forward_interleaved_chunk<T>(                          \
+        const InterleavedGroup<T>&, InterleavedVectors<T>&, const T*,        \
+        index_type, size_type);                                              \
+    template void rbt_backward_interleaved_chunk<T>(                         \
+        const InterleavedGroup<T>&, InterleavedVectors<T>&, const T*,        \
+        index_type, size_type);                                              \
     template void gather_interleaved_chunk<T>(                               \
         InterleavedGroup<T>&, const InterleavedGatherMap&,                   \
         std::span<const T>, size_type, FactorInfo*);                         \

@@ -13,12 +13,14 @@
 // "cholesky". register_backend() adds project-specific ones.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/batch_layout.hpp"
+#include "core/rbt.hpp"
 #include "core/simd_dispatch.hpp"
 #include "core/trsv.hpp"
 #include "precond/preconditioner.hpp"
@@ -43,6 +45,16 @@ struct Config {
     core::SimdIsa simd = core::detect_simd_isa();
     /// Parallelize setup/application over the blocks.
     bool parallel = true;
+    /// Pivoting scheme of the "lu" / "lu-simd" backends.
+    /// PivotScheme::rbt enables the butterfly-transformed pivot-free
+    /// fast path (requires a non-strict recovery policy).
+    PivotScheme pivot = PivotScheme::implicit;
+    /// Butterfly seed for pivot == PivotScheme::rbt (default:
+    /// VBATCH_RBT_SEED when set, else 42).
+    std::uint64_t rbt_seed = core::default_rbt_seed();
+    /// Butterfly recursion depth for pivot == PivotScheme::rbt (clamped
+    /// to [1, core::rbt::max_rbt_depth]).
+    index_type rbt_depth = 2;
     /// Per-block breakdown handling (block-Jacobi backends).
     RecoveryPolicy recovery;
     /// Reuse a precomputed block structure (empty = detect).

@@ -37,6 +37,9 @@ BlockJacobiOptions block_jacobi_options(const Config& config,
     opts.trsv_variant = config.trsv_variant;
     opts.simd = config.simd;
     opts.parallel = config.parallel;
+    opts.pivot = config.pivot;
+    opts.rbt_seed = config.rbt_seed;
+    opts.rbt_depth = config.rbt_depth;
     opts.layout = config.layout;
     opts.recovery = config.recovery;
     opts.symbolic = config.symbolic;

@@ -100,6 +100,41 @@ int main(int argc, char** argv) {
         hash.add(&res.iterations, sizeof(res.iterations));
     }
 
+    // Pivoting-free fast path: the butterfly coefficients are a pure
+    // function of (seed, block), so the RBT setup -- including the
+    // degeneracy monitor and the pivoted fallback on injected
+    // near-singular blocks -- must be bitwise independent of the thread
+    // count and scheduler mode too.
+    {
+        auto graded = a;
+        const auto layout = blocking::supervariable_layout(
+            graded, blocking::BlockingOptions{.max_block_size = 16});
+        blocking::make_blocks_illcond(graded, *layout, 6);
+        for (const auto backend : {precond::BlockJacobiBackend::lu,
+                                   precond::BlockJacobiBackend::lu_simd}) {
+            precond::BlockJacobiOptions popts;
+            popts.backend = backend;
+            popts.max_block_size = 16;
+            popts.layout = layout;
+            popts.pivot = precond::PivotScheme::rbt;
+            const precond::BlockJacobi<double> prec(graded, popts);
+            for (size_type bi = 0; bi < prec.factors().count(); ++bi) {
+                const auto v = prec.factors().view(bi);
+                for (index_type c = 0; c < v.cols(); ++c) {
+                    for (index_type r = 0; r < v.rows(); ++r) {
+                        const double x = v(r, c);
+                        hash.add(&x, sizeof(x));
+                    }
+                }
+            }
+            const auto fellback = prec.rbt_fellback();
+            hash.add(&fellback, sizeof(fellback));
+            std::vector<double> z(nz, 0.0);
+            prec.apply(std::span<const double>(b), std::span<double>(z));
+            hash.add_vector(z);
+        }
+    }
+
     std::FILE* out = std::fopen(argv[1], "w");
     if (out == nullptr) {
         std::fprintf(stderr, "cannot open %s\n", argv[1]);
